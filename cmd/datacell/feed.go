@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"datacell"
+)
+
+const drainTimeout = 10 * time.Second
+
+// feedStdin parses pipe-separated tuples from stdin into the named stream
+// until EOF. Values are converted by the engine according to the stream's
+// column types.
+func feedStdin(eng *datacell.Engine, stream string) error {
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	n := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		parts := strings.Split(line, "|")
+		row := make(datacell.Row, len(parts))
+		for i, p := range parts {
+			row[i] = p // strings are parsed per column type by Append
+		}
+		if err := eng.Append(stream, row); err != nil {
+			fmt.Fprintf(os.Stderr, "datacell: skipping tuple %q: %v\n", line, err)
+			continue
+		}
+		n++
+	}
+	fmt.Fprintf(os.Stderr, "datacell: fed %d tuples into %s\n", n, stream)
+	return sc.Err()
+}

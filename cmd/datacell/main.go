@@ -1,0 +1,118 @@
+// Command datacell runs a DataCell instance from a SQL script: it creates
+// the baskets, registers the continuous queries, optionally attaches TCP
+// receptors and emitters, and streams results to stdout.
+//
+//	datacell -script app.sql
+//	datacell -script app.sql -listen trades=:9000 -serve big=:9001
+//	echo 'ACME|250.0' | datacell -script app.sql -feed trades -print big
+//
+// The script is standard DataCell SQL: create basket/table, declare/set,
+// continuous queries with [basket expressions], and with…begin…end splits.
+// Continuous select statements are registered under q1, q2, … in script
+// order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"datacell"
+)
+
+type listFlag []string
+
+func (l *listFlag) String() string     { return strings.Join(*l, ",") }
+func (l *listFlag) Set(s string) error { *l = append(*l, s); return nil }
+
+func main() {
+	script := flag.String("script", "", "SQL script to execute (required)")
+	feed := flag.String("feed", "", "stream to feed with pipe-separated tuples from stdin")
+	print := flag.String("print", "", "query whose results are printed to stdout")
+	var listens, serves listFlag
+	flag.Var(&listens, "listen", "stream=addr: attach a TCP receptor (repeatable)")
+	flag.Var(&serves, "serve", "query=addr: serve a query's results over TCP (repeatable)")
+	flag.Parse()
+
+	if *script == "" {
+		fmt.Fprintln(os.Stderr, "datacell: -script is required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*script)
+	if err != nil {
+		fatal(err)
+	}
+	eng := datacell.New()
+	infos, err := eng.Exec(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	for _, info := range infos {
+		if info.Continuous {
+			fmt.Fprintf(os.Stderr, "registered continuous query %s\n", info.Name)
+		}
+	}
+
+	for _, spec := range listens {
+		name, addr, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -listen %q, want stream=addr", spec))
+		}
+		bound, err := eng.ListenTCP(name, addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "stream %s listening on %s\n", name, bound)
+	}
+	for _, spec := range serves {
+		name, addr, ok := strings.Cut(spec, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -serve %q, want query=addr", spec))
+		}
+		bound, err := eng.ServeTCP(name, addr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "query %s served on %s\n", name, bound)
+	}
+	if *print != "" {
+		err := eng.Subscribe(*print, func(t datacell.Table) {
+			for _, row := range t.Rows {
+				parts := make([]string, len(row))
+				for i, v := range row {
+					parts[i] = fmt.Sprint(v)
+				}
+				fmt.Println(strings.Join(parts, "|"))
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	if err := eng.Start(); err != nil {
+		fatal(err)
+	}
+	defer eng.Stop()
+
+	if *feed != "" {
+		// Feed stdin through an in-process receptor and exit when it ends.
+		if err := feedStdin(eng, *feed); err != nil {
+			fatal(err)
+		}
+		eng.Drain(drainTimeout)
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "datacell: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// Command linearroad runs the Linear Road benchmark on the DataCell in
+// simulated time and prints the series behind the paper's Figures 7, 8
+// and 9, plus the validation report.
+//
+//	linearroad -sf 1 -fig all          full three-hour run at scale factor 1
+//	linearroad -sf 0.5 -fig 9          Figure 9 series only
+//	linearroad -sf 0.3 -duration 1200  shortened run for quick checks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"datacell/internal/lroad"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.5, "scale factor (paper: 0.5 and 1)")
+	duration := flag.Int64("duration", 10800, "benchmark seconds (paper: 10800)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	fig := flag.String("fig", "all", "figure to print: 7, 8, 9, all")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	cfg := lroad.DefaultConfig(*sf)
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+
+	progress := os.Stderr
+	if *quiet {
+		progress = nil
+	}
+	fmt.Fprintf(os.Stderr, "running Linear Road: SF %.2f, %d benchmark seconds…\n", *sf, *duration)
+	start := time.Now()
+	res, err := lroad.Run(cfg, progress)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "linearroad: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v wall clock; %d input tuples\n", time.Since(start).Round(time.Millisecond), res.TotalIn)
+
+	if *fig == "7" || *fig == "all" {
+		fmt.Println("# Figure 7: avg processing time (ms) per collection per benchmark minute")
+		names := make([]string, 0, len(res.Load))
+		for n := range res.Load {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		fmt.Print("minute")
+		for _, n := range names {
+			fmt.Printf("\t%s", n)
+		}
+		fmt.Println()
+		series := map[string]map[int64]float64{}
+		maxMin := int64(0)
+		for _, n := range names {
+			series[n] = map[int64]float64{}
+			for _, p := range res.LoadSeries(n) {
+				series[n][p.Minute] = p.Value
+				if p.Minute > maxMin {
+					maxMin = p.Minute
+				}
+			}
+		}
+		for m := int64(0); m <= maxMin; m++ {
+			fmt.Printf("%d", m)
+			for _, n := range names {
+				fmt.Printf("\t%.3f", series[n][m])
+			}
+			fmt.Println()
+		}
+		fmt.Println("# worst per-activation processing time (deadline check):")
+		for _, n := range names {
+			fmt.Printf("#   %s: %v\n", n, res.MaxProc[n])
+		}
+	}
+	if *fig == "8" || *fig == "all" {
+		fmt.Println("# Figure 8: incoming tuples per second vs benchmark minute (sampled per minute)")
+		fmt.Println("minute\ttuples_per_sec")
+		for s := 0; s < len(res.TuplesPerSec); s += 60 {
+			fmt.Printf("%d\t%d\n", s/60, res.TuplesPerSec[s])
+		}
+	}
+	if *fig == "9" || *fig == "all" {
+		fmt.Println("# Figure 9: Q7 average response time (ms) vs benchmark minute")
+		fmt.Println("minute\tavg_ms")
+		for _, p := range res.Q7AvgSeries() {
+			fmt.Printf("%d\t%.3f\n", p.Minute, p.Value)
+		}
+	}
+
+	v := lroad.Validate(res)
+	fmt.Printf("# validation: %d/%d accidents detected, %d cleared; %d toll alerts, %d accident alerts, %d balance answers, %d daily answers\n",
+		v.DetectedAccidents, v.ExpectedAccidents, v.ClearedAccidents,
+		res.TollAlerts.Len(), res.AccAlerts.Len(), res.BalAnswers.Len(), res.DayAnswers.Len())
+	if !v.OK() {
+		for _, e := range v.Errors {
+			fmt.Fprintf(os.Stderr, "validation error: %s\n", e)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("# validation: OK")
+}

@@ -1,0 +1,54 @@
+// Command lrgen generates a Linear Road input trace in the DataCell's
+// textual tuple format (pipe-separated, one tuple per line), suitable for
+// replay through a TCP receptor:
+//
+//	lrgen -sf 0.5 -duration 600 > trace.txt
+//	datacell -script lr.sql -listen input=:9999 &
+//	lrgen -replay trace.txt -target localhost:9999 -speedup 60
+//
+// In replay mode, tuples are paced by their benchmark-time column (field
+// 2) divided by the speedup factor — a sensor tool for live experiments.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"datacell/internal/lroad"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.5, "scale factor")
+	duration := flag.Int64("duration", 600, "benchmark seconds")
+	seed := flag.Int64("seed", 1, "generator seed")
+	replay := flag.String("replay", "", "replay a recorded trace file instead of generating")
+	target := flag.String("target", "", "TCP address to replay into (with -replay)")
+	speedup := flag.Float64("speedup", 1, "replay speedup factor")
+	flag.Parse()
+
+	if *replay != "" {
+		if err := replayTrace(*replay, *target, *speedup); err != nil {
+			fmt.Fprintf(os.Stderr, "lrgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	cfg := lroad.DefaultConfig(*sf)
+	cfg.Duration = *duration
+	cfg.Seed = *seed
+	g := lroad.NewGenerator(cfg)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	for !g.Done() {
+		for _, t := range g.Tick() {
+			fmt.Fprintf(w, "%d|%d|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+				t.Typ, t.Time, t.VID, t.Spd, t.XWay, t.Lane, t.Dir, t.Seg, t.Pos, t.QID, t.Day)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "lrgen: %d tuples (%d position, %d balance, %d daily), %d scheduled accidents\n",
+		g.TotalTuples, g.TotalPos, g.TotalBalQ, g.TotalDayQ, len(g.Accidents()))
+}

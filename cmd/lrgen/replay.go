@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+
+	"datacell/internal/stream"
+)
+
+// replayTrace paces a recorded trace into a TCP receptor (or stdout when
+// no target is given), using the Linear Road benchmark-time column.
+func replayTrace(path, target string, speedup float64) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var dst = os.Stdout
+	var conn net.Conn
+	if target != "" {
+		conn, err = net.Dial("tcp", target)
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+	}
+	rp := stream.NewReplayer(1, speedup) // field 1 is the LR time column
+	if conn != nil {
+		err = rp.Replay(f, conn)
+	} else {
+		err = rp.Replay(f, dst)
+	}
+	fmt.Fprintf(os.Stderr, "lrgen: replayed %d tuples (paused %v)\n", rp.Lines, rp.Paused)
+	return err
+}

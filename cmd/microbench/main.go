@@ -1,0 +1,133 @@
+// Command microbench regenerates the paper's §6.1 micro-benchmark figures:
+//
+//	microbench -fig 4a      elapsed time vs #queries, with/without kernel
+//	microbench -fig 4b      throughput vs #queries, with/without kernel
+//	microbench -fig 5a      latency vs batch size for 10/100/1000 queries
+//	microbench -fig 5b      strategy comparison vs #queries
+//	microbench -fig kernel  pure kernel events/second
+//	microbench -fig all     everything
+//
+// Use -tuples to scale the stream (the paper uses 10^5).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datacell/internal/microbench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, kernel, all")
+	tuples := flag.Int("tuples", 100_000, "tuples per run (paper: 1e5)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	run := func(name string, f func() error) {
+		switch *fig {
+		case name, "all":
+			if err := f(); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+	}
+	run("4a", func() error { return fig4(*tuples, true) })
+	run("4b", func() error { return fig4(*tuples, false) })
+	run("5a", func() error { return fig5a(*tuples, *seed) })
+	run("5b", func() error { return fig5b(*tuples, *seed) })
+	run("kernel", func() error { return kernel(*tuples, *seed) })
+	switch *fig {
+	case "4a", "4b", "5a", "5b", "kernel", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+// fig4 runs the communication pipeline for 8..64 chained queries, with and
+// without the kernel in the loop. elapsed=true prints Figure 4a (elapsed
+// ms), else Figure 4b (throughput).
+func fig4(tuples int, elapsed bool) error {
+	if elapsed {
+		fmt.Println("# Figure 4a: elapsed time (ms) vs number of queries")
+		fmt.Println("queries\twith_kernel_ms\twithout_kernel_ms")
+	} else {
+		fmt.Println("# Figure 4b: throughput (10^3 tuples/s) vs number of queries")
+		fmt.Println("queries\twith_kernel\twithout_kernel")
+	}
+	for _, q := range []int{8, 16, 32, 64} {
+		with, err := microbench.RunCommPipeline(q, tuples, true)
+		if err != nil {
+			return err
+		}
+		without, err := microbench.RunCommPipeline(q, tuples, false)
+		if err != nil {
+			return err
+		}
+		if elapsed {
+			fmt.Printf("%d\t%.1f\t%.1f\n", q,
+				float64(with.Elapsed.Microseconds())/1000,
+				float64(without.Elapsed.Microseconds())/1000)
+		} else {
+			fmt.Printf("%d\t%.2f\t%.2f\n", q, with.Throughput/1000, without.Throughput/1000)
+		}
+	}
+	return nil
+}
+
+// fig5a sweeps the batch size for 10, 100 and 1000 installed queries.
+func fig5a(tuples int, seed int64) error {
+	fmt.Println("# Figure 5a: avg latency per tuple (µs) vs batch size")
+	fmt.Println("batch\tq10\tq100\tq1000")
+	for _, batch := range []int{1, 10, 100, 1_000, 10_000, 100_000} {
+		if batch > tuples {
+			break
+		}
+		fmt.Printf("%d", batch)
+		for _, q := range []int{10, 100, 1_000} {
+			total := tuples
+			if batch == 1 && total > 20_000 {
+				total = 20_000 // tuple-at-a-time at 1e5 takes minutes; scale down
+			}
+			res, err := microbench.RunBatchSweep(q, total, batch, 2_000, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\t%.1f", float64(res.LatencyPer.Nanoseconds())/1000)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// fig5b compares the three processing strategies while varying the number
+// of queries, at a fixed batch of `tuples`.
+func fig5b(tuples int, seed int64) error {
+	fmt.Println("# Figure 5b: elapsed seconds vs number of queries, per strategy")
+	fmt.Println("queries\tseparate\tshared\tpartial")
+	for _, q := range []int{2, 8, 32, 128, 256, 1024} {
+		fmt.Printf("%d", q)
+		for _, s := range []microbench.Strategy{
+			microbench.StrategySeparate, microbench.StrategyShared, microbench.StrategyPartial,
+		} {
+			res, err := microbench.RunStrategySweep(s, q, tuples, seed)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\t%.3f", res.Elapsed.Seconds())
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func kernel(tuples int, seed int64) error {
+	rate, err := microbench.KernelThroughput(tuples, 20, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# Pure kernel activity (no communication): %.2fM events/s per factory\n", rate/1e6)
+	return nil
+}

@@ -1,0 +1,636 @@
+// Package datacell is a stream engine built on top of a relational
+// column-store kernel, reproducing the DataCell architecture (Liarou,
+// Goncalves, Idreos — EDBT 2009).
+//
+// Incoming tuples are appended to baskets (temporary stream tables);
+// continuous queries are compiled into factories — query plans with saved
+// execution state — that a Petri-net scheduler fires whenever their input
+// baskets hold tuples. Tuples consumed by a query's basket expression are
+// removed from their baskets, which makes windows move. Basket expressions
+// ([select … from …] sub-queries) generalise sliding windows to predicate
+// windows, and collecting tuples in baskets enables batch processing.
+//
+// Typical use:
+//
+//	eng := datacell.New()
+//	eng.Exec(`create basket trades (sym string, px float)`)
+//	eng.RegisterQuery("big", `select * from [select * from trades] t where t.px > 100`)
+//	eng.Subscribe("big", func(t datacell.Table) { fmt.Println(t.Rows) })
+//	eng.Start()
+//	eng.Append("trades", datacell.Row{"ACME", 250.0})
+package datacell
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/core"
+	"datacell/internal/plan"
+	"datacell/internal/sql"
+	"datacell/internal/stream"
+	"datacell/internal/vector"
+)
+
+// Row is one tuple in the public API. Supported element types: int, int32,
+// int64, float64, bool, string, time.Time.
+type Row []any
+
+// Table is a materialised query result or delivered batch.
+type Table struct {
+	Cols []string
+	Rows []Row
+}
+
+// Len returns the number of rows.
+func (t Table) Len() int { return len(t.Rows) }
+
+// QueryInfo describes one registered continuous query.
+type QueryInfo struct {
+	Name       string
+	Continuous bool
+}
+
+// Engine is a DataCell instance: a catalog of baskets and tables, a
+// Petri-net scheduler of factories, and the stream periphery. Queries are
+// registered with Exec/RegisterQuery; streams are fed with Append or TCP
+// receptors; results are consumed with Subscribe or TCP emitters.
+//
+// Multi-query processing uses the separate-baskets strategy: every
+// continuous query consuming a stream gets a private input basket and a
+// replicator fans arriving tuples out, so queries run fully independently
+// (the paper's Figure 2a). The shared-baskets and partial-deletes
+// strategies are available on the kernel level (internal/core) and
+// compared in the Figure 5b benchmark.
+type Engine struct {
+	mu        sync.Mutex
+	cat       *plan.Catalog
+	sch       *core.Scheduler
+	queries   map[string]*plan.Compiled
+	emitters  []*stream.Emitter
+	tcpIn     []*stream.TCPReceptor
+	tcpOut    []*stream.TCPEmitter
+	consumers map[string][]*basket.Basket // stream name -> private baskets
+	repls     map[string]*core.Factory    // stream name -> replicator
+	started   bool
+	qctr      int
+}
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		cat:       plan.NewCatalog(),
+		sch:       core.NewScheduler(),
+		queries:   map[string]*plan.Compiled{},
+		consumers: map[string][]*basket.Basket{},
+		repls:     map[string]*core.Factory{},
+	}
+}
+
+// SetClock replaces the engine clock (now(), arrival timestamps). Intended
+// for simulated-time benchmark runs and deterministic tests.
+func (e *Engine) SetClock(now func() time.Time) { e.cat.SetClock(now) }
+
+// Catalog exposes the underlying catalog for advanced wiring (benchmark
+// harnesses, custom factories).
+func (e *Engine) Catalog() *plan.Catalog { return e.cat }
+
+// Scheduler exposes the underlying scheduler for advanced wiring.
+func (e *Engine) Scheduler() *core.Scheduler { return e.sch }
+
+// Exec parses and executes a script of semicolon-separated statements.
+// DDL, declares, sets and one-time inserts take effect immediately;
+// continuous queries are registered under generated names q1, q2, ….
+// It returns one QueryInfo per statement.
+func (e *Engine) Exec(src string) ([]QueryInfo, error) {
+	stmts, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var infos []QueryInfo
+	for _, s := range stmts {
+		e.mu.Lock()
+		e.qctr++
+		name := fmt.Sprintf("q%d", e.qctr)
+		e.mu.Unlock()
+		info, err := e.register(name, s)
+		if err != nil {
+			return infos, err
+		}
+		infos = append(infos, info)
+	}
+	return infos, nil
+}
+
+// RegisterQuery registers a single (usually continuous) statement under an
+// explicit name. The name identifies the query for Subscribe and Out.
+func (e *Engine) RegisterQuery(name, src string) error {
+	s, err := sql.ParseOne(src)
+	if err != nil {
+		return err
+	}
+	_, err = e.register(name, s)
+	return err
+}
+
+func (e *Engine) register(name string, s sql.Statement) (QueryInfo, error) {
+	// Route stream consumption through a private basket per query
+	// (separate-baskets strategy).
+	privates := map[string]*basket.Basket{}
+	if isContinuousStmt(s) {
+		if err := e.rewriteToPrivate(name, s, privates); err != nil {
+			return QueryInfo{}, err
+		}
+	}
+	c, err := plan.Compile(e.cat, s, name)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	if c.Factory == nil {
+		return QueryInfo{Name: name}, nil
+	}
+	e.mu.Lock()
+	e.queries[name] = c
+	for streamName, priv := range privates {
+		e.consumers[streamName] = append(e.consumers[streamName], priv)
+	}
+	e.mu.Unlock()
+	for streamName := range privates {
+		if err := e.ensureReplicator(streamName); err != nil {
+			return QueryInfo{}, err
+		}
+	}
+	if err := e.sch.Register(c.Factory); err != nil {
+		return QueryInfo{}, err
+	}
+	return QueryInfo{Name: name, Continuous: true}, nil
+}
+
+func isContinuousStmt(s sql.Statement) bool {
+	switch t := s.(type) {
+	case *sql.SelectStmt:
+		return t.IsContinuous()
+	case *sql.InsertStmt:
+		return t.Query.IsContinuous()
+	case *sql.WithBlock:
+		return true
+	}
+	return false
+}
+
+// rewriteToPrivate renames every stream reference inside the statement's
+// basket expressions to a fresh private basket owned by this query,
+// creating the private basket with the stream's schema.
+func (e *Engine) rewriteToPrivate(qname string, s sql.Statement, privates map[string]*basket.Basket) error {
+	var walkSel func(sel *sql.SelectStmt, inBasket bool) error
+	walkSel = func(sel *sql.SelectStmt, inBasket bool) error {
+		for i := range sel.From {
+			tr := &sel.From[i]
+			switch {
+			case tr.Basket != nil:
+				if err := walkSel(tr.Basket, true); err != nil {
+					return err
+				}
+			case tr.Sub != nil:
+				if err := walkSel(tr.Sub, inBasket); err != nil {
+					return err
+				}
+			default:
+				if !inBasket {
+					continue
+				}
+				src := e.cat.Basket(tr.Name)
+				if src == nil || e.cat.KindOf(tr.Name) != plan.KindBasket {
+					continue
+				}
+				privName := tr.Name + "$" + strings.ToLower(qname)
+				if e.cat.Basket(privName) == nil {
+					names, types := src.UserSchema()
+					if _, err := e.cat.CreateBasket(privName, names, types, plan.KindBasket); err != nil {
+						return err
+					}
+				}
+				privates[tr.Name] = e.cat.Basket(privName)
+				if tr.Alias == tr.Name {
+					tr.Alias = tr.Name // keep original alias for column refs
+				}
+				tr.Name = privName
+			}
+		}
+		return nil
+	}
+	switch t := s.(type) {
+	case *sql.SelectStmt:
+		return walkSel(t, false)
+	case *sql.InsertStmt:
+		return walkSel(t.Query, false)
+	case *sql.WithBlock:
+		return walkSel(t.Basket, true)
+	}
+	return nil
+}
+
+// ensureReplicator installs (once per stream) the factory that moves
+// arriving tuples from the stream basket into every consumer's private
+// basket. The consumer list is read dynamically, so queries can be added
+// while the engine runs.
+func (e *Engine) ensureReplicator(streamName string) error {
+	e.mu.Lock()
+	if _, ok := e.repls[streamName]; ok {
+		e.mu.Unlock()
+		return nil
+	}
+	src := e.cat.Basket(streamName)
+	e.mu.Unlock()
+	if src == nil {
+		return fmt.Errorf("datacell: unknown stream %q", streamName)
+	}
+	// The replicator's nominal output is the first private basket; the
+	// actual fan-out list is read per firing so later queries join in.
+	e.mu.Lock()
+	first := e.consumers[streamName][0]
+	e.mu.Unlock()
+	f, err := core.NewFactory("replicate$"+streamName,
+		[]*basket.Basket{src}, []*basket.Basket{first},
+		func(ctx *core.Context) error {
+			rel := ctx.In(0).TakeAllLocked()
+			if rel.Len() == 0 {
+				return nil
+			}
+			e.mu.Lock()
+			outs := append([]*basket.Basket(nil), e.consumers[streamName]...)
+			e.mu.Unlock()
+			for _, o := range outs {
+				if o == first {
+					if _, err := ctx.Out(0).AppendLocked(rel); err != nil {
+						return err
+					}
+					continue
+				}
+				// Later consumers are outside the lock set; Append takes
+				// their basket lock individually (no cycles: replicators
+				// only feed downstream).
+				if _, err := o.Append(rel); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	e.repls[streamName] = f
+	e.mu.Unlock()
+	return e.sch.Register(f)
+}
+
+// Explain returns a human-readable description of how a statement would
+// be compiled: firing inputs with thresholds, locked side inputs, and the
+// operator pipeline. Nothing is created or registered.
+func (e *Engine) Explain(src string) (string, error) {
+	s, err := sql.ParseOne(src)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(e.cat, s, "query")
+}
+
+// QueryStats reports the activity counters of one registered continuous
+// query.
+type QueryStats struct {
+	Name    string
+	Fires   int64 // factory activations
+	Errors  int64 // activations that returned an error
+	LastErr error
+	OutRows int64 // tuples appended to the output basket over time
+	Pending int   // tuples currently waiting in the output basket
+}
+
+// Stats returns activity counters for every registered continuous query,
+// sorted by name.
+func (e *Engine) Stats() []QueryStats {
+	e.mu.Lock()
+	names := make([]string, 0, len(e.queries))
+	for n := range e.queries {
+		names = append(names, n)
+	}
+	qs := make(map[string]*plan.Compiled, len(e.queries))
+	for n, c := range e.queries {
+		qs[n] = c
+	}
+	e.mu.Unlock()
+	sort.Strings(names)
+	out := make([]QueryStats, 0, len(names))
+	for _, n := range names {
+		c := qs[n]
+		st := c.Out.Stats()
+		out = append(out, QueryStats{
+			Name:    n,
+			Fires:   c.Factory.Fires(),
+			Errors:  c.Factory.Errors(),
+			LastErr: c.Factory.LastError(),
+			OutRows: st.Appended,
+			Pending: c.Out.Len(),
+		})
+	}
+	return out
+}
+
+// RemoveQuery unregisters a continuous query: its factory stops firing,
+// its private input baskets stop receiving replicated tuples, and its
+// output basket is left in place (drain it or let subscribers finish).
+func (e *Engine) RemoveQuery(name string) error {
+	e.mu.Lock()
+	c, ok := e.queries[name]
+	if !ok {
+		e.mu.Unlock()
+		return fmt.Errorf("datacell: unknown query %q", name)
+	}
+	delete(e.queries, name)
+	suffix := "$" + strings.ToLower(name)
+	for streamName, privs := range e.consumers {
+		kept := privs[:0]
+		for _, p := range privs {
+			if strings.HasSuffix(p.Name(), suffix) {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		e.consumers[streamName] = kept
+	}
+	e.mu.Unlock()
+	e.sch.Unregister(c.Factory)
+	return nil
+}
+
+// Query runs a one-time query immediately and returns its rows.
+func (e *Engine) Query(src string) (Table, error) {
+	s, err := sql.ParseOne(src)
+	if err != nil {
+		return Table{}, err
+	}
+	sel, ok := s.(*sql.SelectStmt)
+	if !ok {
+		return Table{}, fmt.Errorf("datacell: Query expects a select statement")
+	}
+	if sel.IsContinuous() {
+		return Table{}, fmt.Errorf("datacell: Query is for one-time queries; use RegisterQuery for continuous ones")
+	}
+	rel, err := plan.ExecuteQuery(e.cat, sel)
+	if err != nil {
+		return Table{}, err
+	}
+	return tableOf(rel), nil
+}
+
+// Out returns the output basket of a registered continuous query.
+func (e *Engine) Out(query string) (*basket.Basket, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c, ok := e.queries[query]
+	if !ok {
+		return nil, fmt.Errorf("datacell: unknown query %q", query)
+	}
+	return c.Out, nil
+}
+
+// Subscribe delivers every result batch of the named continuous query to
+// fn on the emitter thread. Call before Start.
+func (e *Engine) Subscribe(query string, fn func(t Table)) error {
+	out, err := e.Out(query)
+	if err != nil {
+		return err
+	}
+	em := stream.NewEmitter(out)
+	em.Subscribe(func(rel *bat.Relation) { fn(tableOf(rel)) })
+	e.mu.Lock()
+	e.emitters = append(e.emitters, em)
+	started := e.started
+	e.mu.Unlock()
+	if started {
+		em.Start()
+	}
+	return nil
+}
+
+// Append feeds rows into a stream basket.
+func (e *Engine) Append(streamName string, rows ...Row) error {
+	b := e.cat.Basket(streamName)
+	if b == nil {
+		return fmt.Errorf("datacell: unknown stream %q", streamName)
+	}
+	names, types := b.UserSchema()
+	rel := bat.NewEmptyRelation(names, types)
+	for _, r := range rows {
+		vals, err := valuesOf(r, types)
+		if err != nil {
+			return err
+		}
+		rel.AppendRow(vals...)
+	}
+	_, err := b.Append(rel)
+	return err
+}
+
+// ListenTCP attaches a TCP receptor to a stream: every line received on
+// the address is parsed as a pipe-separated tuple and appended. It
+// returns the bound address.
+func (e *Engine) ListenTCP(streamName, addr string) (string, error) {
+	b := e.cat.Basket(streamName)
+	if b == nil {
+		return "", fmt.Errorf("datacell: unknown stream %q", streamName)
+	}
+	tr, err := stream.ListenTCP(addr, stream.NewReceptor(b))
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	e.tcpIn = append(e.tcpIn, tr)
+	e.mu.Unlock()
+	return tr.Addr(), nil
+}
+
+// ServeTCP attaches a TCP emitter to a continuous query's results. Every
+// connected client receives all subsequent result tuples, one line each.
+func (e *Engine) ServeTCP(query, addr string) (string, error) {
+	out, err := e.Out(query)
+	if err != nil {
+		return "", err
+	}
+	te, err := stream.ServeTCP(addr, stream.NewEmitter(out))
+	if err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	e.tcpOut = append(e.tcpOut, te)
+	started := e.started
+	e.mu.Unlock()
+	if started {
+		te.Emitter.Start()
+	}
+	return te.Addr(), nil
+}
+
+// Start launches the scheduler and all subscribed emitters.
+func (e *Engine) Start() error {
+	e.mu.Lock()
+	if e.started {
+		e.mu.Unlock()
+		return fmt.Errorf("datacell: engine already started")
+	}
+	e.started = true
+	ems := append([]*stream.Emitter(nil), e.emitters...)
+	touts := append([]*stream.TCPEmitter(nil), e.tcpOut...)
+	e.mu.Unlock()
+	if err := e.sch.Start(); err != nil {
+		return err
+	}
+	for _, em := range ems {
+		em.Start()
+	}
+	for _, t := range touts {
+		t.Emitter.Start()
+	}
+	return nil
+}
+
+// Drain blocks until the factory network is quiescent or the timeout
+// elapses, reporting whether it drained. Useful after feeding a known
+// amount of input.
+func (e *Engine) Drain(timeout time.Duration) bool {
+	return e.sch.WaitQuiescent(timeout)
+}
+
+// RunSync fires enabled factories on the calling goroutine until the
+// network quiesces. It is the synchronous alternative to Start for batch
+// feeding and benchmarks.
+func (e *Engine) RunSync() error {
+	_, err := e.sch.RunUntilQuiescent(0)
+	return err
+}
+
+// Stop shuts down the scheduler, TCP endpoints and emitters.
+func (e *Engine) Stop() {
+	e.mu.Lock()
+	started := e.started
+	e.started = false
+	tins := append([]*stream.TCPReceptor(nil), e.tcpIn...)
+	touts := append([]*stream.TCPEmitter(nil), e.tcpOut...)
+	ems := append([]*stream.Emitter(nil), e.emitters...)
+	e.mu.Unlock()
+	for _, t := range tins {
+		t.Close()
+	}
+	if started {
+		e.sch.Stop()
+	}
+	for _, t := range touts {
+		t.Close()
+	}
+	for _, em := range ems {
+		em.Stop()
+	}
+}
+
+// tableOf converts an internal relation (user columns only; internal
+// columns are dropped) into a public Table.
+func tableOf(rel *bat.Relation) Table {
+	var cols []string
+	var idx []int
+	for i, n := range rel.Names() {
+		if n == basket.TimestampCol || strings.HasPrefix(n, "__") {
+			continue
+		}
+		cols = append(cols, n)
+		idx = append(idx, i)
+	}
+	t := Table{Cols: cols}
+	for r := 0; r < rel.Len(); r++ {
+		row := make(Row, len(idx))
+		for j, i := range idx {
+			row[j] = goValue(rel.Col(i).Get(r))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+func goValue(v vector.Value) any {
+	switch v.Kind {
+	case vector.Int:
+		return v.I
+	case vector.Float:
+		return v.F
+	case vector.Bool:
+		return v.B
+	case vector.Str:
+		return v.S
+	case vector.Timestamp:
+		return time.UnixMicro(v.I)
+	}
+	return nil
+}
+
+func valuesOf(r Row, types []vector.Type) ([]vector.Value, error) {
+	if len(r) != len(types) {
+		return nil, fmt.Errorf("datacell: row has %d values, want %d", len(r), len(types))
+	}
+	out := make([]vector.Value, len(r))
+	for i, x := range r {
+		v, err := toValue(x, types[i])
+		if err != nil {
+			return nil, fmt.Errorf("datacell: column %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func toValue(x any, t vector.Type) (vector.Value, error) {
+	switch v := x.(type) {
+	case int:
+		return numericAs(int64(v), t)
+	case int32:
+		return numericAs(int64(v), t)
+	case int64:
+		return numericAs(v, t)
+	case float64:
+		if t == vector.Float {
+			return vector.NewFloat(v), nil
+		}
+		return numericAs(int64(v), t)
+	case bool:
+		if t != vector.Bool {
+			return vector.Value{}, fmt.Errorf("bool value for %s column", t)
+		}
+		return vector.NewBool(v), nil
+	case string:
+		if t != vector.Str {
+			return vector.ParseValue(t, v)
+		}
+		return vector.NewStr(v), nil
+	case time.Time:
+		if t != vector.Timestamp {
+			return vector.Value{}, fmt.Errorf("time value for %s column", t)
+		}
+		return vector.NewTimestamp(v), nil
+	}
+	return vector.Value{}, fmt.Errorf("unsupported value type %T", x)
+}
+
+func numericAs(i int64, t vector.Type) (vector.Value, error) {
+	switch t {
+	case vector.Int:
+		return vector.NewInt(i), nil
+	case vector.Timestamp:
+		return vector.NewTimestampMicros(i), nil
+	case vector.Float:
+		return vector.NewFloat(float64(i)), nil
+	}
+	return vector.Value{}, fmt.Errorf("numeric value for %s column", t)
+}

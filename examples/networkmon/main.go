@@ -1,0 +1,113 @@
+// Networkmon: network flow monitoring over real TCP receptors and
+// emitters — the deployment shape of the paper's Figure 1, with sensors
+// and actuators as separate processes speaking the flat textual tuple
+// protocol.
+//
+// A simulated probe process connects over TCP and streams flow records
+// (src, dst, port, bytes). Two continuous queries watch the stream: one
+// flags elephant flows, one aggregates per-port traffic. An actuator
+// process connects to the emitter side and receives the alerts. Run with:
+//
+//	go run ./examples/networkmon
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"strings"
+	"time"
+
+	"datacell"
+)
+
+func main() {
+	eng := datacell.New()
+	if _, err := eng.Exec(`create basket flows (src string, dst string, port int, bytes int)`); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := eng.RegisterQuery("elephants",
+		`select f.src, f.dst, f.bytes from [select * from flows] f where f.bytes > 1000000`); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.RegisterQuery("portload", `
+		select f.port, sum(f.bytes) as total, count(*) as flows
+		from [select top 50 from flows] f
+		group by f.port
+		having total > 5000000`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Show the compiled shape of a query before running it.
+	plan, err := eng.Explain(`select f.src, f.dst, f.bytes from [select * from flows] f where f.bytes > 1000000`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("plan:\n" + plan)
+
+	inAddr, err := eng.ListenTCP("flows", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	outAddr, err := eng.ServeTCP("elephants", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Subscribe("portload", func(t datacell.Table) {
+		for _, row := range t.Rows {
+			fmt.Printf("hot port %v: %v bytes over %v flows\n", row[0], row[1], row[2])
+		}
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Actuator process: consumes elephant-flow alerts over TCP.
+	gotAlert := make(chan string, 16)
+	actuator, err := net.Dial("tcp", outAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer actuator.Close()
+	go func() {
+		sc := bufio.NewScanner(actuator)
+		for sc.Scan() {
+			gotAlert <- sc.Text()
+		}
+	}()
+
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Stop()
+
+	// Probe process: streams flow records over TCP.
+	probe, err := net.Dial("tcp", inAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		defer probe.Close()
+		rng := rand.New(rand.NewSource(1))
+		w := bufio.NewWriter(probe)
+		for i := 0; i < 500; i++ {
+			size := rng.Intn(200_000)
+			if i%97 == 0 {
+				size = 1_500_000 + rng.Intn(500_000) // an elephant
+			}
+			fmt.Fprintf(w, "10.0.0.%d|10.1.0.%d|%d|%d\n",
+				rng.Intn(255), rng.Intn(255), []int{80, 443, 53}[rng.Intn(3)], size)
+		}
+		w.Flush()
+	}()
+
+	select {
+	case alert := <-gotAlert:
+		parts := strings.Split(alert, "|")
+		fmt.Printf("elephant flow alert: %s -> %s (%s bytes)\n", parts[0], parts[1], parts[2])
+	case <-time.After(5 * time.Second):
+		log.Fatal("no elephant alert within 5s")
+	}
+}

@@ -1,0 +1,70 @@
+// Quickstart: the smallest complete DataCell application.
+//
+// A stream of trades flows into a basket; a continuous query with a basket
+// expression picks out the large trades; a subscriber prints them. Run
+// with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"datacell"
+)
+
+func main() {
+	eng := datacell.New()
+
+	// A basket is a stream table: incoming tuples wait here until the
+	// continuous queries have seen them.
+	if _, err := eng.Exec(`create basket trades (sym string, px float, qty int)`); err != nil {
+		log.Fatal(err)
+	}
+
+	// The [ ... ] is a basket expression: it consumes the trades it
+	// references, which is what moves the stream forward. The outer where
+	// clause filters without affecting consumption.
+	err := eng.RegisterQuery("big",
+		`select t.sym, t.px, t.qty from [select * from trades] t where t.px * t.qty > 10000`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	err = eng.Subscribe("big", func(t datacell.Table) {
+		for _, row := range t.Rows {
+			fmt.Printf("large trade: %s %v x %v\n", row[0], row[1], row[2])
+		}
+		select {
+		case <-done:
+		default:
+			close(done)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Stop()
+
+	feed := []datacell.Row{
+		{"ACME", 250.0, 10},   // 2500: small
+		{"GLOBEX", 99.5, 200}, // 19900: large
+		{"ACME", 252.0, 100},  // 25200: large
+	}
+	if err := eng.Append("trades", feed...); err != nil {
+		log.Fatal(err)
+	}
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		log.Fatal("no results within 5s")
+	}
+}

@@ -1,0 +1,99 @@
+// Tickerfeed: a financial-stream application showing the paper's §5
+// language features end to end — a with-block split replicating one stream
+// into two differently filtered baskets, the outlier query with an
+// order-by/top-n window, and incremental aggregates in session variables.
+// Run with:
+//
+//	go run ./examples/tickerfeed
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"datacell"
+)
+
+func main() {
+	eng := datacell.New()
+
+	if _, err := eng.Exec(`
+		create basket ticks (tag int, sym string, px float);
+		declare seen int;
+		set seen = 0;
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Split (§5 "Split and Merge"): the with-block binds each batch of
+	// ticks once and routes it to two baskets with overlapping predicates
+	// — partial replication, exactly the paper's example. The set
+	// statement maintains a running count as a side effect (§5
+	// "Aggregation").
+	if err := eng.RegisterQuery("split", `
+		with a as [select * from ticks]
+		begin
+			insert into hot  select a.tag, a.sym, a.px from a where a.px > 100;
+			insert into cold select a.tag, a.sym, a.px from a where a.px <= 200;
+			set seen = seen + (select count(*) from a);
+		end`); err != nil {
+		log.Fatal(err)
+	}
+
+	// Outliers (§5 "Filter and Map"): within every window of exactly 20
+	// hot ticks in tag order, keep the expensive ones. The top-20 basket
+	// expression makes the scheduler batch 20 tuples per firing.
+	if err := eng.RegisterQuery("outliers", `
+		select b.tag, b.sym, b.px
+		from [select top 20 from hot order by tag] as b
+		where b.px > 150`); err != nil {
+		log.Fatal(err)
+	}
+
+	results := make(chan int, 64)
+	if err := eng.Subscribe("outliers", func(t datacell.Table) {
+		for _, row := range t.Rows {
+			fmt.Printf("outlier: tag %v %s at %.2f\n", row[0], row[1], row[2])
+		}
+		results <- t.Len()
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	if err := eng.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Stop()
+
+	rng := rand.New(rand.NewSource(7))
+	syms := []string{"ACME", "GLOBEX", "INITECH"}
+	for i := 0; i < 400; i++ {
+		px := 50 + rng.Float64()*150 // 50..200
+		if err := eng.Append("ticks", datacell.Row{i, syms[rng.Intn(len(syms))], px}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	got := 0
+	deadline := time.After(5 * time.Second)
+	for got == 0 {
+		select {
+		case n := <-results:
+			got += n
+		case <-deadline:
+			log.Fatal("no outliers within 5s")
+		}
+	}
+
+	// The incremental aggregate kept in a session variable, and a one-time
+	// query over the cold basket (a basket inspected outside a basket
+	// expression behaves like a table).
+	eng.Drain(2 * time.Second)
+	cold, err := eng.Query(`select count(*) as n from cold`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cold ticks retained: %v\n", cold.Rows[0][0])
+}

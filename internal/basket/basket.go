@@ -1,0 +1,386 @@
+// Package basket implements the DataCell's central data structure: the
+// basket, a temporary main-memory stream table.
+//
+// Every incoming tuple is appended to at least one basket and waits there to
+// be processed; factories evaluate continuous queries over baskets as if
+// they were ordinary tables and delete the tuples they have consumed. Unlike
+// relational tables, baskets have no a-priori tuple order guarantees, their
+// integrity constraints act as silent filters, their content does not
+// survive a restart, and concurrent access is regulated with an exclusive
+// locking scheme driven by the scheduler.
+package basket
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datacell/internal/bat"
+	"datacell/internal/vector"
+)
+
+// TimestampCol is the name of the implicit arrival-time column every basket
+// carries ("for each relational table there exists an extra column, the
+// timestamp column, that for each tuple reflects the time that this tuple
+// entered the system").
+const TimestampCol = "sys_ts"
+
+// ErrClosed is returned by blocking operations after Close.
+var ErrClosed = errors.New("basket: closed")
+
+// Constraint is a basket integrity constraint. Check returns the positions
+// of rel's tuples that satisfy the constraint; the remaining tuples are
+// silently dropped on append — indistinguishable from tuples that never
+// arrived.
+type Constraint struct {
+	Name  string
+	Check func(rel *bat.Relation) []int32
+}
+
+// Stats carries monotonically increasing basket counters.
+type Stats struct {
+	Appended int64 // tuples accepted into the basket
+	Dropped  int64 // tuples silently dropped by integrity constraints
+	Consumed int64 // tuples removed by factories
+}
+
+// Basket is a stream table: one column per declared attribute plus the
+// implicit timestamp column. All mutating access happens under the basket
+// lock; factories lock every input and output basket for the duration of
+// one firing.
+type Basket struct {
+	name  string
+	id    uint64 // global order for deadlock-free multi-basket locking
+	types []vector.Type
+	names []string
+
+	mu       sync.Mutex
+	notEmpty *sync.Cond // signalled on append
+	enabled  *sync.Cond // signalled on SetEnabled(true)
+	rel      *bat.Relation
+	seqbase  bat.OID // oid of the first resident tuple (head stays dense)
+	isOn     bool
+	closed   bool
+
+	constraints []Constraint
+	onAppend    atomic.Value // func(), scheduler wake-up hook
+
+	appended int64
+	dropped  int64
+	consumed int64
+
+	// now provides arrival timestamps; replaceable for simulated time.
+	now func() time.Time
+}
+
+var basketIDs atomic.Uint64
+
+// New creates an enabled, empty basket with the given attribute schema.
+// The implicit timestamp column is appended automatically.
+func New(name string, names []string, types []vector.Type) *Basket {
+	allNames := append(append([]string(nil), names...), TimestampCol)
+	allTypes := append(append([]vector.Type(nil), types...), vector.Timestamp)
+	b := &Basket{
+		name:  name,
+		id:    basketIDs.Add(1),
+		names: allNames,
+		types: allTypes,
+		rel:   bat.NewEmptyRelation(allNames, allTypes),
+		isOn:  true,
+		now:   time.Now,
+	}
+	b.notEmpty = sync.NewCond(&b.mu)
+	b.enabled = sync.NewCond(&b.mu)
+	return b
+}
+
+// Name returns the basket name.
+func (b *Basket) Name() string { return b.name }
+
+// ID returns the basket's unique lock-ordering id.
+func (b *Basket) ID() uint64 { return b.id }
+
+// Schema returns the column names and types, including the implicit
+// timestamp column (always last).
+func (b *Basket) Schema() ([]string, []vector.Type) {
+	return append([]string(nil), b.names...), append([]vector.Type(nil), b.types...)
+}
+
+// UserSchema returns the declared attribute names and types, without the
+// implicit timestamp column.
+func (b *Basket) UserSchema() ([]string, []vector.Type) {
+	n := len(b.names) - 1
+	return append([]string(nil), b.names[:n]...), append([]vector.Type(nil), b.types[:n]...)
+}
+
+// SetClock replaces the arrival-time source (used by simulated-time runs).
+func (b *Basket) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// SetOnAppend installs the scheduler wake-up hook, invoked (outside the
+// basket lock) whenever tuples are accepted.
+func (b *Basket) SetOnAppend(fn func()) { b.onAppend.Store(fn) }
+
+// AddConstraint registers an integrity constraint. Constraints act as
+// silent filters on append.
+func (b *Basket) AddConstraint(c Constraint) {
+	b.mu.Lock()
+	b.constraints = append(b.constraints, c)
+	b.mu.Unlock()
+}
+
+// Lock acquires the basket's exclusive lock. Factories must acquire all
+// their basket locks in ID order; use core.LockAll.
+func (b *Basket) Lock() { b.mu.Lock() }
+
+// Unlock releases the basket's exclusive lock.
+func (b *Basket) Unlock() { b.mu.Unlock() }
+
+// Len returns the number of resident tuples.
+func (b *Basket) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rel.Len()
+}
+
+// LenLocked returns the number of resident tuples; caller holds the lock.
+func (b *Basket) LenLocked() int { return b.rel.Len() }
+
+// Stats returns the basket counters.
+func (b *Basket) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{Appended: b.appended, Dropped: b.dropped, Consumed: b.consumed}
+}
+
+// Enabled reports whether the stream through this basket is flowing.
+func (b *Basket) Enabled() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.isOn
+}
+
+// SetEnabled enables or disables the basket. While disabled, Append blocks
+// (the stream is blocked, per the paper's basket-control semantics);
+// re-enabling releases blocked producers.
+func (b *Basket) SetEnabled(on bool) {
+	b.mu.Lock()
+	b.isOn = on
+	if on {
+		b.enabled.Broadcast()
+	}
+	b.mu.Unlock()
+}
+
+// SetEnabledLocked is SetEnabled for callers that already hold the basket
+// lock (the locker/unlocker factories of the shared-baskets strategy).
+func (b *Basket) SetEnabledLocked(on bool) {
+	b.isOn = on
+	if on {
+		b.enabled.Broadcast()
+	}
+}
+
+// Close marks the basket closed, releasing all blocked producers and
+// consumers with ErrClosed.
+func (b *Basket) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.enabled.Broadcast()
+	b.notEmpty.Broadcast()
+	b.mu.Unlock()
+}
+
+// Append adds the tuples of rel (schema: the user attributes, in declared
+// order) to the basket, stamping arrival timestamps and applying integrity
+// constraints. It blocks while the basket is disabled. It returns the
+// number of tuples accepted.
+func (b *Basket) Append(rel *bat.Relation) (int, error) {
+	b.mu.Lock()
+	for !b.isOn && !b.closed {
+		b.enabled.Wait()
+	}
+	if b.closed {
+		b.mu.Unlock()
+		return 0, ErrClosed
+	}
+	n, err := b.appendLocked(rel)
+	b.mu.Unlock()
+	if n > 0 {
+		b.fireOnAppend()
+	}
+	return n, err
+}
+
+// AppendLocked is Append for callers that already hold the basket lock
+// (factories writing their output baskets). It never blocks; appends to a
+// disabled basket are allowed inside the kernel, since disabling only
+// blocks the periphery. The scheduler hook is NOT fired; the caller's
+// firing cycle handles wake-ups.
+func (b *Basket) AppendLocked(rel *bat.Relation) (int, error) {
+	if b.closed {
+		return 0, ErrClosed
+	}
+	return b.appendLocked(rel)
+}
+
+func (b *Basket) appendLocked(rel *bat.Relation) (int, error) {
+	if rel.NumCols() != len(b.names)-1 && rel.NumCols() != len(b.names) {
+		return 0, fmt.Errorf("basket %s: append arity %d, want %d", b.name, rel.NumCols(), len(b.names)-1)
+	}
+	// Integrity constraints: keep only satisfying tuples, silently.
+	keep := []int32(nil)
+	full := rel.NumCols() == len(b.names)
+	view := rel
+	if !full {
+		// Present constraints with the basket's column names.
+		view = rel.Rename(b.names[:rel.NumCols()])
+	}
+	for _, c := range b.constraints {
+		sel := c.Check(view)
+		if keep == nil {
+			keep = sel
+		} else {
+			keep = intersect(keep, sel)
+		}
+	}
+	in := rel
+	if keep != nil && len(keep) != rel.Len() {
+		in = rel.Gather(keep)
+	}
+	accepted := in.Len()
+	dropped := rel.Len() - accepted
+	if accepted > 0 {
+		if full {
+			b.rel.AppendRelation(in.Rename(b.names))
+		} else {
+			ts := b.now().UnixMicro()
+			stamped := make([]int64, accepted)
+			for i := range stamped {
+				stamped[i] = ts
+			}
+			withTS := bat.Concat(in, bat.NewRelation(
+				[]string{TimestampCol},
+				[]*vector.Vector{vector.FromTimestamps(stamped)},
+			))
+			b.rel.AppendRelation(withTS.Rename(b.names))
+		}
+		b.appended += int64(accepted)
+		b.notEmpty.Broadcast()
+	}
+	b.dropped += int64(dropped)
+	return accepted, nil
+}
+
+// AppendRow appends a single tuple of user-attribute values. Convenience
+// for receptors and tests.
+func (b *Basket) AppendRow(vals ...vector.Value) error {
+	names, types := b.UserSchema()
+	r := bat.NewEmptyRelation(names, types)
+	r.AppendRow(vals...)
+	_, err := b.Append(r)
+	return err
+}
+
+func (b *Basket) fireOnAppend() {
+	if fn, ok := b.onAppend.Load().(func()); ok && fn != nil {
+		fn()
+	}
+}
+
+// NotifyAppend fires the scheduler hook manually; factories call this via
+// the core after a firing cycle that produced output.
+func (b *Basket) NotifyAppend() { b.fireOnAppend() }
+
+// AppendedLocked returns the total number of tuples ever accepted; the
+// caller holds the lock. It serves as a generation counter for factories
+// that must fire only on new arrivals.
+func (b *Basket) AppendedLocked() int64 { return b.appended }
+
+// RelLocked exposes the resident relation; caller holds the lock and must
+// not retain the reference past unlock. Reading without deleting is how
+// shared-basket factories scan their input.
+func (b *Basket) RelLocked() *bat.Relation { return b.rel }
+
+// SeqbaseLocked returns the oid of the first resident tuple.
+func (b *Basket) SeqbaseLocked() bat.OID { return b.seqbase }
+
+// TakeAllLocked removes and returns every resident tuple. The returned
+// relation owns its columns.
+func (b *Basket) TakeAllLocked() *bat.Relation {
+	out := b.rel
+	b.consumed += int64(out.Len())
+	b.seqbase += bat.OID(out.Len())
+	b.rel = bat.NewEmptyRelation(b.names, b.types)
+	return out
+}
+
+// TakeLocked removes and returns the tuples at the given ascending
+// positions.
+func (b *Basket) TakeLocked(sel []int32) *bat.Relation {
+	out := b.rel.Gather(sel)
+	b.rel.DeleteSorted(sel)
+	b.consumed += int64(len(sel))
+	return out
+}
+
+// DeleteLocked removes the tuples at the given ascending positions without
+// materialising them.
+func (b *Basket) DeleteLocked(sel []int32) {
+	b.rel.DeleteSorted(sel)
+	b.consumed += int64(len(sel))
+}
+
+// WaitNotEmpty blocks until the basket holds at least min tuples or is
+// closed. Used by emitters, which are transitions whose only input is an
+// output basket.
+func (b *Basket) WaitNotEmpty(min int) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for b.rel.Len() < min && !b.closed {
+		b.notEmpty.Wait()
+	}
+	if b.closed && b.rel.Len() < min {
+		return ErrClosed
+	}
+	return nil
+}
+
+// TakeAll locks, removes and returns every resident tuple.
+func (b *Basket) TakeAll() *bat.Relation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.TakeAllLocked()
+}
+
+// Snapshot returns a deep copy of the resident tuples without consuming
+// them (basket inspection outside a basket expression: behaves as any
+// temporary table).
+func (b *Basket) Snapshot() *bat.Relation {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rel.Clone()
+}
+
+func intersect(a, bsel []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(bsel)))
+	i, j := 0, 0
+	for i < len(a) && j < len(bsel) {
+		switch {
+		case a[i] < bsel[j]:
+			i++
+		case a[i] > bsel[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"datacell/internal/basket"
+)
+
+// Failure-injection tests: the scheduler and the factory network must stay
+// live when individual factory bodies fail, and basket shutdown must
+// propagate cleanly.
+
+func TestSchedulerSurvivesFailingFactory(t *testing.T) {
+	in1, out1 := intBasket("f.in1"), intBasket("f.out1")
+	in2, out2 := intBasket("f.in2"), intBasket("f.out2")
+	boom := errors.New("boom")
+	bad := MustFactory("bad", []*basket.Basket{in1}, []*basket.Basket{out1},
+		func(ctx *Context) error {
+			ctx.In(0).TakeAllLocked()
+			return boom
+		})
+	good := MustFactory("good", []*basket.Basket{in2}, []*basket.Basket{out2},
+		func(ctx *Context) error {
+			_, err := ctx.Out(0).AppendLocked(ctx.In(0).TakeAllLocked())
+			return err
+		})
+	s := NewScheduler()
+	s.Register(bad)
+	s.Register(good)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+
+	in1.Append(intRel(1))
+	in2.Append(intRel(2, 3))
+	deadline := time.Now().Add(2 * time.Second)
+	for out2.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if out2.Len() != 2 {
+		t.Error("healthy factory starved by failing sibling")
+	}
+	for bad.Errors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if bad.Errors() == 0 || !errors.Is(bad.LastError(), boom) {
+		t.Errorf("error not recorded: n=%d err=%v", bad.Errors(), bad.LastError())
+	}
+	// The failing factory keeps running: a second tuple is still consumed.
+	in1.Append(intRel(9))
+	for in1.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if in1.Len() != 0 {
+		t.Error("failing factory stopped consuming")
+	}
+}
+
+func TestRunUntilQuiescentStopsOnError(t *testing.T) {
+	in, out := intBasket("e.in"), intBasket("e.out")
+	f := MustFactory("bad", []*basket.Basket{in}, []*basket.Basket{out},
+		func(ctx *Context) error {
+			ctx.In(0).TakeAllLocked()
+			return errors.New("sync failure")
+		})
+	s := NewScheduler()
+	s.Register(f)
+	in.Append(intRel(1))
+	if _, err := s.RunUntilQuiescent(0); err == nil {
+		t.Error("synchronous mode must surface the factory error")
+	}
+}
+
+func TestClosedBasketTerminatesPipeline(t *testing.T) {
+	in, out := intBasket("c.in"), intBasket("c.out")
+	f := MustFactory("f", []*basket.Basket{in}, []*basket.Basket{out},
+		func(ctx *Context) error {
+			_, err := ctx.Out(0).AppendLocked(ctx.In(0).TakeAllLocked())
+			return err
+		})
+	s := NewScheduler()
+	s.Register(f)
+	s.Start()
+	defer s.Stop()
+	in.Append(intRel(1))
+	out.Close()
+	// Further firings hit the closed output; the error is recorded but the
+	// scheduler stays up.
+	in.Append(intRel(2))
+	deadline := time.Now().Add(2 * time.Second)
+	for f.Errors() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if f.Errors() == 0 {
+		t.Error("closed-basket append error not recorded")
+	}
+}
+
+func TestStopIsIdempotentAndQuiescentOnEmpty(t *testing.T) {
+	s := NewScheduler()
+	in, out := intBasket("s.in"), intBasket("s.out")
+	s.Register(MustFactory("f", []*basket.Basket{in}, []*basket.Basket{out},
+		func(ctx *Context) error {
+			ctx.In(0).TakeAllLocked()
+			return nil
+		}))
+	if !s.Quiescent() {
+		t.Error("empty network should be quiescent")
+	}
+	s.Start()
+	s.Stop()
+	s.Stop() // second stop is a no-op
+}
+
+func TestSchedulerUnregister(t *testing.T) {
+	in, out := intBasket("u.in"), intBasket("u.out")
+	f := MustFactory("u", []*basket.Basket{in}, []*basket.Basket{out},
+		func(ctx *Context) error {
+			_, err := ctx.Out(0).AppendLocked(ctx.In(0).TakeAllLocked())
+			return err
+		})
+	s := NewScheduler()
+	s.Register(f)
+	s.Start()
+	defer s.Stop()
+	in.Append(intRel(1))
+	deadline := time.Now().Add(2 * time.Second)
+	for out.Len() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	s.Unregister(f)
+	in.Append(intRel(2))
+	time.Sleep(20 * time.Millisecond)
+	if in.Len() != 1 {
+		t.Errorf("unregistered factory consumed input: len=%d", in.Len())
+	}
+	if !s.Quiescent() {
+		t.Error("network with only dead factory should be quiescent")
+	}
+	// Unregister in synchronous mode too: RunUntilQuiescent skips it.
+	if n, _ := s.RunUntilQuiescent(0); n != 0 {
+		t.Errorf("dead factory fired %d times", n)
+	}
+}

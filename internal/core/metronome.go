@@ -1,0 +1,148 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/vector"
+)
+
+// Metronome injects marker events into a basket at a fixed interval. It is
+// the DataCell's answer to reacting to the *lack* of events: a separate
+// process whose argument is a time interval and which injects a value
+// timestamp into a basket (§5).
+type Metronome struct {
+	b        *basket.Basket
+	interval time.Duration
+	makeRow  func(t time.Time) []vector.Value
+
+	mu      sync.Mutex
+	stopc   chan struct{}
+	done    chan struct{}
+	started bool
+}
+
+// NewMetronome builds a metronome that appends makeRow(now) to b every
+// interval. makeRow may be nil when b's user schema is a single timestamp
+// column.
+func NewMetronome(b *basket.Basket, interval time.Duration, makeRow func(t time.Time) []vector.Value) *Metronome {
+	if makeRow == nil {
+		makeRow = func(t time.Time) []vector.Value {
+			return []vector.Value{vector.NewTimestamp(t)}
+		}
+	}
+	return &Metronome{b: b, interval: interval, makeRow: makeRow}
+}
+
+// Start launches the metronome goroutine. Calling Start twice is a no-op.
+func (m *Metronome) Start() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.started {
+		return
+	}
+	m.started = true
+	m.stopc = make(chan struct{})
+	m.done = make(chan struct{})
+	go func() {
+		defer close(m.done)
+		tick := time.NewTicker(m.interval)
+		defer tick.Stop()
+		for {
+			select {
+			case t := <-tick.C:
+				// A closed basket ends the metronome.
+				if err := m.b.AppendRow(m.makeRow(t)...); err != nil {
+					return
+				}
+			case <-m.stopc:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the metronome and waits for its goroutine to exit.
+func (m *Metronome) Stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.started {
+		return
+	}
+	m.started = false
+	close(m.stopc)
+	<-m.done
+}
+
+// Tick injects one marker immediately, bypassing the timer. Used by
+// simulated-time harnesses and tests.
+func (m *Metronome) Tick(t time.Time) error {
+	return m.b.AppendRow(m.makeRow(t)...)
+}
+
+// NewHeartbeatFactory builds the heartbeat transition of §5: it merges an
+// event basket with a metronome-fed heartbeat basket so that downstream
+// queries observe a uniform stream — epochs with no events are represented
+// by the heartbeat markers themselves. Events and heartbeats are combined
+// in timestamp order; heartbeat markers newer than the newest event remain
+// in the heartbeat basket (the heartbeat clock runs ahead of the events).
+//
+// events must carry a column named tagCol (timestamp or int); the heartbeat
+// basket's first user column carries the epoch markers of the same type.
+// Each firing drains the events basket, picks all heartbeat markers up to
+// the newest event tag, and emits the union sorted by tag into out, whose
+// schema is (tag, isevent bool).
+func NewHeartbeatFactory(name string, events, heartbeat, out *basket.Basket, tagCol string) (*Factory, error) {
+	return NewFactory(name,
+		[]*basket.Basket{events, heartbeat},
+		[]*basket.Basket{out},
+		func(ctx *Context) error {
+			ev := ctx.In(0).TakeAllLocked()
+			tags := ev.ColByName(tagCol)
+			if tags == nil || tags.Len() == 0 {
+				return nil
+			}
+			maxTag := tags.Get(0)
+			for i := 1; i < tags.Len(); i++ {
+				if tags.Get(i).Compare(maxTag) > 0 {
+					maxTag = tags.Get(i)
+				}
+			}
+			hb := ctx.In(1).RelLocked()
+			hbTags := hb.Col(0)
+			var take []int32
+			for i := 0; i < hbTags.Len(); i++ {
+				if hbTags.Get(i).Compare(maxTag) <= 0 {
+					take = append(take, int32(i))
+				}
+			}
+			marks := ctx.In(1).TakeLocked(take)
+
+			merged := bat.NewEmptyRelation([]string{"tag", "isevent"}, []vector.Type{tags.Kind(), vector.Bool})
+			for i := 0; i < tags.Len(); i++ {
+				merged.AppendRow(tags.Get(i), vector.NewBool(true))
+			}
+			for i := 0; i < marks.Len(); i++ {
+				merged.AppendRow(marks.Col(0).Get(i), vector.NewBool(false))
+			}
+			perm := sortByCol(merged.Col(0))
+			_, err := ctx.Out(0).AppendLocked(merged.Gather(perm))
+			return err
+		})
+}
+
+func sortByCol(v *vector.Vector) []int32 {
+	perm := make([]int32, v.Len())
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	// Stable insertion sort over the small merged batches a heartbeat sees.
+	for i := 1; i < len(perm); i++ {
+		for j := i; j > 0 && v.Get(int(perm[j-1])).Compare(v.Get(int(perm[j]))) > 0; j-- {
+			perm[j-1], perm[j] = perm[j], perm[j-1]
+		}
+	}
+	return perm
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"fmt"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/relop"
+	"datacell/internal/vector"
+)
+
+// ScanQuery describes one continuous query for the multi-query processing
+// strategies. Scan inspects the (locked) input relation and returns the
+// positions that match the query (emitted to its result basket) and the
+// positions covered by the query's basket expression (eligible for removal
+// once every query in the group has seen them). For a full-stream query
+// both are usually the same.
+type ScanQuery struct {
+	Name string
+	Scan func(rel *bat.Relation) (matched, covered []int32)
+}
+
+// NewReplicator builds the fan-out factory of the separate-baskets
+// strategy: every firing moves all tuples of in into each of the outs,
+// replicating the stream once per interested query.
+func NewReplicator(name string, in *basket.Basket, outs []*basket.Basket) (*Factory, error) {
+	return NewFactory(name, []*basket.Basket{in}, outs, func(ctx *Context) error {
+		rel := ctx.In(0).TakeAllLocked()
+		if rel.Len() == 0 {
+			return nil
+		}
+		for i := 0; i < ctx.NumOut(); i++ {
+			if _, err := ctx.Out(i).AppendLocked(rel); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// NewScanFactory builds a single-query factory in the separate-baskets
+// style: it owns its input exclusively, so each firing consumes the whole
+// basket, emits the matching tuples and drops the rest.
+func NewScanFactory(name string, in, out *basket.Basket, scan func(rel *bat.Relation) []int32) (*Factory, error) {
+	return NewFactory(name, []*basket.Basket{in}, []*basket.Basket{out}, func(ctx *Context) error {
+		rel := ctx.In(0).TakeAllLocked()
+		if rel.Len() == 0 {
+			return nil
+		}
+		sel := scan(rel)
+		if len(sel) == 0 {
+			return nil
+		}
+		_, err := ctx.Out(0).AppendLocked(rel.Gather(sel))
+		return err
+	})
+}
+
+// SeparateBaskets wires the paper's first strategy around stream basket in:
+// a replicator copies arriving tuples into one private basket per query and
+// each query runs independently over its own copy (Figure 2a). It returns
+// all factories to register.
+func SeparateBaskets(prefix string, in *basket.Basket, queries []ScanQuery, results []*basket.Basket) ([]*Factory, error) {
+	if len(queries) != len(results) {
+		return nil, fmt.Errorf("core: %d queries but %d result baskets", len(queries), len(results))
+	}
+	names, types := in.UserSchema()
+	privates := make([]*basket.Basket, len(queries))
+	for i := range queries {
+		privates[i] = basket.New(fmt.Sprintf("%s.copy.%d", prefix, i), names, types)
+	}
+	rep, err := NewReplicator(prefix+".replicate", in, privates)
+	if err != nil {
+		return nil, err
+	}
+	fs := []*Factory{rep}
+	for i, q := range queries {
+		q := q
+		f, err := NewScanFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name), privates[i], results[i],
+			func(rel *bat.Relation) []int32 { m, _ := q.Scan(rel); return m })
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+	}
+	return fs, nil
+}
+
+// flagSchema is the single-bit schema of the locker's "go" baskets and the
+// readers' "done" marker rows.
+var (
+	flagNames = []string{"flag"}
+	flagTypes = []vector.Type{vector.Bool}
+	posNames  = []string{"pos"}
+	posTypes  = []vector.Type{vector.Int}
+)
+
+func flagRow() *bat.Relation {
+	r := bat.NewEmptyRelation(flagNames, flagTypes)
+	r.AppendRow(vector.NewBool(true))
+	return r
+}
+
+// SharedBaskets wires the paper's second strategy (Figure 2b): all queries
+// share the stream basket. A locker factory L fires when the shared basket
+// holds tuples and the group is idle; it blocks the stream and hands one
+// "go" token to every query. Each query scans the shared basket without
+// deleting, emits its matches, and reports the positions its basket
+// expression covered. Once every query is done, the unlocker factory U
+// removes the union of covered positions in one step and unblocks the
+// stream.
+func SharedBaskets(prefix string, shared *basket.Basket, queries []ScanQuery, results []*basket.Basket) ([]*Factory, error) {
+	if len(queries) != len(results) {
+		return nil, fmt.Errorf("core: %d queries but %d result baskets", len(queries), len(results))
+	}
+	k := len(queries)
+	idle := basket.New(prefix+".idle", flagNames, flagTypes)
+	if err := idle.AppendRow(vector.NewBool(true)); err != nil {
+		return nil, err
+	}
+	goB := make([]*basket.Basket, k)
+	doneB := make([]*basket.Basket, k)
+	for i := range queries {
+		goB[i] = basket.New(fmt.Sprintf("%s.go.%d", prefix, i), flagNames, flagTypes)
+		doneB[i] = basket.New(fmt.Sprintf("%s.done.%d", prefix, i), posNames, posTypes)
+	}
+
+	// Locker: consumes the idle token, blocks the stream, releases the
+	// group. The guard makes it fire only when tuples arrived since the
+	// previous cycle, so residual (uncovered) tuples do not retrigger the
+	// whole group.
+	var lastGen int64
+	locker, err := NewFactory(prefix+".lock",
+		[]*basket.Basket{shared, idle}, goB,
+		func(ctx *Context) error {
+			ctx.In(1).TakeAllLocked() // consume idle token
+			lastGen = ctx.In(0).AppendedLocked()
+			ctx.In(0).SetEnabledLocked(false)
+			row := flagRow()
+			for i := 0; i < ctx.NumOut(); i++ {
+				if _, err := ctx.Out(i).AppendLocked(row); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	locker.SetGuard(func(ctx *Context) bool {
+		return ctx.In(0).AppendedLocked() != lastGen
+	})
+	fs := []*Factory{locker}
+
+	for i, q := range queries {
+		q := q
+		reader, err := NewFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name),
+			[]*basket.Basket{shared, goB[i]},
+			[]*basket.Basket{results[i], doneB[i]},
+			func(ctx *Context) error {
+				ctx.In(1).TakeAllLocked() // consume go token
+				rel := ctx.In(0).RelLocked()
+				matched, covered := q.Scan(rel)
+				if len(matched) > 0 {
+					if _, err := ctx.Out(0).AppendLocked(rel.Gather(matched)); err != nil {
+						return err
+					}
+				}
+				// Report covered positions plus a sentinel so the
+				// unlocker's firing condition is always met.
+				rep := bat.NewEmptyRelation(posNames, posTypes)
+				rep.AppendRow(vector.NewInt(-1))
+				for _, p := range covered {
+					rep.AppendRow(vector.NewInt(int64(p)))
+				}
+				_, err := ctx.Out(1).AppendLocked(rep)
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, reader)
+	}
+
+	// Unlocker: once all done markers are in, delete the union of covered
+	// tuples from the shared basket in one step and unblock the stream.
+	unlockIns := append([]*basket.Basket(nil), doneB...)
+	unlocker, err := NewFactory(prefix+".unlock",
+		unlockIns, []*basket.Basket{idle, shared},
+		func(ctx *Context) error {
+			var union []int32
+			seen := map[int32]bool{}
+			for i := 0; i < ctx.NumIn(); i++ {
+				rep := ctx.In(i).TakeAllLocked()
+				for _, p := range rep.Col(0).Ints() {
+					if p >= 0 && !seen[int32(p)] {
+						seen[int32(p)] = true
+						union = append(union, int32(p))
+					}
+				}
+			}
+			if len(union) > 0 {
+				sortInt32s(union)
+				ctx.Out(1).DeleteLocked(union)
+			}
+			ctx.Out(1).SetEnabledLocked(true)
+			_, err := ctx.Out(0).AppendLocked(flagRow())
+			return err
+		})
+	if err != nil {
+		return nil, err
+	}
+	return append(fs, unlocker), nil
+}
+
+// PartialDeletes wires the paper's third strategy (Figure 2c): the queries
+// form a chain. Each query consumes its chain basket, removes the tuples
+// covered by its basket expression and forwards only the residue to the
+// next query, so later queries analyse progressively less data at the cost
+// of reorganising the basket at every step.
+func PartialDeletes(prefix string, in *basket.Basket, queries []ScanQuery, results []*basket.Basket) ([]*Factory, error) {
+	if len(queries) != len(results) {
+		return nil, fmt.Errorf("core: %d queries but %d result baskets", len(queries), len(results))
+	}
+	names, types := in.UserSchema()
+	chain := in
+	var fs []*Factory
+	for i, q := range queries {
+		q := q
+		var next *basket.Basket
+		if i < len(queries)-1 {
+			next = basket.New(fmt.Sprintf("%s.chain.%d", prefix, i+1), names, types)
+		} else {
+			next = basket.New(prefix+".residue", names, types)
+		}
+		f, err := NewFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name),
+			[]*basket.Basket{chain},
+			[]*basket.Basket{results[i], next},
+			func(ctx *Context) error {
+				rel := ctx.In(0).TakeAllLocked()
+				if rel.Len() == 0 {
+					return nil
+				}
+				matched, covered := q.Scan(rel)
+				if len(matched) > 0 {
+					if _, err := ctx.Out(0).AppendLocked(rel.Gather(matched)); err != nil {
+						return err
+					}
+				}
+				residue := relop.CandNot(covered, rel.Len())
+				if len(residue) > 0 {
+					rel.KeepSorted(residue)
+					if _, err := ctx.Out(1).AppendLocked(rel); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, f)
+		chain = next
+	}
+	return fs, nil
+}
+
+func sortInt32s(s []int32) {
+	// Insertion sort is fine for small covered sets; fall back to a simple
+	// quicksort for larger ones.
+	if len(s) < 32 {
+		for i := 1; i < len(s); i++ {
+			for j := i; j > 0 && s[j-1] > s[j]; j-- {
+				s[j-1], s[j] = s[j], s[j-1]
+			}
+		}
+		return
+	}
+	quickSortInt32(s)
+}
+
+func quickSortInt32(s []int32) {
+	if len(s) < 2 {
+		return
+	}
+	p := s[len(s)/2]
+	l, r := 0, len(s)-1
+	for l <= r {
+		for s[l] < p {
+			l++
+		}
+		for s[r] > p {
+			r--
+		}
+		if l <= r {
+			s[l], s[r] = s[r], s[l]
+			l++
+			r--
+		}
+	}
+	quickSortInt32(s[:r+1])
+	quickSortInt32(s[l:])
+}

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/relop"
+	"datacell/internal/vector"
+)
+
+// The window helpers realise the paper's §4.1 window treatment: tuple-based
+// windows are enforced at the scheduler level through firing thresholds,
+// while time-based windows plug auxiliary checks into the factory — the
+// factory inspects the input's timestamps and only processes complete
+// windows, retaining the tuples that remain valid for the next window
+// (partial deletes of the window).
+
+// WindowFunc processes one complete window of tuples and returns the
+// result to append to the output basket (nil or empty for none).
+type WindowFunc func(window *bat.Relation) (*bat.Relation, error)
+
+// NewTumblingCountWindow builds a factory that fires once `size` tuples
+// have collected, processes exactly the oldest `size` tuples in arrival
+// order and drops them. Surplus tuples stay for the next window — the
+// "query a basket only after x tuples arrive" batching control.
+func NewTumblingCountWindow(name string, in, out *basket.Basket, size int, fn WindowFunc) (*Factory, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("core: window size %d", size)
+	}
+	f, err := NewFactory(name, []*basket.Basket{in}, []*basket.Basket{out},
+		func(ctx *Context) error {
+			for ctx.In(0).LenLocked() >= size {
+				window := ctx.In(0).TakeLocked(relop.CandAll(size))
+				res, err := fn(window)
+				if err != nil {
+					return err
+				}
+				if res != nil && res.Len() > 0 {
+					if _, err := ctx.Out(0).AppendLocked(res); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	f.SetThreshold(0, size)
+	return f, nil
+}
+
+// NewTumblingTimeWindow builds a factory that slices the input into
+// consecutive, non-overlapping windows of `width` by the named timestamp
+// column (Timestamp or Int seconds). A window [t0, t0+width) is processed
+// only once a tuple with timestamp >= t0+width has arrived — the
+// auxiliary-query check the paper plugs into factories for time-based
+// windows. Tuples of later windows remain in the basket.
+func NewTumblingTimeWindow(name string, in, out *basket.Basket, tsCol string, width time.Duration, fn WindowFunc) (*Factory, error) {
+	widthUnits := width.Microseconds()
+	var epoch int64 = -1 // start of the current open window
+	f, err := NewFactory(name, []*basket.Basket{in}, []*basket.Basket{out},
+		func(ctx *Context) error {
+			rel := ctx.In(0).RelLocked()
+			ts := rel.ColByName(tsCol)
+			if ts == nil {
+				return fmt.Errorf("core: window column %q missing", tsCol)
+			}
+			if ts.Kind() == vector.Int {
+				// Plain integer timestamps count in seconds.
+				widthUnits = int64(width / time.Second)
+				if widthUnits < 1 {
+					widthUnits = 1
+				}
+			}
+			for {
+				n := ts.Len()
+				if n == 0 {
+					return nil
+				}
+				// Initialise the epoch from the oldest resident tuple.
+				if epoch < 0 {
+					epoch = ts.Get(0).AsInt()
+					for i := 1; i < n; i++ {
+						if v := ts.Get(i).AsInt(); v < epoch {
+							epoch = v
+						}
+					}
+					epoch -= epoch % widthUnits
+				}
+				closeAt := epoch + widthUnits
+				ready := false
+				var inWindow []int32
+				for i := 0; i < n; i++ {
+					v := ts.Get(i).AsInt()
+					if v >= closeAt {
+						ready = true
+					} else if v >= epoch {
+						inWindow = append(inWindow, int32(i))
+					}
+				}
+				if !ready {
+					return nil
+				}
+				window := ctx.In(0).TakeLocked(inWindow)
+				epoch = closeAt
+				res, err := fn(window)
+				if err != nil {
+					return err
+				}
+				if res != nil && res.Len() > 0 {
+					if _, err := ctx.Out(0).AppendLocked(res); err != nil {
+						return err
+					}
+				}
+				rel = ctx.In(0).RelLocked()
+				ts = rel.ColByName(tsCol)
+			}
+		})
+	return f, err
+}
+
+// NewSlidingCountWindow builds a factory that fires on every new batch of
+// tuples once at least `size` are resident, processes the newest `size`
+// tuples (older ones are evicted — the partial delete of the window) and
+// keeps the window in the basket for the next slide.
+func NewSlidingCountWindow(name string, in, out *basket.Basket, size int, fn WindowFunc) (*Factory, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("core: window size %d", size)
+	}
+	var lastSeen int64
+	f, err := NewFactory(name, []*basket.Basket{in}, []*basket.Basket{out},
+		func(ctx *Context) error {
+			n := ctx.In(0).LenLocked()
+			if n > size {
+				// Evict tuples that fell out of the window.
+				evict := relop.CandAll(n - size)
+				ctx.In(0).DeleteLocked(evict)
+				n = size
+			}
+			window := ctx.In(0).RelLocked()
+			res, err := fn(window)
+			if err != nil {
+				return err
+			}
+			lastSeen = ctx.In(0).AppendedLocked()
+			if res != nil && res.Len() > 0 {
+				if _, err := ctx.Out(0).AppendLocked(res); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	f.SetThreshold(0, size)
+	// Re-fire only when new tuples arrived, not on the retained window.
+	f.SetGuard(func(ctx *Context) bool {
+		return ctx.In(0).AppendedLocked() != lastSeen
+	})
+	return f, nil
+}

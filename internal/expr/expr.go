@@ -1,0 +1,763 @@
+// Package expr defines scalar expressions over relations and their
+// vectorized evaluation. Expressions appear in select lists, where clauses
+// and basket-expression predicates. Evaluation is column-at-a-time: an
+// expression evaluated against a relation of n tuples yields a vector of n
+// values. Comparisons against constants are additionally compiled into
+// candidate-list selections so that simple predicate windows run as a single
+// kernel primitive.
+package expr
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"datacell/internal/bat"
+	"datacell/internal/relop"
+	"datacell/internal/vector"
+)
+
+// Expr is a scalar expression node.
+type Expr interface {
+	// Eval evaluates the expression against every tuple of rel.
+	Eval(rel *bat.Relation) (*vector.Vector, error)
+	// Type reports the result type given the input schema.
+	Type(rel *bat.Relation) (vector.Type, error)
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// Const is a literal value.
+type Const struct{ Val vector.Value }
+
+// NewConst returns a literal expression.
+func NewConst(v vector.Value) *Const { return &Const{Val: v} }
+
+// Eval implements Expr.
+func (c *Const) Eval(rel *bat.Relation) (*vector.Vector, error) {
+	n := rel.Len()
+	out := vector.New(c.Val.Kind, n)
+	for i := 0; i < n; i++ {
+		out.Append(c.Val)
+	}
+	return out, nil
+}
+
+// Type implements Expr.
+func (c *Const) Type(*bat.Relation) (vector.Type, error) { return c.Val.Kind, nil }
+
+func (c *Const) String() string {
+	if c.Val.Kind == vector.Str {
+		return "'" + c.Val.S + "'"
+	}
+	return c.Val.String()
+}
+
+// Col references an input column by (possibly qualified) name.
+type Col struct{ Name string }
+
+// NewCol returns a column reference.
+func NewCol(name string) *Col { return &Col{Name: strings.ToLower(name)} }
+
+// Eval implements Expr.
+func (c *Col) Eval(rel *bat.Relation) (*vector.Vector, error) {
+	v := rel.ColByName(c.Name)
+	if v == nil {
+		return nil, fmt.Errorf("expr: unknown column %q (have %v)", c.Name, rel.Names())
+	}
+	return v, nil
+}
+
+// Type implements Expr.
+func (c *Col) Type(rel *bat.Relation) (vector.Type, error) {
+	v := rel.ColByName(c.Name)
+	if v == nil {
+		return 0, fmt.Errorf("expr: unknown column %q", c.Name)
+	}
+	return v.Kind(), nil
+}
+
+func (c *Col) String() string { return c.Name }
+
+// BinOp enumerates binary operators.
+type BinOp uint8
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+	Eq
+	Ne
+	Lt
+	Le
+	Gt
+	Ge
+	And
+	Or
+)
+
+var binOpNames = [...]string{"+", "-", "*", "/", "%", "=", "<>", "<", "<=", ">", ">=", "and", "or"}
+
+// String returns the SQL spelling.
+func (o BinOp) String() string { return binOpNames[o] }
+
+// IsCmp reports whether o is a comparison operator.
+func (o BinOp) IsCmp() bool { return o >= Eq && o <= Ge }
+
+// CmpOp translates a comparison BinOp to the relop code.
+func (o BinOp) CmpOp() relop.CmpOp {
+	switch o {
+	case Eq:
+		return relop.EQ
+	case Ne:
+		return relop.NE
+	case Lt:
+		return relop.LT
+	case Le:
+		return relop.LE
+	case Gt:
+		return relop.GT
+	default:
+		return relop.GE
+	}
+}
+
+// Bin is a binary expression.
+type Bin struct {
+	Op   BinOp
+	L, R Expr
+}
+
+// NewBin returns a binary expression node.
+func NewBin(op BinOp, l, r Expr) *Bin { return &Bin{Op: op, L: l, R: r} }
+
+func (b *Bin) String() string {
+	return "(" + b.L.String() + " " + b.Op.String() + " " + b.R.String() + ")"
+}
+
+// Type implements Expr.
+func (b *Bin) Type(rel *bat.Relation) (vector.Type, error) {
+	if b.Op >= Eq {
+		return vector.Bool, nil
+	}
+	lt, err := b.L.Type(rel)
+	if err != nil {
+		return 0, err
+	}
+	rt, err := b.R.Type(rel)
+	if err != nil {
+		return 0, err
+	}
+	if lt == vector.Float || rt == vector.Float {
+		return vector.Float, nil
+	}
+	if lt == vector.Str || rt == vector.Str {
+		if b.Op == Add {
+			return vector.Str, nil
+		}
+		return 0, fmt.Errorf("expr: operator %s not defined on strings", b.Op)
+	}
+	return lt, nil
+}
+
+// Eval implements Expr.
+func (b *Bin) Eval(rel *bat.Relation) (*vector.Vector, error) {
+	l, err := b.L.Eval(rel)
+	if err != nil {
+		return nil, err
+	}
+	r, err := b.R.Eval(rel)
+	if err != nil {
+		return nil, err
+	}
+	n := l.Len()
+	if r.Len() != n {
+		return nil, fmt.Errorf("expr: operand length mismatch %d vs %d", n, r.Len())
+	}
+	switch {
+	case b.Op == And || b.Op == Or:
+		out := make([]bool, n)
+		lb, rb := l.Bools(), r.Bools()
+		if b.Op == And {
+			for i := range out {
+				out[i] = lb[i] && rb[i]
+			}
+		} else {
+			for i := range out {
+				out[i] = lb[i] || rb[i]
+			}
+		}
+		return vector.FromBools(out), nil
+	case b.Op.IsCmp():
+		return evalCmp(b.Op, l, r, n)
+	default:
+		return evalArith(b.Op, l, r, n)
+	}
+}
+
+func evalCmp(op BinOp, l, r *vector.Vector, n int) (*vector.Vector, error) {
+	out := make([]bool, n)
+	c := op.CmpOp()
+	lk, rk := l.Kind(), r.Kind()
+	switch {
+	case isIntKind(lk) && isIntKind(rk):
+		ls, rs := l.Ints(), r.Ints()
+		for i := range out {
+			out[i] = intCmpHolds(c, ls[i], rs[i])
+		}
+	case lk == vector.Str && rk == vector.Str:
+		ls, rs := l.Strs(), r.Strs()
+		for i := range out {
+			out[i] = cmpHolds(c, strings.Compare(ls[i], rs[i]))
+		}
+	case lk == vector.Bool && rk == vector.Bool:
+		ls, rs := l.Bools(), r.Bools()
+		for i := range out {
+			out[i] = cmpHolds(c, cmpBools(ls[i], rs[i]))
+		}
+	default:
+		lf, err := asFloats(l)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := asFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		for i := range out {
+			out[i] = floatCmpHolds(c, lf[i], rf[i])
+		}
+	}
+	return vector.FromBools(out), nil
+}
+
+func evalArith(op BinOp, l, r *vector.Vector, n int) (*vector.Vector, error) {
+	lk, rk := l.Kind(), r.Kind()
+	if lk == vector.Str || rk == vector.Str {
+		if op != Add {
+			return nil, fmt.Errorf("expr: operator %s not defined on strings", op)
+		}
+		out := make([]string, n)
+		for i := range out {
+			out[i] = l.Get(i).String() + r.Get(i).String()
+		}
+		return vector.FromStrs(out), nil
+	}
+	if lk == vector.Float || rk == vector.Float {
+		lf, err := asFloats(l)
+		if err != nil {
+			return nil, err
+		}
+		rf, err := asFloats(r)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, n)
+		switch op {
+		case Add:
+			for i := range out {
+				out[i] = lf[i] + rf[i]
+			}
+		case Sub:
+			for i := range out {
+				out[i] = lf[i] - rf[i]
+			}
+		case Mul:
+			for i := range out {
+				out[i] = lf[i] * rf[i]
+			}
+		case Div:
+			for i := range out {
+				if rf[i] == 0 {
+					out[i] = math.NaN()
+				} else {
+					out[i] = lf[i] / rf[i]
+				}
+			}
+		case Mod:
+			for i := range out {
+				out[i] = math.Mod(lf[i], rf[i])
+			}
+		}
+		return vector.FromFloats(out), nil
+	}
+	ls, rs := l.Ints(), r.Ints()
+	out := make([]int64, n)
+	switch op {
+	case Add:
+		for i := range out {
+			out[i] = ls[i] + rs[i]
+		}
+	case Sub:
+		for i := range out {
+			out[i] = ls[i] - rs[i]
+		}
+	case Mul:
+		for i := range out {
+			out[i] = ls[i] * rs[i]
+		}
+	case Div:
+		// Integer division, SQL style (truncating); division by zero
+		// yields zero rather than a fault, matching the silent-filter
+		// philosophy of the engine.
+		for i := range out {
+			if rs[i] != 0 {
+				out[i] = ls[i] / rs[i]
+			}
+		}
+	case Mod:
+		for i := range out {
+			if rs[i] == 0 {
+				out[i] = 0
+			} else {
+				out[i] = ls[i] % rs[i]
+			}
+		}
+	}
+	if lk == vector.Timestamp || rk == vector.Timestamp {
+		return vector.FromTimestamps(out), nil
+	}
+	return vector.FromInts(out), nil
+}
+
+func isIntKind(t vector.Type) bool { return t == vector.Int || t == vector.Timestamp }
+
+func intCmpHolds(op relop.CmpOp, a, b int64) bool {
+	switch op {
+	case relop.EQ:
+		return a == b
+	case relop.NE:
+		return a != b
+	case relop.LT:
+		return a < b
+	case relop.LE:
+		return a <= b
+	case relop.GT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func floatCmpHolds(op relop.CmpOp, a, b float64) bool {
+	switch op {
+	case relop.EQ:
+		return a == b
+	case relop.NE:
+		return a != b
+	case relop.LT:
+		return a < b
+	case relop.LE:
+		return a <= b
+	case relop.GT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpHolds(op relop.CmpOp, c int) bool {
+	switch op {
+	case relop.EQ:
+		return c == 0
+	case relop.NE:
+		return c != 0
+	case relop.LT:
+		return c < 0
+	case relop.LE:
+		return c <= 0
+	case relop.GT:
+		return c > 0
+	default:
+		return c >= 0
+	}
+}
+
+func cmpBools(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case b:
+		return -1
+	default:
+		return 1
+	}
+}
+
+func asFloats(v *vector.Vector) ([]float64, error) {
+	switch v.Kind() {
+	case vector.Float:
+		return v.Floats(), nil
+	case vector.Int, vector.Timestamp:
+		ints := v.Ints()
+		out := make([]float64, len(ints))
+		for i, x := range ints {
+			out[i] = float64(x)
+		}
+		return out, nil
+	case vector.Bool:
+		bs := v.Bools()
+		out := make([]float64, len(bs))
+		for i, b := range bs {
+			if b {
+				out[i] = 1
+			}
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("expr: %s not numeric", v.Kind())
+}
+
+// Not is logical negation.
+type Not struct{ E Expr }
+
+// NewNot returns a negation node.
+func NewNot(e Expr) *Not { return &Not{E: e} }
+
+// Eval implements Expr.
+func (u *Not) Eval(rel *bat.Relation) (*vector.Vector, error) {
+	v, err := u.E.Eval(rel)
+	if err != nil {
+		return nil, err
+	}
+	in := v.Bools()
+	out := make([]bool, len(in))
+	for i, b := range in {
+		out[i] = !b
+	}
+	return vector.FromBools(out), nil
+}
+
+// Type implements Expr.
+func (u *Not) Type(*bat.Relation) (vector.Type, error) { return vector.Bool, nil }
+
+func (u *Not) String() string { return "not " + u.E.String() }
+
+// Neg is arithmetic negation.
+type Neg struct{ E Expr }
+
+// NewNeg returns an arithmetic negation node.
+func NewNeg(e Expr) *Neg { return &Neg{E: e} }
+
+// Eval implements Expr.
+func (u *Neg) Eval(rel *bat.Relation) (*vector.Vector, error) {
+	v, err := u.E.Eval(rel)
+	if err != nil {
+		return nil, err
+	}
+	switch v.Kind() {
+	case vector.Int, vector.Timestamp:
+		in := v.Ints()
+		out := make([]int64, len(in))
+		for i, x := range in {
+			out[i] = -x
+		}
+		return vector.FromInts(out), nil
+	case vector.Float:
+		in := v.Floats()
+		out := make([]float64, len(in))
+		for i, x := range in {
+			out[i] = -x
+		}
+		return vector.FromFloats(out), nil
+	}
+	return nil, fmt.Errorf("expr: cannot negate %s", v.Kind())
+}
+
+// Type implements Expr.
+func (u *Neg) Type(rel *bat.Relation) (vector.Type, error) { return u.E.Type(rel) }
+
+func (u *Neg) String() string { return "-" + u.E.String() }
+
+// Call is a scalar function call. Supported: now(), abs(x), floor(x),
+// ceil(x), round(x), sqrt(x), mod(a,b), least(a,b), greatest(a,b).
+type Call struct {
+	Name string
+	Args []Expr
+	// Now supplies the engine clock for now(); if nil, time.Now is used.
+	// Injected by the planner so simulated-time runs stay deterministic.
+	Now func() time.Time
+}
+
+// NewCall returns a function-call node.
+func NewCall(name string, args ...Expr) *Call {
+	return &Call{Name: strings.ToLower(name), Args: args}
+}
+
+func (c *Call) String() string {
+	parts := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		parts[i] = a.String()
+	}
+	return c.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Type implements Expr.
+func (c *Call) Type(rel *bat.Relation) (vector.Type, error) {
+	switch c.Name {
+	case "now":
+		return vector.Timestamp, nil
+	case "sqrt":
+		return vector.Float, nil
+	case "abs", "floor", "ceil", "round", "mod", "least", "greatest":
+		if len(c.Args) == 0 {
+			return 0, fmt.Errorf("expr: %s needs arguments", c.Name)
+		}
+		return c.Args[0].Type(rel)
+	}
+	return 0, fmt.Errorf("expr: unknown function %q", c.Name)
+}
+
+// Eval implements Expr.
+func (c *Call) Eval(rel *bat.Relation) (*vector.Vector, error) {
+	n := rel.Len()
+	switch c.Name {
+	case "now":
+		nowFn := c.Now
+		if nowFn == nil {
+			nowFn = time.Now
+		}
+		us := nowFn().UnixMicro()
+		out := make([]int64, n)
+		for i := range out {
+			out[i] = us
+		}
+		return vector.FromTimestamps(out), nil
+	case "abs", "floor", "ceil", "round", "sqrt":
+		if len(c.Args) != 1 {
+			return nil, fmt.Errorf("expr: %s takes 1 argument", c.Name)
+		}
+		v, err := c.Args[0].Eval(rel)
+		if err != nil {
+			return nil, err
+		}
+		return evalUnaryMath(c.Name, v)
+	case "mod", "least", "greatest":
+		if len(c.Args) != 2 {
+			return nil, fmt.Errorf("expr: %s takes 2 arguments", c.Name)
+		}
+		l, err := c.Args[0].Eval(rel)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.Args[1].Eval(rel)
+		if err != nil {
+			return nil, err
+		}
+		return evalBinaryMath(c.Name, l, r)
+	}
+	return nil, fmt.Errorf("expr: unknown function %q", c.Name)
+}
+
+func evalUnaryMath(name string, v *vector.Vector) (*vector.Vector, error) {
+	if v.Kind() == vector.Int || v.Kind() == vector.Timestamp {
+		if name == "abs" {
+			in := v.Ints()
+			out := make([]int64, len(in))
+			for i, x := range in {
+				if x < 0 {
+					x = -x
+				}
+				out[i] = x
+			}
+			return vector.FromInts(out), nil
+		}
+		if name != "sqrt" {
+			return v, nil // floor/ceil/round of ints are identities
+		}
+	}
+	fs, err := asFloats(v)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(fs))
+	for i, x := range fs {
+		switch name {
+		case "abs":
+			out[i] = math.Abs(x)
+		case "floor":
+			out[i] = math.Floor(x)
+		case "ceil":
+			out[i] = math.Ceil(x)
+		case "round":
+			out[i] = math.Round(x)
+		case "sqrt":
+			out[i] = math.Sqrt(x)
+		}
+	}
+	return vector.FromFloats(out), nil
+}
+
+func evalBinaryMath(name string, l, r *vector.Vector) (*vector.Vector, error) {
+	if isIntKind(l.Kind()) && isIntKind(r.Kind()) {
+		ls, rs := l.Ints(), r.Ints()
+		out := make([]int64, len(ls))
+		for i := range out {
+			switch name {
+			case "mod":
+				if rs[i] != 0 {
+					out[i] = ls[i] % rs[i]
+				}
+			case "least":
+				out[i] = min(ls[i], rs[i])
+			case "greatest":
+				out[i] = max(ls[i], rs[i])
+			}
+		}
+		return vector.FromInts(out), nil
+	}
+	lf, err := asFloats(l)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := asFloats(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(lf))
+	for i := range out {
+		switch name {
+		case "mod":
+			out[i] = math.Mod(lf[i], rf[i])
+		case "least":
+			out[i] = math.Min(lf[i], rf[i])
+		case "greatest":
+			out[i] = math.Max(lf[i], rf[i])
+		}
+	}
+	return vector.FromFloats(out), nil
+}
+
+// EvalSelect evaluates a boolean expression as a candidate-list selection
+// over rel, restricted to cand (nil means all tuples). Conjunctions,
+// disjunctions and column-vs-constant comparisons are pushed down to the
+// kernel's selection primitives; anything else falls back to materialising
+// the boolean vector.
+func EvalSelect(e Expr, rel *bat.Relation, cand []int32) ([]int32, error) {
+	switch n := e.(type) {
+	case *Bin:
+		switch {
+		case n.Op == And:
+			l, err := EvalSelect(n.L, rel, cand)
+			if err != nil {
+				return nil, err
+			}
+			return EvalSelect(n.R, rel, l)
+		case n.Op == Or:
+			l, err := EvalSelect(n.L, rel, cand)
+			if err != nil {
+				return nil, err
+			}
+			r, err := EvalSelect(n.R, rel, cand)
+			if err != nil {
+				return nil, err
+			}
+			return relop.CandOr(l, r), nil
+		case n.Op.IsCmp():
+			if col, konst, op, ok := colConstCmp(n, rel); ok {
+				return relop.SelectPred(col, op, konst, cand), nil
+			}
+		}
+	case *Not:
+		inner, err := EvalSelect(n.E, rel, cand)
+		if err != nil {
+			return nil, err
+		}
+		if cand == nil {
+			return relop.CandNot(inner, rel.Len()), nil
+		}
+		return candDiff(cand, inner), nil
+	case *Between:
+		if sel, ok := n.pushdown(rel, cand); ok {
+			return sel, nil
+		}
+	case *Const:
+		if n.Val.Kind == vector.Bool && n.Val.B {
+			if cand == nil {
+				return relop.CandAll(rel.Len()), nil
+			}
+			return cand, nil
+		}
+		return nil, nil
+	}
+	// General fallback: evaluate to a boolean vector then select.
+	v, err := e.Eval(rel)
+	if err != nil {
+		return nil, err
+	}
+	if v.Kind() != vector.Bool {
+		return nil, fmt.Errorf("expr: predicate %s is %s, not bool", e, v.Kind())
+	}
+	return relop.SelectBool(v, cand), nil
+}
+
+// colConstCmp recognises col-op-const and const-op-col comparisons so they
+// can run as kernel selections.
+func colConstCmp(b *Bin, rel *bat.Relation) (*vector.Vector, vector.Value, relop.CmpOp, bool) {
+	if c, ok := b.L.(*Col); ok {
+		if k, ok2 := constOf(b.R); ok2 {
+			if v := rel.ColByName(c.Name); v != nil {
+				return v, k, b.Op.CmpOp(), true
+			}
+		}
+	}
+	if c, ok := b.R.(*Col); ok {
+		if k, ok2 := constOf(b.L); ok2 {
+			if v := rel.ColByName(c.Name); v != nil {
+				// Flip: const op col  ==>  col op' const.
+				op := b.Op.CmpOp()
+				switch op {
+				case relop.LT:
+					op = relop.GT
+				case relop.LE:
+					op = relop.GE
+				case relop.GT:
+					op = relop.LT
+				case relop.GE:
+					op = relop.LE
+				}
+				return v, k, op, true
+			}
+		}
+	}
+	return nil, vector.Value{}, 0, false
+}
+
+func constOf(e Expr) (vector.Value, bool) {
+	switch n := e.(type) {
+	case *Const:
+		return n.Val, true
+	case *Neg:
+		if v, ok := constOf(n.E); ok {
+			switch v.Kind {
+			case vector.Int, vector.Timestamp:
+				v.I = -v.I
+				return v, true
+			case vector.Float:
+				v.F = -v.F
+				return v, true
+			}
+		}
+	}
+	return vector.Value{}, false
+}
+
+// candDiff returns the entries of a not present in b (both ascending).
+func candDiff(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a))
+	j := 0
+	for _, x := range a {
+		for j < len(b) && b[j] < x {
+			j++
+		}
+		if j < len(b) && b[j] == x {
+			continue
+		}
+		out = append(out, x)
+	}
+	return out
+}

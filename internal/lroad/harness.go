@@ -1,0 +1,174 @@
+package lroad
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/vector"
+)
+
+// LoadPoint is one activation of a query collection: the benchmark time at
+// which it fired and the real processing time it took (the y-axis of the
+// paper's Figure 7).
+type LoadPoint struct {
+	BenchSec int64
+	Proc     time.Duration
+}
+
+// MinutePoint is a per-benchmark-minute aggregate.
+type MinutePoint struct {
+	Minute int64
+	Value  float64
+}
+
+// RunResult holds everything the Figure 7/8/9 harness measures plus the
+// raw outputs needed by the validator.
+type RunResult struct {
+	Config GenConfig
+
+	// TuplesPerSec is the input arrival series (Figure 8).
+	TuplesPerSec []int
+	// TotalIn is the cumulative input count (Figure 7a).
+	TotalIn int64
+	// Load maps collection name to its activation series (Figure 7b-h).
+	Load map[string][]LoadPoint
+	// MaxProc is the worst per-activation processing time per collection —
+	// the response-deadline check (5 s for Q4/Q5/Q7, 10 s for Q6).
+	MaxProc map[string]time.Duration
+
+	// Outputs drained from the network, for validation.
+	TollAlerts, AccAlerts, AccEvents, BalAnswers, DayAnswers *bat.Relation
+	Crossings                                                int64
+	FinalBalances                                            *bat.Relation
+
+	// Ground truth from the generator.
+	Accidents                      []Accident
+	TotalPos, TotalBalQ, TotalDayQ int64
+}
+
+// Q7AvgSeries returns Figure 9: the average Q7 processing time per
+// benchmark minute.
+func (r *RunResult) Q7AvgSeries() []MinutePoint { return avgByMinute(r.Load["Q7"]) }
+
+// LoadSeries returns the average processing time per benchmark minute for
+// one collection (the per-collection panels of Figure 7).
+func (r *RunResult) LoadSeries(collection string) []MinutePoint {
+	return avgByMinute(r.Load[collection])
+}
+
+func avgByMinute(points []LoadPoint) []MinutePoint {
+	if len(points) == 0 {
+		return nil
+	}
+	sums := map[int64]time.Duration{}
+	counts := map[int64]int{}
+	maxMin := int64(0)
+	for _, p := range points {
+		m := p.BenchSec / 60
+		sums[m] += p.Proc
+		counts[m]++
+		if m > maxMin {
+			maxMin = m
+		}
+	}
+	var out []MinutePoint
+	for m := int64(0); m <= maxMin; m++ {
+		if counts[m] == 0 {
+			continue
+		}
+		avg := sums[m] / time.Duration(counts[m])
+		out = append(out, MinutePoint{Minute: m, Value: float64(avg.Microseconds()) / 1000})
+	}
+	return out
+}
+
+// Run executes the Linear Road benchmark in simulated time: tuples are fed
+// second by second at the benchmark's arrival rate, and each collection's
+// factories fire synchronously in pipeline order with their real
+// processing time recorded against the benchmark clock. Feeding by
+// timestamp preserves the workload's load shape without a three-hour
+// wall-clock run. progress, when non-nil, receives a line every ten
+// benchmark minutes.
+func Run(cfg GenConfig, progress io.Writer) (*RunResult, error) {
+	gen := NewGenerator(cfg)
+	net, err := NewNetwork(nil)
+	if err != nil {
+		return nil, err
+	}
+	res := &RunResult{
+		Config:     cfg,
+		Load:       map[string][]LoadPoint{},
+		MaxProc:    map[string]time.Duration{},
+		TollAlerts: intRelation("time", "vid", "toll", "lav100"),
+		AccAlerts:  intRelation("time", "vid", "seg"),
+		AccEvents:  intRelation("time", "xway", "dir", "seg", "active"),
+		BalAnswers: intRelation("time", "qid", "vid", "bal"),
+		DayAnswers: intRelation("time", "qid", "vid", "day", "total"),
+	}
+
+	names, types := InputSchema()
+	for !gen.Done() {
+		sec := gen.Now()
+		tuples := gen.Tick()
+		res.TuplesPerSec = append(res.TuplesPerSec, len(tuples))
+		res.TotalIn += int64(len(tuples))
+		if len(tuples) > 0 {
+			batch := bat.NewEmptyRelation(names, types)
+			for _, t := range tuples {
+				batch.AppendRow(t.Values()...)
+			}
+			if _, err := net.In.Append(batch); err != nil {
+				return nil, err
+			}
+		}
+		// Fire the collections in pipeline order; repeated firing within
+		// a collection drains multi-step feedback (none in this wiring).
+		for _, col := range net.Collections {
+			start := time.Now()
+			for _, f := range col.Factories {
+				if _, err := f.TryFire(); err != nil {
+					return nil, fmt.Errorf("lroad: %s: %w", f.Name(), err)
+				}
+			}
+			proc := time.Since(start)
+			res.Load[col.Name] = append(res.Load[col.Name], LoadPoint{BenchSec: sec, Proc: proc})
+			if proc > res.MaxProc[col.Name] {
+				res.MaxProc[col.Name] = proc
+			}
+		}
+		drainInto(res.TollAlerts, net.TollAlerts)
+		drainInto(res.AccAlerts, net.AccAlerts)
+		drainInto(res.BalAnswers, net.BalOut)
+		drainInto(res.DayAnswers, net.DayOut)
+
+		if progress != nil && sec%600 == 0 {
+			fmt.Fprintf(progress, "minute %3d: %6d tuples/s, total %9d\n",
+				sec/60, len(tuples), res.TotalIn)
+		}
+	}
+	res.Accidents = gen.Accidents()
+	res.TotalPos, res.TotalBalQ, res.TotalDayQ = gen.TotalPos, gen.TotalBalQ, gen.TotalDayQ
+	res.FinalBalances = net.Balances.Snapshot()
+	st := net.Crossings.Stats()
+	res.Crossings = st.Consumed + int64(net.Crossings.Len())
+	drainInto(res.AccEvents, net.AccEventsTap)
+	return res, nil
+}
+
+// drainInto moves all tuples of src into the accumulator dst, dropping the
+// implicit arrival-timestamp column.
+func drainInto(dst *bat.Relation, src *basket.Basket) {
+	rel := src.TakeAll()
+	if rel.Len() == 0 {
+		return
+	}
+	k := dst.NumCols()
+	cols := make([]*vector.Vector, k)
+	for i := 0; i < k; i++ {
+		cols[i] = rel.Col(i)
+	}
+	dst.AppendRelation(bat.NewRelation(dst.Names(), cols))
+}

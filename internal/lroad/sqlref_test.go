@@ -1,0 +1,121 @@
+package lroad
+
+import (
+	"testing"
+)
+
+func TestSQLReferenceRouting(t *testing.T) {
+	ref, err := NewSQLReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = ref.Feed([]Tuple{
+		posReportT(1, 1, 50, 0, 1, 0, 100),
+		{Typ: TypeBalance, Time: 1, VID: 1, QID: 7},
+		{Typ: TypeDailyExp, Time: 1, VID: 1, QID: 8, Day: 3},
+		posReportT(2, 2, 60, 0, 1, 0, 6000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split routed the two historical queries; position reports were
+	// consumed by the statistics pipeline.
+	if got := ref.Cat.Basket("accq").Len(); got != 1 {
+		t.Errorf("accq = %d", got)
+	}
+	if got := ref.Cat.Basket("segstats").Len(); got != 2 {
+		t.Errorf("segstats = %d", got)
+	}
+}
+
+func TestSQLReferenceDailyExpenditureMatchesNative(t *testing.T) {
+	ref, err := NewSQLReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := NewNetwork(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := []Tuple{
+		{Typ: TypeDailyExp, Time: 5, VID: 1234, QID: 9, Day: 17},
+		{Typ: TypeDailyExp, Time: 6, VID: 42, QID: 10, Day: 3},
+		{Typ: TypeDailyExp, Time: 7, VID: 999999, QID: 11, Day: 68},
+	}
+	if err := ref.Feed(tuples); err != nil {
+		t.Fatal(err)
+	}
+	feedNative(t, native, tuples)
+
+	sqlOut := ref.Cat.Basket("dayout").Snapshot()
+	natOut := native.DayOut.Snapshot()
+	if sqlOut.Len() != len(tuples) || natOut.Len() != len(tuples) {
+		t.Fatalf("answers: sql=%d native=%d", sqlOut.Len(), natOut.Len())
+	}
+	// Both formulations must produce identical totals per request.
+	sqlByQID := map[int64]int64{}
+	for i := 0; i < sqlOut.Len(); i++ {
+		sqlByQID[sqlOut.ColByName("qid").Ints()[i]] = sqlOut.ColByName("total").Ints()[i]
+	}
+	for i := 0; i < natOut.Len(); i++ {
+		qid := natOut.ColByName("qid").Ints()[i]
+		if natOut.ColByName("total").Ints()[i] != sqlByQID[qid] {
+			t.Errorf("qid %d: native %d vs sql %d", qid,
+				natOut.ColByName("total").Ints()[i], sqlByQID[qid])
+		}
+	}
+}
+
+func TestSQLReferenceSegstatsAggregation(t *testing.T) {
+	ref, err := NewSQLReference()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three cars in the same segment and minute, one duplicated vid.
+	err = ref.Feed([]Tuple{
+		posReportT(10, 1, 30, 0, 1, 0, 5*SegFeet),
+		posReportT(20, 1, 50, 0, 1, 0, 5*SegFeet),
+		posReportT(30, 2, 40, 0, 1, 0, 5*SegFeet),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ref.Cat.Basket("segstats").Snapshot()
+	if stats.Len() != 1 {
+		t.Fatalf("stats rows = %d", stats.Len())
+	}
+	if got := stats.ColByName("cars").Ints()[0]; got != 2 {
+		t.Errorf("distinct cars = %d, want 2", got)
+	}
+	if got := stats.ColByName("avgspd").Floats()[0]; got != 40 {
+		t.Errorf("avg speed = %v, want 40", got)
+	}
+}
+
+// posReportT builds a position report (test helper shared with the native
+// network tests, which use posReport with a different argument order).
+func posReportT(time, vid, spd, xway, lane, dir, pos int64) Tuple {
+	return Tuple{Typ: TypePosition, Time: time, VID: vid, Spd: spd,
+		XWay: xway, Lane: lane, Dir: dir, Seg: pos / SegFeet, Pos: pos}
+}
+
+// feedNative pushes tuples through the hand-wired network (mirrors the
+// helper in lroad_test.go but without requiring the harness).
+func feedNative(t *testing.T, net *Network, tuples []Tuple) {
+	t.Helper()
+	names, _ := InputSchema()
+	batch := intRelation(names...)
+	for _, tp := range tuples {
+		batch.AppendRow(tp.Values()...)
+	}
+	if _, err := net.In.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	for _, col := range net.Collections {
+		for _, f := range col.Factories {
+			if _, err := f.TryFire(); err != nil {
+				t.Fatalf("%s: %v", f.Name(), err)
+			}
+		}
+	}
+}

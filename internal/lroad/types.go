@@ -1,0 +1,114 @@
+// Package lroad implements the Linear Road stream benchmark on the
+// DataCell: a synthetic traffic generator with ground-truth accident
+// scheduling, the seven continuous-query collections of the paper's
+// Figure 6 wired as factories over baskets, a result validator, and the
+// measurement harness that regenerates Figures 7, 8 and 9.
+//
+// Linear Road simulates cars on multi-lane expressways. The system must
+// detect accidents (two or more cars stopped at the same position for four
+// consecutive position reports), compute per-segment statistics (latest
+// average velocity and car counts), assess variable tolls on segment
+// crossings, alert cars of accidents ahead, and answer account-balance and
+// daily-expenditure requests against accumulated and historical data —
+// all within per-query response deadlines (5 s, 10 s for the daily
+// expenditure query).
+package lroad
+
+import (
+	"datacell/internal/vector"
+)
+
+// Report types of the Linear Road input schema.
+const (
+	TypePosition = 0 // position report, every 30 s per car
+	TypeBalance  = 2 // account balance request
+	TypeDailyExp = 3 // daily expenditure request
+)
+
+// Road geometry and timing constants (Linear Road specification values).
+const (
+	SegFeet        = 5280 // one segment is one mile
+	NumSegs        = 100  // segments per expressway
+	ReportEvery    = 30   // seconds between a car's position reports
+	StopsToReport  = 4    // consecutive identical positions that mean "stopped"
+	LavWindowMin   = 5    // minutes in the latest-average-velocity window
+	TollLavLimit   = 40   // no toll if the segment moves at >= 40 mph
+	TollCarLimit   = 50   // no toll if the previous minute had <= 50 cars
+	AccAlertRange  = 4    // downstream segments that receive accident alerts
+	HistVIDBuckets = 1000 // vid hash buckets of the historical toll table
+	NumDays        = 70   // history days (day 1..69; 0 is today)
+)
+
+// TollFor computes the variable toll charged on a segment crossing given
+// the segment's latest average velocity (mph) and the number of distinct
+// cars seen in the previous minute. Zero means no toll. Shared by the
+// query network and the validator so both implement one rule.
+func TollFor(lav float64, cars int, accident bool) int64 {
+	if accident || lav >= TollLavLimit || cars <= TollCarLimit {
+		return 0
+	}
+	d := int64(cars - TollCarLimit)
+	return 2 * d * d
+}
+
+// AccidentAffects reports whether a car entering segment carSeg travelling
+// in direction dir must be alerted about (and exempted from tolls by) an
+// accident in segment accSeg: the accident lies at most AccAlertRange
+// segments downstream of the car.
+func AccidentAffects(dir, carSeg, accSeg int64) bool {
+	if dir == 0 {
+		return accSeg >= carSeg && accSeg-carSeg <= AccAlertRange
+	}
+	return accSeg <= carSeg && carSeg-accSeg <= AccAlertRange
+}
+
+// HistToll is the deterministic historical toll of a (vid bucket, day)
+// pair. The paper loads the benchmark's pre-generated ten weeks of history
+// into relational tables; we generate the same information from a fixed
+// function into a (bucket, day, toll) table so the daily-expenditure query
+// still runs as a real relational join.
+func HistToll(vidBucket, day int64) int64 {
+	return (vidBucket*31+day*7)%90 + 10
+}
+
+// Tuple is one Linear Road input event in struct form.
+type Tuple struct {
+	Typ  int64 // TypePosition, TypeBalance or TypeDailyExp
+	Time int64 // benchmark seconds since start
+	VID  int64
+	Spd  int64 // mph
+	XWay int64
+	Lane int64 // 0..4
+	Dir  int64 // 0 east, 1 west
+	Seg  int64 // 0..99
+	Pos  int64 // feet from expressway start
+	QID  int64 // query id for type 2/3
+	Day  int64 // day for type 3 (1..69)
+}
+
+// InputSchema returns the column names and types of the input stream.
+func InputSchema() ([]string, []vector.Type) {
+	names := []string{"typ", "time", "vid", "spd", "xway", "lane", "dir", "seg", "pos", "qid", "day"}
+	types := make([]vector.Type, len(names))
+	for i := range types {
+		types[i] = vector.Int
+	}
+	return names, types
+}
+
+// Values renders the tuple in input-schema column order.
+func (t Tuple) Values() []vector.Value {
+	return []vector.Value{
+		vector.NewInt(t.Typ), vector.NewInt(t.Time), vector.NewInt(t.VID),
+		vector.NewInt(t.Spd), vector.NewInt(t.XWay), vector.NewInt(t.Lane),
+		vector.NewInt(t.Dir), vector.NewInt(t.Seg), vector.NewInt(t.Pos),
+		vector.NewInt(t.QID), vector.NewInt(t.Day),
+	}
+}
+
+// Accident is a ground-truth accident scheduled by the generator.
+type Accident struct {
+	XWay, Dir, Pos, Seg int64
+	Start, End          int64 // benchmark seconds
+	VID1, VID2          int64
+}

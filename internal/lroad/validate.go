@@ -1,0 +1,171 @@
+package lroad
+
+import (
+	"fmt"
+)
+
+// Validation is the outcome of checking a benchmark run against the
+// generator's ground truth and the benchmark's consistency rules.
+type Validation struct {
+	Errors []string
+
+	ExpectedAccidents int
+	DetectedAccidents int
+	ClearedAccidents  int
+}
+
+// OK reports whether no validation rule was violated.
+func (v *Validation) OK() bool { return len(v.Errors) == 0 }
+
+func (v *Validation) errf(format string, args ...any) {
+	v.Errors = append(v.Errors, fmt.Sprintf(format, args...))
+}
+
+// detectSlack bounds how long after an accident starts the network may
+// take to raise it: both cars must each file StopsToReport reports
+// (30 s apart, with up to 30 s of phase offset), plus one report of slack.
+const detectSlack = ReportEvery*(StopsToReport+2) + ReportEvery
+
+// Validate checks a completed run:
+//
+//  1. Accident detection is exact: every ground-truth accident that had
+//     time to be detected appears as exactly one "active" event at the
+//     right location within the detection window, and accidents that had
+//     time to clear produce a matching "cleared" event. The generator
+//     never stops cars outside scripted accidents, so false positives are
+//     also errors.
+//  2. Every segment crossing received exactly one response: a toll alert
+//     or an accident alert.
+//  3. Toll conservation: the tolls announced in alerts equal the final
+//     account balances.
+//  4. Every balance request and every well-formed daily-expenditure
+//     request was answered, and daily-expenditure answers match the
+//     historical table exactly.
+func Validate(res *RunResult) *Validation {
+	v := &Validation{}
+	dur := res.Config.Duration
+
+	// --- Rule 1: accidents ---------------------------------------------
+	type accKey struct{ xway, dir, seg int64 }
+	type event struct {
+		time   int64
+		active int64
+	}
+	events := map[accKey][]event{}
+	times := res.AccEvents.ColByName("time").Ints()
+	xways := res.AccEvents.ColByName("xway").Ints()
+	dirs := res.AccEvents.ColByName("dir").Ints()
+	segs := res.AccEvents.ColByName("seg").Ints()
+	actives := res.AccEvents.ColByName("active").Ints()
+	for i := range times {
+		k := accKey{xways[i], dirs[i], segs[i]}
+		events[k] = append(events[k], event{times[i], actives[i]})
+	}
+	totalRaised := 0
+	for _, evs := range events {
+		for _, e := range evs {
+			if e.active == 1 {
+				totalRaised++
+			}
+		}
+	}
+
+	expected := 0
+	for _, acc := range res.Accidents {
+		if acc.Start+detectSlack > dur {
+			continue // too late in the run to demand detection
+		}
+		expected++
+		k := accKey{acc.XWay, acc.Dir, acc.Seg}
+		found := false
+		for _, e := range events[k] {
+			if e.active == 1 && e.time > acc.Start && e.time <= acc.Start+detectSlack {
+				found = true
+				v.DetectedAccidents++
+				break
+			}
+		}
+		if !found {
+			v.errf("accident at xway %d dir %d seg %d (t=%d) not detected",
+				acc.XWay, acc.Dir, acc.Seg, acc.Start)
+			continue
+		}
+		if acc.End+detectSlack <= dur {
+			cleared := false
+			for _, e := range events[k] {
+				if e.active == 0 && e.time >= acc.End && e.time <= acc.End+detectSlack {
+					cleared = true
+					v.ClearedAccidents++
+					break
+				}
+			}
+			if !cleared {
+				v.errf("accident at xway %d dir %d seg %d (t=%d..%d) never cleared",
+					acc.XWay, acc.Dir, acc.Seg, acc.Start, acc.End)
+			}
+		}
+	}
+	v.ExpectedAccidents = expected
+	if totalRaised > len(res.Accidents) {
+		v.errf("%d accidents raised but only %d scheduled (false positives)",
+			totalRaised, len(res.Accidents))
+	}
+
+	// --- Rule 2: every crossing answered --------------------------------
+	answered := int64(res.TollAlerts.Len() + res.AccAlerts.Len())
+	if answered != res.Crossings {
+		v.errf("crossings %d but alerts %d (toll %d + accident %d)",
+			res.Crossings, answered, res.TollAlerts.Len(), res.AccAlerts.Len())
+	}
+
+	// --- Rule 3: toll conservation --------------------------------------
+	var announced int64
+	for _, toll := range res.TollAlerts.ColByName("toll").Ints() {
+		announced += toll
+	}
+	var banked int64
+	for _, b := range res.FinalBalances.ColByName("bal").Ints() {
+		banked += b
+	}
+	if announced != banked {
+		v.errf("announced tolls %d != final balances %d", announced, banked)
+	}
+
+	// --- Rule 4: historical queries -------------------------------------
+	if int64(res.BalAnswers.Len()) != res.TotalBalQ {
+		v.errf("balance answers %d != balance requests %d", res.BalAnswers.Len(), res.TotalBalQ)
+	}
+	if int64(res.DayAnswers.Len()) != res.TotalDayQ {
+		v.errf("daily-expenditure answers %d != requests %d", res.DayAnswers.Len(), res.TotalDayQ)
+	}
+	dvid := res.DayAnswers.ColByName("vid").Ints()
+	dday := res.DayAnswers.ColByName("day").Ints()
+	dtot := res.DayAnswers.ColByName("total").Ints()
+	for i := range dvid {
+		want := HistToll(dvid[i]%HistVIDBuckets, dday[i])
+		if dtot[i] != want {
+			v.errf("daily expenditure for vid %d day %d: got %d, want %d",
+				dvid[i], dday[i], dtot[i], want)
+			break // one detailed report is enough
+		}
+	}
+
+	// Balance answers must be non-negative and bounded by the final
+	// balance of the vehicle (balances only grow).
+	finalBal := map[int64]int64{}
+	fvid := res.FinalBalances.ColByName("vid").Ints()
+	fbal := res.FinalBalances.ColByName("bal").Ints()
+	for i := range fvid {
+		finalBal[fvid[i]] = fbal[i]
+	}
+	bvid := res.BalAnswers.ColByName("vid").Ints()
+	bbal := res.BalAnswers.ColByName("bal").Ints()
+	for i := range bvid {
+		if bbal[i] < 0 || bbal[i] > finalBal[bvid[i]] {
+			v.errf("balance answer %d for vid %d outside [0, %d]",
+				bbal[i], bvid[i], finalBal[bvid[i]])
+			break
+		}
+	}
+	return v
+}

@@ -1,0 +1,334 @@
+// Package microbench implements the paper's §6.1 micro-benchmarks: the
+// query-chain topology, the sensor/actuator communication pipeline
+// (Figure 4), the batch-processing latency sweep (Figure 5a), the
+// processing-strategy comparison (Figure 5b) and the pure-kernel
+// throughput measurement.
+package microbench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/core"
+	"datacell/internal/relop"
+	"datacell/internal/vector"
+)
+
+// tupleSchema is the two-column schema of the micro-benchmark stream: a
+// creation timestamp (set by the sensor) and a random integer payload.
+var (
+	tupleNames = []string{"ts", "v"}
+	tupleTypes = []vector.Type{vector.Timestamp, vector.Int}
+)
+
+// NewStreamBasket returns a fresh micro-benchmark stream basket.
+func NewStreamBasket(name string) *basket.Basket {
+	return basket.New(name, tupleNames, tupleTypes)
+}
+
+// MakeTuples creates n random tuples: payload uniform in [0, domain), the
+// creation timestamp taken from now().
+func MakeTuples(n int, domain int64, rng *rand.Rand, now func() time.Time) *bat.Relation {
+	ts := make([]int64, n)
+	vs := make([]int64, n)
+	t := now().UnixMicro()
+	for i := 0; i < n; i++ {
+		ts[i] = t
+		vs[i] = rng.Int63n(domain)
+	}
+	return bat.NewRelation(tupleNames, []*vector.Vector{
+		vector.FromTimestamps(ts), vector.FromInts(vs),
+	})
+}
+
+// QueryChain wires the paper's query-chain topology (Figure 3): k
+// pass-everything select factories in a pipeline, the most general query
+// first. It returns the entry basket, the exit basket and the factories.
+//
+// Each stage corresponds to the continuous query
+//
+//	select * from [select * from prev] s
+//
+// so every tuple flows through all k stages — the worst case for data
+// volume through the system.
+func QueryChain(k int, scheduler *core.Scheduler) (in, out *basket.Basket, err error) {
+	baskets := make([]*basket.Basket, k+1)
+	for i := range baskets {
+		baskets[i] = NewStreamBasket(fmt.Sprintf("chain%d", i))
+	}
+	for i := 0; i < k; i++ {
+		f, ferr := core.NewFactory(fmt.Sprintf("chainq%d", i),
+			[]*basket.Basket{baskets[i]},
+			[]*basket.Basket{baskets[i+1]},
+			func(ctx *core.Context) error {
+				rel := ctx.In(0).TakeAllLocked()
+				if rel.Len() == 0 {
+					return nil
+				}
+				_, err := ctx.Out(0).AppendLocked(rel)
+				return err
+			})
+		if ferr != nil {
+			return nil, nil, ferr
+		}
+		if err := scheduler.Register(f); err != nil {
+			return nil, nil, err
+		}
+	}
+	return baskets[0], baskets[k], nil
+}
+
+// RangeQueries builds q continuous range-select queries over the payload
+// column, each selecting a random range of the given selectivity over
+// domain [0, domain). They are the workload of Figures 5a and 5b.
+func RangeQueries(q int, domain int64, selectivity float64, rng *rand.Rand) []core.ScanQuery {
+	width := int64(float64(domain) * selectivity)
+	if width < 1 {
+		width = 1
+	}
+	out := make([]core.ScanQuery, q)
+	for i := range out {
+		lo := rng.Int63n(domain - width)
+		hi := lo + width
+		out[i] = core.ScanQuery{
+			Name: fmt.Sprintf("range%d", i),
+			Scan: func(rel *bat.Relation) (matched, covered []int32) {
+				sel := relop.SelectRange(rel.ColByName("v"),
+					vector.NewInt(lo), vector.NewInt(hi), true, false, nil)
+				// Full-stream query: every tuple is covered (seen),
+				// qualifying ones are emitted.
+				return sel, relop.CandAll(rel.Len())
+			},
+		}
+	}
+	return out
+}
+
+// DisjointRangeQueries builds q queries over consecutive, disjoint ranges
+// of the given width starting at 0 (the domain must be at least q*width).
+// Matched tuples are covered; this is the regime where the partial-deletes
+// strategy can shrink the input for later queries in the chain, and the
+// only regime in which all three strategies are result-equivalent.
+func DisjointRangeQueries(q int, domain, width int64) []core.ScanQuery {
+	if width < 1 {
+		width = 1
+	}
+	out := make([]core.ScanQuery, q)
+	for i := range out {
+		lo := int64(i) * width
+		hi := lo + width
+		if hi > domain {
+			lo, hi = domain-width, domain
+		}
+		out[i] = core.ScanQuery{
+			Name: fmt.Sprintf("disj%d", i),
+			Scan: func(rel *bat.Relation) (matched, covered []int32) {
+				sel := relop.SelectRange(rel.ColByName("v"),
+					vector.NewInt(lo), vector.NewInt(hi), true, false, nil)
+				return sel, sel
+			},
+		}
+	}
+	return out
+}
+
+// Strategy selects the multi-query processing scheme of Figure 5b.
+type Strategy uint8
+
+// Processing strategies (§4.2).
+const (
+	StrategySeparate Strategy = iota
+	StrategyShared
+	StrategyPartial
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case StrategySeparate:
+		return "separate-baskets"
+	case StrategyShared:
+		return "shared-baskets"
+	case StrategyPartial:
+		return "partial-deletes"
+	}
+	return "?"
+}
+
+// MultiQuery wires queries over stream in under the chosen strategy and
+// registers all factories. It returns the per-query result baskets.
+func MultiQuery(strategy Strategy, in *basket.Basket, queries []core.ScanQuery, sch *core.Scheduler) ([]*basket.Basket, error) {
+	results := make([]*basket.Basket, len(queries))
+	for i := range results {
+		results[i] = NewStreamBasket(fmt.Sprintf("%s.res%d", strategy, i))
+	}
+	var fs []*core.Factory
+	var err error
+	switch strategy {
+	case StrategySeparate:
+		fs, err = core.SeparateBaskets(strategy.String(), in, queries, results)
+	case StrategyShared:
+		fs, err = core.SharedBaskets(strategy.String(), in, queries, results)
+	case StrategyPartial:
+		fs, err = core.PartialDeletes(strategy.String(), in, queries, results)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range fs {
+		if err := sch.Register(f); err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// BatchResult is one point of the Figure 5a sweep.
+type BatchResult struct {
+	Queries     int
+	BatchSize   int
+	Tuples      int
+	LatencyPer  time.Duration // average end-to-end latency per tuple
+	ElapsedProc time.Duration // pure processing time
+}
+
+// RunBatchSweep measures average per-tuple latency for q parallel range
+// queries processing a stream of `total` tuples that arrive one every
+// interArrival, in batches of batchSize (the Figure 5a experiment).
+//
+// Processing cost is measured for real; arrivals follow a virtual clock,
+// standing in for the paper's sensor process. Latency of a tuple is the
+// time from its (virtual) arrival to the completion of the batch that
+// carried it, including queueing behind earlier batches. This reproduces
+// both ends of the paper's curve: with T=1 the per-firing overhead exceeds
+// the inter-arrival gap and the backlog (hence latency) grows without
+// bound, while with very large T the batch fill time dominates and latency
+// degrades again.
+func RunBatchSweep(q, total, batchSize int, interArrival time.Duration, seed int64) (BatchResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sch := core.NewScheduler()
+	in := NewStreamBasket("sweep.in")
+	queries := RangeQueries(q, 10_000, 0.001, rng)
+	if _, err := MultiQuery(StrategySeparate, in, queries, sch); err != nil {
+		return BatchResult{}, err
+	}
+
+	var procTotal time.Duration
+	var latencyTotal time.Duration
+	var procFree time.Duration // virtual time the engine becomes idle
+	done := 0
+	for done < total {
+		n := min(batchSize, total-done)
+		batch := MakeTuples(n, 10_000, rng, time.Now)
+		if _, err := in.Append(batch); err != nil {
+			return BatchResult{}, err
+		}
+		start := time.Now()
+		if _, err := sch.RunUntilQuiescent(0); err != nil {
+			return BatchResult{}, err
+		}
+		proc := time.Since(start)
+		procTotal += proc
+
+		// Virtual-clock bookkeeping: the batch is complete when its last
+		// tuple has arrived; processing starts once the engine is free.
+		lastArrival := time.Duration(done+n-1) * interArrival
+		startAt := max(lastArrival, procFree)
+		finish := startAt + proc
+		procFree = finish
+		for i := 0; i < n; i++ {
+			arrival := time.Duration(done+i) * interArrival
+			latencyTotal += finish - arrival
+		}
+		done += n
+	}
+	return BatchResult{
+		Queries:     q,
+		BatchSize:   batchSize,
+		Tuples:      total,
+		LatencyPer:  latencyTotal / time.Duration(total),
+		ElapsedProc: procTotal,
+	}, nil
+}
+
+// StrategyResult is one point of the Figure 5b sweep.
+type StrategyResult struct {
+	Strategy Strategy
+	Queries  int
+	Tuples   int
+	Elapsed  time.Duration
+	Results  int // total result tuples across queries
+}
+
+// RunStrategySweep measures the time to push one batch of total tuples
+// through q queries under the given strategy (the Figure 5b experiment;
+// the paper uses T = 10^5). The queries select disjoint 0.1%-wide ranges —
+// the regime the partial-deletes strategy is designed for, and the only
+// one in which all three strategies are result-equivalent.
+func RunStrategySweep(strategy Strategy, q, total int, seed int64) (StrategyResult, error) {
+	rng := rand.New(rand.NewSource(seed))
+	sch := core.NewScheduler()
+	in := NewStreamBasket("strat.in")
+	const width = 10 // 0.1% of the base domain
+	domain := max(int64(10_000), int64(q)*width)
+	queries := DisjointRangeQueries(q, domain, width)
+	results, err := MultiQuery(strategy, in, queries, sch)
+	if err != nil {
+		return StrategyResult{}, err
+	}
+	batch := MakeTuples(total, domain, rng, time.Now)
+	if _, err := in.Append(batch); err != nil {
+		return StrategyResult{}, err
+	}
+	start := time.Now()
+	if _, err := sch.RunUntilQuiescent(0); err != nil {
+		return StrategyResult{}, err
+	}
+	elapsed := time.Since(start)
+	sum := 0
+	for _, r := range results {
+		sum += r.Len()
+	}
+	return StrategyResult{Strategy: strategy, Queries: q, Tuples: total, Elapsed: elapsed, Results: sum}, nil
+}
+
+// KernelThroughput measures pure kernel activity: tuples per second
+// through a single select factory fed from a pre-filled basket, no
+// communication in the loop (the §6.1 "pure kernel activity" number).
+func KernelThroughput(tuples, rounds int, seed int64) (perSecond float64, err error) {
+	rng := rand.New(rand.NewSource(seed))
+	in := NewStreamBasket("kern.in")
+	out := NewStreamBasket("kern.out")
+	f, err := core.NewFactory("kern.q",
+		[]*basket.Basket{in}, []*basket.Basket{out},
+		func(ctx *core.Context) error {
+			rel := ctx.In(0).TakeAllLocked()
+			sel := relop.SelectRange(rel.ColByName("v"), vector.NewInt(0), vector.NewInt(10), true, false, nil)
+			if len(sel) > 0 {
+				if _, err := ctx.Out(0).AppendLocked(rel.Gather(sel)); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	if err != nil {
+		return 0, err
+	}
+	batch := MakeTuples(tuples, 10_000, rng, time.Now)
+	start := time.Now()
+	n := 0
+	for r := 0; r < rounds; r++ {
+		if _, err := in.Append(batch); err != nil {
+			return 0, err
+		}
+		if _, err := f.TryFire(); err != nil {
+			return 0, err
+		}
+		out.TakeAll()
+		n += tuples
+	}
+	return float64(n) / time.Since(start).Seconds(), nil
+}

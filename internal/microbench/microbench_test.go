@@ -1,0 +1,157 @@
+package microbench
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"datacell/internal/core"
+)
+
+func TestQueryChainMovesAllTuples(t *testing.T) {
+	sch := core.NewScheduler()
+	in, out, err := QueryChain(4, sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := in.Append(MakeTuples(500, 10_000, rng, time.Now)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sch.RunUntilQuiescent(0); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 500 {
+		t.Errorf("exit basket = %d, want 500", out.Len())
+	}
+	if in.Len() != 0 {
+		t.Errorf("entry residue = %d", in.Len())
+	}
+}
+
+func TestRangeQueriesSelectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	qs := RangeQueries(10, 10_000, 0.01, rng)
+	rel := MakeTuples(100_000, 10_000, rng, time.Now)
+	for _, q := range qs {
+		matched, covered := q.Scan(rel)
+		if len(covered) != rel.Len() {
+			t.Fatalf("%s: covered %d, want all", q.Name, len(covered))
+		}
+		frac := float64(len(matched)) / float64(rel.Len())
+		if frac < 0.003 || frac > 0.03 {
+			t.Errorf("%s: selectivity %.4f far from 0.01", q.Name, frac)
+		}
+	}
+}
+
+func TestDisjointRangeQueriesDisjoint(t *testing.T) {
+	qs := DisjointRangeQueries(4, 10_000, 100)
+	rng := rand.New(rand.NewSource(3))
+	rel := MakeTuples(10_000, 10_000, rng, time.Now)
+	seen := map[int32]bool{}
+	for _, q := range qs {
+		m, c := q.Scan(rel)
+		if len(m) != len(c) {
+			t.Errorf("%s: matched != covered", q.Name)
+		}
+		for _, p := range m {
+			if seen[p] {
+				t.Fatalf("%s: position %d matched twice — ranges overlap", q.Name, p)
+			}
+			seen[p] = true
+		}
+	}
+	if len(seen) == 0 {
+		t.Error("no matches at all")
+	}
+}
+
+func TestAllStrategiesAgreeOnResults(t *testing.T) {
+	// The three processing schemes must produce the same result volume for
+	// the same workload and seed.
+	const q, n, seed = 8, 20_000, 42
+	var counts [3]int
+	for i, s := range []Strategy{StrategySeparate, StrategyShared, StrategyPartial} {
+		res, err := RunStrategySweep(s, q, n, seed)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		counts[i] = res.Results
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: no elapsed time", s)
+		}
+	}
+	if counts[0] != counts[1] || counts[1] != counts[2] {
+		t.Errorf("strategies disagree: separate=%d shared=%d partial=%d",
+			counts[0], counts[1], counts[2])
+	}
+	if counts[0] == 0 {
+		t.Error("no results at all")
+	}
+}
+
+func TestBatchSweepLatencyShape(t *testing.T) {
+	// Batch processing must beat tuple-at-a-time by a wide margin (the
+	// Figure 5a cliff): with a 2µs inter-arrival gap, per-firing overhead
+	// exceeds the gap at T=1 so the backlog explodes, while T=1000
+	// amortises it.
+	const gap = 2 * time.Microsecond
+	small, err := RunBatchSweep(10, 5_000, 1, gap, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := RunBatchSweep(10, 5_000, 1_000, gap, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.LatencyPer >= small.LatencyPer {
+		t.Errorf("batch latency %v not below tuple-at-a-time %v",
+			big.LatencyPer, small.LatencyPer)
+	}
+	if small.LatencyPer/big.LatencyPer < 5 {
+		t.Logf("warning: batch speedup only %.1fx (timing-sensitive)",
+			float64(small.LatencyPer)/float64(big.LatencyPer))
+	}
+}
+
+func TestKernelThroughputPositive(t *testing.T) {
+	rate, err := KernelThroughput(100_000, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rate < 1e5 {
+		t.Errorf("kernel throughput %.0f tuples/s suspiciously low", rate)
+	}
+}
+
+func TestCommPipelineWithAndWithoutKernel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("network pipeline in -short mode")
+	}
+	with, err := RunCommPipeline(4, 5_000, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := RunCommPipeline(4, 5_000, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Throughput <= 0 || without.Throughput <= 0 {
+		t.Fatalf("throughput: with=%v without=%v", with.Throughput, without.Throughput)
+	}
+	// The kernel-in-loop pipeline cannot beat the raw communication
+	// ceiling (Figure 4b's ordering).
+	if with.Throughput > without.Throughput*1.5 {
+		t.Errorf("kernel pipeline (%.0f/s) implausibly faster than raw pipe (%.0f/s)",
+			with.Throughput, without.Throughput)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	for _, s := range []Strategy{StrategySeparate, StrategyShared, StrategyPartial} {
+		if s.String() == "?" {
+			t.Errorf("missing name for strategy %d", s)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package petri implements the Petri-net model underlying the DataCell's
+// processing scheme: a directed bipartite graph of places (token holders)
+// and transitions (computations). A transition is enabled when all of its
+// input places hold tokens; firing consumes input tokens atomically, runs
+// the transition's action, and deposits tokens in the output places. The
+// firing order of enabled transitions is deliberately left undefined.
+//
+// In the DataCell, baskets are the places, tuples the tokens, and
+// receptors, factories and emitters the transitions. This package provides
+// the abstract model used to validate the scheduler's semantics; the
+// concrete scheduler in internal/core instantiates the same firing rule
+// over baskets.
+package petri
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Place holds a non-negative number of tokens.
+type Place struct {
+	Name   string
+	tokens int
+}
+
+// Tokens returns the current token count.
+func (p *Place) Tokens() int { return p.tokens }
+
+// Arc connects a place to a transition (or vice versa) with a weight: the
+// number of tokens consumed or produced per firing.
+type Arc struct {
+	Place  *Place
+	Weight int
+}
+
+// Transition models a computational step. Action, if non-nil, runs inside
+// the atomic firing step.
+type Transition struct {
+	Name    string
+	Inputs  []Arc
+	Outputs []Arc
+	Action  func()
+	firings int
+}
+
+// Firings returns how many times the transition has fired.
+func (t *Transition) Firings() int { return t.firings }
+
+// Net is a Petri net. All methods are safe for concurrent use; firing is
+// atomic with respect to other firings, matching the model's
+// non-interruptible step.
+type Net struct {
+	mu          sync.Mutex
+	places      map[string]*Place
+	transitions []*Transition
+}
+
+// NewNet returns an empty net.
+func NewNet() *Net {
+	return &Net{places: map[string]*Place{}}
+}
+
+// AddPlace creates (or returns the existing) place with initial tokens.
+func (n *Net) AddPlace(name string, tokens int) *Place {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if p, ok := n.places[name]; ok {
+		return p
+	}
+	p := &Place{Name: name, tokens: tokens}
+	n.places[name] = p
+	return p
+}
+
+// Place returns the named place, or nil.
+func (n *Net) Place(name string) *Place {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.places[name]
+}
+
+// AddTransition registers a transition. Every transition must have at least
+// one input and one output arc, as in the DataCell model.
+func (n *Net) AddTransition(t *Transition) error {
+	if len(t.Inputs) == 0 || len(t.Outputs) == 0 {
+		return fmt.Errorf("petri: transition %s needs at least one input and one output", t.Name)
+	}
+	for _, a := range append(append([]Arc(nil), t.Inputs...), t.Outputs...) {
+		if a.Weight <= 0 {
+			return fmt.Errorf("petri: transition %s has non-positive arc weight", t.Name)
+		}
+	}
+	n.mu.Lock()
+	n.transitions = append(n.transitions, t)
+	n.mu.Unlock()
+	return nil
+}
+
+// Enabled reports whether t can fire: every input place holds at least the
+// arc weight in tokens.
+func (n *Net) Enabled(t *Transition) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.enabledLocked(t)
+}
+
+func (n *Net) enabledLocked(t *Transition) bool {
+	for _, a := range t.Inputs {
+		if a.Place.tokens < a.Weight {
+			return false
+		}
+	}
+	return true
+}
+
+// Fire atomically fires t if enabled and reports whether it fired.
+func (n *Net) Fire(t *Transition) bool {
+	n.mu.Lock()
+	if !n.enabledLocked(t) {
+		n.mu.Unlock()
+		return false
+	}
+	for _, a := range t.Inputs {
+		a.Place.tokens -= a.Weight
+	}
+	if t.Action != nil {
+		t.Action()
+	}
+	for _, a := range t.Outputs {
+		a.Place.tokens += a.Weight
+	}
+	t.firings++
+	n.mu.Unlock()
+	return true
+}
+
+// Step fires the first enabled transition (in registration order) and
+// reports whether any fired. The model leaves firing order undefined;
+// registration order is one admissible schedule.
+func (n *Net) Step() bool {
+	n.mu.Lock()
+	ts := append([]*Transition(nil), n.transitions...)
+	n.mu.Unlock()
+	for _, t := range ts {
+		if n.Fire(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// Run fires transitions until quiescence (no transition enabled) or until
+// maxSteps firings, returning the number of firings performed. A maxSteps
+// of 0 means no bound; nets with cycles may then never return.
+func (n *Net) Run(maxSteps int) int {
+	steps := 0
+	for maxSteps == 0 || steps < maxSteps {
+		if !n.Step() {
+			break
+		}
+		steps++
+	}
+	return steps
+}
+
+// Marking returns the current token count of every place.
+func (n *Net) Marking() map[string]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	m := make(map[string]int, len(n.places))
+	for name, p := range n.places {
+		m[name] = p.tokens
+	}
+	return m
+}
+
+// String renders the marking for debugging.
+func (n *Net) String() string {
+	m := n.Marking()
+	parts := make([]string, 0, len(m))
+	for name, tok := range m {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, tok))
+	}
+	return "{" + strings.Join(parts, " ") + "}"
+}

@@ -1,0 +1,188 @@
+package petri
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFireConsumesAndProduces(t *testing.T) {
+	n := NewNet()
+	in := n.AddPlace("in", 2)
+	out := n.AddPlace("out", 0)
+	tr := &Transition{
+		Name:    "t",
+		Inputs:  []Arc{{Place: in, Weight: 1}},
+		Outputs: []Arc{{Place: out, Weight: 1}},
+	}
+	if err := n.AddTransition(tr); err != nil {
+		t.Fatal(err)
+	}
+	if !n.Enabled(tr) {
+		t.Fatal("should be enabled")
+	}
+	if !n.Fire(tr) {
+		t.Fatal("fire failed")
+	}
+	if in.Tokens() != 1 || out.Tokens() != 1 {
+		t.Errorf("marking: in=%d out=%d", in.Tokens(), out.Tokens())
+	}
+	n.Fire(tr)
+	if n.Fire(tr) {
+		t.Error("fired with empty input")
+	}
+	if tr.Firings() != 2 {
+		t.Errorf("firings = %d", tr.Firings())
+	}
+}
+
+func TestWeightedArcs(t *testing.T) {
+	n := NewNet()
+	in := n.AddPlace("in", 3)
+	out := n.AddPlace("out", 0)
+	tr := &Transition{
+		Name:    "batch",
+		Inputs:  []Arc{{Place: in, Weight: 2}},
+		Outputs: []Arc{{Place: out, Weight: 5}},
+	}
+	n.AddTransition(tr)
+	if !n.Fire(tr) {
+		t.Fatal("weight-2 fire failed with 3 tokens")
+	}
+	if n.Fire(tr) {
+		t.Error("fired with 1 token left, weight 2")
+	}
+	if out.Tokens() != 5 {
+		t.Errorf("out = %d", out.Tokens())
+	}
+}
+
+func TestMultiInputAndRule(t *testing.T) {
+	n := NewNet()
+	a := n.AddPlace("a", 1)
+	b := n.AddPlace("b", 0)
+	out := n.AddPlace("out", 0)
+	tr := &Transition{
+		Name:    "join",
+		Inputs:  []Arc{{Place: a, Weight: 1}, {Place: b, Weight: 1}},
+		Outputs: []Arc{{Place: out, Weight: 1}},
+	}
+	n.AddTransition(tr)
+	if n.Enabled(tr) {
+		t.Error("enabled with one empty input")
+	}
+	b.tokens = 1
+	if !n.Fire(tr) {
+		t.Error("should fire when all inputs hold tokens")
+	}
+}
+
+func TestTransitionValidation(t *testing.T) {
+	n := NewNet()
+	p := n.AddPlace("p", 0)
+	if err := n.AddTransition(&Transition{Name: "no-out", Inputs: []Arc{{Place: p, Weight: 1}}}); err == nil {
+		t.Error("transition without output should be rejected")
+	}
+	if err := n.AddTransition(&Transition{Name: "no-in", Outputs: []Arc{{Place: p, Weight: 1}}}); err == nil {
+		t.Error("transition without input should be rejected")
+	}
+	if err := n.AddTransition(&Transition{
+		Name:    "zero-weight",
+		Inputs:  []Arc{{Place: p, Weight: 0}},
+		Outputs: []Arc{{Place: p, Weight: 1}},
+	}); err == nil {
+		t.Error("zero arc weight should be rejected")
+	}
+}
+
+func TestActionRunsInsideFiring(t *testing.T) {
+	n := NewNet()
+	in := n.AddPlace("in", 1)
+	out := n.AddPlace("out", 0)
+	ran := false
+	tr := &Transition{
+		Name:    "act",
+		Inputs:  []Arc{{Place: in, Weight: 1}},
+		Outputs: []Arc{{Place: out, Weight: 1}},
+		Action: func() {
+			ran = true
+			// During the action the input token is consumed but the
+			// output not yet produced: the atomic step.
+			if in.Tokens() != 0 || out.Tokens() != 0 {
+				t.Errorf("mid-fire marking: in=%d out=%d", in.Tokens(), out.Tokens())
+			}
+		},
+	}
+	n.AddTransition(tr)
+	n.Fire(tr)
+	if !ran {
+		t.Error("action did not run")
+	}
+}
+
+func TestRunUntilQuiescent(t *testing.T) {
+	// Pipeline: source -> t1 -> mid -> t2 -> sink.
+	n := NewNet()
+	src := n.AddPlace("src", 5)
+	mid := n.AddPlace("mid", 0)
+	sink := n.AddPlace("sink", 0)
+	n.AddTransition(&Transition{Name: "t1",
+		Inputs: []Arc{{Place: src, Weight: 1}}, Outputs: []Arc{{Place: mid, Weight: 1}}})
+	n.AddTransition(&Transition{Name: "t2",
+		Inputs: []Arc{{Place: mid, Weight: 1}}, Outputs: []Arc{{Place: sink, Weight: 1}}})
+	steps := n.Run(0)
+	if steps != 10 {
+		t.Errorf("steps = %d, want 10", steps)
+	}
+	if sink.Tokens() != 5 || src.Tokens() != 0 || mid.Tokens() != 0 {
+		t.Errorf("final marking: %v", n.Marking())
+	}
+}
+
+func TestRunBounded(t *testing.T) {
+	// Cycle: a -> t -> a never quiesces; Run must respect the bound.
+	n := NewNet()
+	a := n.AddPlace("a", 1)
+	n.AddTransition(&Transition{Name: "loop",
+		Inputs: []Arc{{Place: a, Weight: 1}}, Outputs: []Arc{{Place: a, Weight: 1}}})
+	if steps := n.Run(17); steps != 17 {
+		t.Errorf("bounded run = %d", steps)
+	}
+}
+
+func TestMarkingAndString(t *testing.T) {
+	n := NewNet()
+	n.AddPlace("p", 3)
+	m := n.Marking()
+	if m["p"] != 3 {
+		t.Errorf("marking: %v", m)
+	}
+	if n.String() == "" {
+		t.Error("empty String")
+	}
+	if n.Place("p") == nil || n.Place("zz") != nil {
+		t.Error("Place lookup broken")
+	}
+	// AddPlace is idempotent per name.
+	if n.AddPlace("p", 99).Tokens() != 3 {
+		t.Error("AddPlace overwrote existing place")
+	}
+}
+
+// Property: token count is conserved for 1-in/1-out unit-weight transitions.
+func TestTokenConservationProperty(t *testing.T) {
+	f := func(initial uint8, fires uint8) bool {
+		n := NewNet()
+		a := n.AddPlace("a", int(initial))
+		b := n.AddPlace("b", 0)
+		tr := &Transition{Name: "t",
+			Inputs: []Arc{{Place: a, Weight: 1}}, Outputs: []Arc{{Place: b, Weight: 1}}}
+		n.AddTransition(tr)
+		for i := 0; i < int(fires); i++ {
+			n.Fire(tr)
+		}
+		return a.Tokens()+b.Tokens() == int(initial) && a.Tokens() >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

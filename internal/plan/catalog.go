@@ -1,0 +1,160 @@
+// Package plan compiles parsed DataCell SQL statements into executable
+// query plans and factories. A continuous query (one containing a basket
+// expression) becomes a factory whose inputs are the baskets the basket
+// expressions consume; firing the factory executes the plan once over the
+// locked baskets, removing the covered tuples and appending results to the
+// output basket. One-time queries run immediately over snapshots under the
+// same locks.
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datacell/internal/basket"
+	"datacell/internal/vector"
+)
+
+// Kind distinguishes streams from persistent tables. Both are stored as
+// baskets; the difference is consumption semantics — tuples referenced in a
+// basket expression are removed from baskets but never from tables.
+type Kind uint8
+
+// Catalog object kinds.
+const (
+	KindBasket Kind = iota
+	KindTable
+)
+
+// Catalog holds the named baskets/tables and session variables of one
+// DataCell instance, plus the engine clock used by now() and arrival
+// timestamps.
+type Catalog struct {
+	mu      sync.RWMutex
+	baskets map[string]*basket.Basket
+	kinds   map[string]Kind
+	vars    map[string]vector.Value
+	now     func() time.Time
+}
+
+// NewCatalog returns an empty catalog using the real-time clock.
+func NewCatalog() *Catalog {
+	return &Catalog{
+		baskets: map[string]*basket.Basket{},
+		kinds:   map[string]Kind{},
+		vars:    map[string]vector.Value{},
+		now:     time.Now,
+	}
+}
+
+// SetClock replaces the engine clock (simulated-time runs). It also
+// rebinds the arrival-time clock of every existing basket.
+func (c *Catalog) SetClock(now func() time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = now
+	for _, b := range c.baskets {
+		b.SetClock(now)
+	}
+}
+
+// Now returns the current engine time.
+func (c *Catalog) Now() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.now()
+}
+
+// CreateBasket registers a new basket (or table) and returns it.
+func (c *Catalog) CreateBasket(name string, names []string, types []vector.Type, kind Kind) (*basket.Basket, error) {
+	name = strings.ToLower(name)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, exists := c.baskets[name]; exists {
+		return nil, fmt.Errorf("plan: %s already exists", name)
+	}
+	b := basket.New(name, names, types)
+	b.SetClock(c.now)
+	c.baskets[name] = b
+	c.kinds[name] = kind
+	return b, nil
+}
+
+// Basket returns the named basket, or nil.
+func (c *Catalog) Basket(name string) *basket.Basket {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.baskets[strings.ToLower(name)]
+}
+
+// KindOf returns the kind of a named object (KindBasket if unknown).
+func (c *Catalog) KindOf(name string) Kind {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.kinds[strings.ToLower(name)]
+}
+
+// Baskets returns all registered baskets, name-sorted.
+func (c *Catalog) Baskets() []*basket.Basket {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.baskets))
+	for n := range c.baskets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*basket.Basket, len(names))
+	for i, n := range names {
+		out[i] = c.baskets[n]
+	}
+	return out
+}
+
+// DeclareVar registers a session variable initialised to the zero value of
+// its type.
+func (c *Catalog) DeclareVar(name string, t vector.Type) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vars[strings.ToLower(name)] = vector.Value{Kind: t}
+}
+
+// SetVar assigns a session variable (declaring it implicitly if needed).
+func (c *Catalog) SetVar(name string, v vector.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.vars[strings.ToLower(name)] = v
+}
+
+// Var returns a session variable's current value.
+func (c *Catalog) Var(name string) (vector.Value, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	v, ok := c.vars[strings.ToLower(name)]
+	return v, ok
+}
+
+// lockAll locks the given baskets in global ID order (deduplicated) and
+// returns the unlock function. It is the locking discipline one-time
+// queries share with factories.
+func lockAll(bs []*basket.Basket) func() {
+	uniq := make([]*basket.Basket, 0, len(bs))
+	seen := map[uint64]bool{}
+	for _, b := range bs {
+		if b != nil && !seen[b.ID()] {
+			seen[b.ID()] = true
+			uniq = append(uniq, b)
+		}
+	}
+	sort.Slice(uniq, func(i, j int) bool { return uniq[i].ID() < uniq[j].ID() })
+	for _, b := range uniq {
+		b.Lock()
+	}
+	return func() {
+		for i := len(uniq) - 1; i >= 0; i-- {
+			uniq[i].Unlock()
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package plan
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"datacell/internal/expr"
+	"datacell/internal/sql"
+	"datacell/internal/vector"
+)
+
+// The oracle tests compare the vectorized engine against an independent
+// row-at-a-time reference evaluator on randomly generated predicates and
+// aggregations — the classic differential-testing setup for query engines.
+
+type oracleRow struct {
+	a, b int64
+	s    string
+}
+
+func oracleData(rng *rand.Rand, n int) []oracleRow {
+	words := []string{"ant", "bee", "cat", "dog", "elk", "fox"}
+	rows := make([]oracleRow, n)
+	for i := range rows {
+		rows[i] = oracleRow{
+			a: rng.Int63n(20),
+			b: rng.Int63n(100) - 50,
+			s: words[rng.Intn(len(words))],
+		}
+	}
+	return rows
+}
+
+// randPred builds a random predicate over columns a, b, s and its
+// row-reference evaluator.
+func randPred(rng *rand.Rand, depth int) (string, func(oracleRow) bool) {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		switch rng.Intn(6) {
+		case 0:
+			k := rng.Int63n(20)
+			return fmt.Sprintf("a = %d", k), func(r oracleRow) bool { return r.a == k }
+		case 1:
+			k := rng.Int63n(100) - 50
+			return fmt.Sprintf("b < %d", k), func(r oracleRow) bool { return r.b < k }
+		case 2:
+			lo := rng.Int63n(15)
+			hi := lo + rng.Int63n(10)
+			return fmt.Sprintf("a between %d and %d", lo, hi),
+				func(r oracleRow) bool { return r.a >= lo && r.a <= hi }
+		case 3:
+			return "s in ('ant', 'cat', 'elk')",
+				func(r oracleRow) bool { return r.s == "ant" || r.s == "cat" || r.s == "elk" }
+		case 4:
+			return "s like '_o%'",
+				func(r oracleRow) bool { return len(r.s) >= 2 && r.s[1] == 'o' }
+		default:
+			k := rng.Int63n(40)
+			return fmt.Sprintf("a + b > %d", k), func(r oracleRow) bool { return r.a+r.b > k }
+		}
+	}
+	l, lf := randPred(rng, depth-1)
+	r, rf := randPred(rng, depth-1)
+	switch rng.Intn(3) {
+	case 0:
+		return "(" + l + " and " + r + ")", func(x oracleRow) bool { return lf(x) && rf(x) }
+	case 1:
+		return "(" + l + " or " + r + ")", func(x oracleRow) bool { return lf(x) || rf(x) }
+	default:
+		return "not (" + l + ")", func(x oracleRow) bool { return !lf(x) }
+	}
+}
+
+func loadOracleTable(t *testing.T, h *harness, rows []oracleRow) {
+	t.Helper()
+	h.exec("create table tt (a int, b int, s string)")
+	tt := h.cat.Basket("tt")
+	for _, r := range rows {
+		if err := tt.AppendRow(vector.NewInt(r.a), vector.NewInt(r.b), vector.NewStr(r.s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestOracleRandomPredicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	h := newHarness(t)
+	rows := oracleData(rng, 500)
+	loadOracleTable(t, h, rows)
+
+	for trial := 0; trial < 60; trial++ {
+		predSQL, predGo := randPred(rng, 3)
+		q := fmt.Sprintf("select a, b from tt where %s", predSQL)
+		c := h.exec(q)
+		if c.Result == nil {
+			t.Fatalf("no result for %s", q)
+		}
+		var want [][2]int64
+		for _, r := range rows {
+			if predGo(r) {
+				want = append(want, [2]int64{r.a, r.b})
+			}
+		}
+		got := make([][2]int64, c.Result.Len())
+		for i := range got {
+			got[i] = [2]int64{c.Result.Col(0).Ints()[i], c.Result.Col(1).Ints()[i]}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %q: %d rows, oracle %d", q, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %q row %d: %v vs oracle %v", q, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOracleRandomAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := newHarness(t)
+	rows := oracleData(rng, 400)
+	loadOracleTable(t, h, rows)
+
+	for trial := 0; trial < 20; trial++ {
+		predSQL, predGo := randPred(rng, 2)
+		q := fmt.Sprintf(`select a, count(*) as n, sum(b) as sb, min(b) as mn, max(b) as mx
+			from tt where %s group by a order by a`, predSQL)
+		c := h.exec(q)
+
+		type agg struct{ n, sb, mn, mx int64 }
+		oracle := map[int64]*agg{}
+		for _, r := range rows {
+			if !predGo(r) {
+				continue
+			}
+			g := oracle[r.a]
+			if g == nil {
+				g = &agg{mn: r.b, mx: r.b}
+				oracle[r.a] = g
+			}
+			g.n++
+			g.sb += r.b
+			if r.b < g.mn {
+				g.mn = r.b
+			}
+			if r.b > g.mx {
+				g.mx = r.b
+			}
+		}
+		var keys []int64
+		for k := range oracle {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		if c.Result.Len() != len(keys) {
+			t.Fatalf("query %q: %d groups, oracle %d", q, c.Result.Len(), len(keys))
+		}
+		for i, k := range keys {
+			g := oracle[k]
+			if c.Result.Col(0).Ints()[i] != k ||
+				c.Result.Col(1).Ints()[i] != g.n ||
+				c.Result.Col(2).Ints()[i] != g.sb ||
+				c.Result.Col(3).Ints()[i] != g.mn ||
+				c.Result.Col(4).Ints()[i] != g.mx {
+				t.Fatalf("query %q group %d mismatch", q, k)
+			}
+		}
+	}
+}
+
+// TestOracleStreamingEqualsBatch verifies the defining property of the
+// DataCell: a continuous query over a stream produces, across all firings,
+// exactly what the same one-time query would produce over the whole data.
+func TestOracleStreamingEqualsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	rows := oracleData(rng, 300)
+
+	for trial := 0; trial < 15; trial++ {
+		predSQL, _ := randPred(rng, 2)
+
+		// Batch: one-time query over a table with everything.
+		hb := newHarness(t)
+		loadOracleTable(t, hb, rows)
+		batch := hb.exec(fmt.Sprintf("select a, b from tt where %s", predSQL))
+
+		// Streaming: the same predicate as a continuous query, fed in
+		// random-sized chunks.
+		hs := newHarness(t)
+		hs.exec("create basket st (a int, b int, s string)")
+		c := hs.exec(fmt.Sprintf(
+			"select t.a, t.b from [select * from st] t where %s",
+			qualify(predSQL)))
+		st := hs.cat.Basket("st")
+		i := 0
+		for i < len(rows) {
+			n := 1 + rng.Intn(50)
+			for k := 0; k < n && i < len(rows); k++ {
+				st.AppendRow(vector.NewInt(rows[i].a), vector.NewInt(rows[i].b), vector.NewStr(rows[i].s))
+				i++
+			}
+			hs.run()
+		}
+		streamed := c.Out.TakeAll()
+		if streamed.Len() != batch.Result.Len() {
+			t.Fatalf("pred %q: streaming %d rows, batch %d", predSQL, streamed.Len(), batch.Result.Len())
+		}
+		if !reflect.DeepEqual(streamed.Col(0).Ints(), batch.Result.Col(0).Ints()) ||
+			!reflect.DeepEqual(streamed.Col(1).Ints(), batch.Result.Col(1).Ints()) {
+			t.Fatalf("pred %q: streaming and batch results differ", predSQL)
+		}
+	}
+}
+
+// qualify rewrites bare column names a, b, s to t.a, t.b, t.s by parsing
+// and re-rendering the predicate with qualified column refs.
+func qualify(pred string) string {
+	stmt, err := sql.ParseOne("select * from x where " + pred)
+	if err != nil {
+		panic(err)
+	}
+	var rw func(e expr.Expr) expr.Expr
+	rw = func(e expr.Expr) expr.Expr {
+		switch n := e.(type) {
+		case *expr.Col:
+			return expr.NewCol("t." + n.Name)
+		case *expr.Bin:
+			return expr.NewBin(n.Op, rw(n.L), rw(n.R))
+		case *expr.Not:
+			return expr.NewNot(rw(n.E))
+		case *expr.Neg:
+			return expr.NewNeg(rw(n.E))
+		case *expr.Between:
+			return expr.NewBetween(rw(n.E), rw(n.Lo), rw(n.Hi), n.Negate)
+		case *expr.InList:
+			return expr.NewInList(rw(n.E), n.Vals, n.Negate)
+		case *expr.Like:
+			return expr.NewLike(rw(n.E), n.Pattern, n.Negate)
+		}
+		return e
+	}
+	return rw(stmt.(*sql.SelectStmt).Where).String()
+}

@@ -1,0 +1,610 @@
+package plan
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"datacell/internal/core"
+	"datacell/internal/sql"
+	"datacell/internal/vector"
+)
+
+// harness bundles a catalog and scheduler and provides SQL conveniences.
+type harness struct {
+	t   *testing.T
+	cat *Catalog
+	sch *core.Scheduler
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	return &harness{t: t, cat: NewCatalog(), sch: core.NewScheduler()}
+}
+
+func (h *harness) exec(src string) *Compiled {
+	h.t.Helper()
+	stmts, err := sql.Parse(src)
+	if err != nil {
+		h.t.Fatalf("parse %q: %v", src, err)
+	}
+	var last *Compiled
+	for i, s := range stmts {
+		c, err := Compile(h.cat, s, h.t.Name()+"_q"+string(rune('a'+i)))
+		if err != nil {
+			h.t.Fatalf("compile %q: %v", src, err)
+		}
+		if c.Factory != nil {
+			if err := h.sch.Register(c.Factory); err != nil {
+				h.t.Fatal(err)
+			}
+		}
+		last = c
+	}
+	return last
+}
+
+func (h *harness) feed(basketName string, rows ...[]vector.Value) {
+	h.t.Helper()
+	b := h.cat.Basket(basketName)
+	if b == nil {
+		h.t.Fatalf("no basket %q", basketName)
+	}
+	for _, r := range rows {
+		if err := b.AppendRow(r...); err != nil {
+			h.t.Fatal(err)
+		}
+	}
+}
+
+func (h *harness) run() {
+	h.t.Helper()
+	if _, err := h.sch.RunUntilQuiescent(10_000); err != nil {
+		h.t.Fatal(err)
+	}
+}
+
+func ints(vs ...int64) []vector.Value {
+	out := make([]vector.Value, len(vs))
+	for i, v := range vs {
+		out[i] = vector.NewInt(v)
+	}
+	return out
+}
+
+func TestPaperQ1FullStream(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket r (a int, b int)")
+	c := h.exec("select * from [select * from R] as S where S.a > 10")
+	h.feed("r", ints(5, 1), ints(15, 2), ints(25, 3))
+	h.run()
+	out := c.Out.TakeAll()
+	if out.Len() != 2 {
+		t.Fatalf("results = %d", out.Len())
+	}
+	if !reflect.DeepEqual(out.Col(0).Ints(), []int64{15, 25}) {
+		t.Errorf("a values: %v", out.Col(0).Ints())
+	}
+	// q1's basket expression covers all tuples: the stream basket drains.
+	if h.cat.Basket("r").Len() != 0 {
+		t.Errorf("residue: %d", h.cat.Basket("r").Len())
+	}
+}
+
+func TestPaperQ2PredicateWindow(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket r (a int, b int)")
+	c := h.exec("select * from [select * from R where R.b<10] as S where S.a > 10")
+	h.feed("r", ints(15, 5), ints(20, 50), ints(5, 3))
+	h.run()
+	out := c.Out.TakeAll()
+	if out.Len() != 1 || out.Col(0).Ints()[0] != 15 {
+		t.Fatalf("results: %v", out)
+	}
+	// Only tuples inside the predicate window (b<10) were removed; the
+	// tuple with b=50 stays for other queries.
+	snap := h.cat.Basket("r").Snapshot()
+	if snap.Len() != 1 || snap.Col(1).Ints()[0] != 50 {
+		t.Errorf("residue: %v", snap)
+	}
+}
+
+func TestOutliersTopNWindow(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket x (tag int, payload int)")
+	h.exec("create basket outliers (tag int, payload int)")
+	c := h.exec(`insert into outliers
+		select b.tag, b.payload
+		from [select top 3 from X order by tag] as b
+		where b.payload > 100`)
+	// Threshold: factory must not fire until 3 tuples are present.
+	h.feed("x", ints(2, 300), ints(1, 50))
+	h.run()
+	if got := h.cat.Basket("outliers").Len(); got != 0 {
+		t.Fatalf("fired below window size: %d results", got)
+	}
+	h.feed("x", ints(3, 200), ints(4, 999))
+	h.run()
+	out := c.Out.TakeAll()
+	// Window = 3 lowest tags {1,2,3}; payload>100 keeps tags 2 and 3.
+	if out.Len() != 2 {
+		t.Fatalf("outliers = %d", out.Len())
+	}
+	if !reflect.DeepEqual(out.Col(0).Ints(), []int64{2, 3}) {
+		t.Errorf("tags: %v", out.Col(0).Ints())
+	}
+	// Tag 4 remains: outside the fixed window of 3.
+	snap := h.cat.Basket("x").Snapshot()
+	if snap.Len() != 1 || snap.Col(0).Ints()[0] != 4 {
+		t.Errorf("residue: %v", snap)
+	}
+}
+
+func TestSplitWithBlock(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket x (tag int, payload int)")
+	h.exec(`with A as [select * from X]
+		begin
+			insert into Y select * from A where A.payload>100;
+			insert into Z select * from A where A.payload<=200;
+		end`)
+	h.feed("x", ints(1, 50), ints(2, 150), ints(3, 250))
+	h.run()
+	y, z := h.cat.Basket("y"), h.cat.Basket("z")
+	if y == nil || z == nil {
+		t.Fatal("targets not auto-created")
+	}
+	if y.Len() != 2 { // 150, 250
+		t.Errorf("y = %d", y.Len())
+	}
+	if z.Len() != 2 { // 50, 150 (partial replication overlaps)
+		t.Errorf("z = %d", z.Len())
+	}
+}
+
+func TestMergeJoinBasketExpression(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket x (id int, v int)")
+	h.exec("create basket y (id int, w int)")
+	c := h.exec("select A.* from [select * from X,Y where X.id=Y.id] as A")
+	h.feed("x", ints(1, 10), ints(2, 20))
+	h.feed("y", ints(2, 200), ints(3, 300))
+	h.run()
+	out := c.Out.TakeAll()
+	if out.Len() != 1 {
+		t.Fatalf("join results = %d: %v", out.Len(), out)
+	}
+	// Matched tuples were removed from both baskets; non-matched remain
+	// for delayed arrivals.
+	if h.cat.Basket("x").Len() != 1 || h.cat.Basket("y").Len() != 1 {
+		t.Errorf("residues: x=%d y=%d", h.cat.Basket("x").Len(), h.cat.Basket("y").Len())
+	}
+	// The delayed arrival now matches.
+	h.feed("y", ints(1, 100))
+	h.run()
+	out = c.Out.TakeAll()
+	if out.Len() != 1 {
+		t.Fatalf("delayed join results = %d", out.Len())
+	}
+	if h.cat.Basket("x").Len() != 0 {
+		t.Errorf("x residue = %d", h.cat.Basket("x").Len())
+	}
+}
+
+func TestGarbageCollectionTimeout(t *testing.T) {
+	h := newHarness(t)
+	now := time.Unix(10_000, 0)
+	h.cat.SetClock(func() time.Time { return now })
+	h.exec("create basket x (tag timestamp, id int, payload int)")
+	h.exec("create basket trash (tag timestamp, id int, payload int)")
+	h.exec("insert into trash [select all from X where X.tag < now()-1 hour]")
+	old := vector.NewTimestamp(now.Add(-2 * time.Hour))
+	fresh := vector.NewTimestamp(now.Add(-time.Minute))
+	h.feed("x",
+		[]vector.Value{old, vector.NewInt(1), vector.NewInt(10)},
+		[]vector.Value{fresh, vector.NewInt(2), vector.NewInt(20)},
+	)
+	h.run()
+	if got := h.cat.Basket("trash").Len(); got != 1 {
+		t.Errorf("trash = %d", got)
+	}
+	snap := h.cat.Basket("x").Snapshot()
+	if snap.Len() != 1 || snap.Col(1).Ints()[0] != 2 {
+		t.Errorf("survivors: %v", snap)
+	}
+}
+
+func TestIncrementalAggregateVariables(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket x (payload int)")
+	h.exec("declare cnt integer; declare tot integer; set tot = 0; set cnt = 0;")
+	h.exec(`with Z as [select top 5 payload from X]
+		begin
+			set cnt = cnt + (select count(*) from Z);
+			set tot = tot + (select sum(payload) from Z);
+		end`)
+	for i := int64(1); i <= 5; i++ {
+		h.feed("x", ints(i))
+	}
+	h.run()
+	cnt, _ := h.cat.Var("cnt")
+	tot, _ := h.cat.Var("tot")
+	if cnt.AsInt() != 5 || tot.AsInt() != 15 {
+		t.Errorf("cnt=%v tot=%v", cnt, tot)
+	}
+	// Batch semantics: below the window size nothing updates.
+	h.feed("x", ints(100))
+	h.run()
+	cnt, _ = h.cat.Var("cnt")
+	if cnt.AsInt() != 5 {
+		t.Errorf("updated below threshold: cnt=%v", cnt)
+	}
+}
+
+func TestGroupByAggregation(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket pos (seg int, speed int)")
+	c := h.exec(`select seg, avg(speed) as v, count(*) as n
+		from [select * from pos] p group by seg order by seg`)
+	h.feed("pos", ints(1, 50), ints(2, 70), ints(1, 60), ints(2, 90))
+	h.run()
+	out := c.Out.TakeAll()
+	if out.Len() != 2 {
+		t.Fatalf("groups = %d", out.Len())
+	}
+	if !reflect.DeepEqual(out.Col(0).Ints(), []int64{1, 2}) {
+		t.Errorf("segs: %v", out.Col(0).Ints())
+	}
+	if !reflect.DeepEqual(out.Col(1).Floats(), []float64{55, 80}) {
+		t.Errorf("avgs: %v", out.Col(1).Floats())
+	}
+	if !reflect.DeepEqual(out.Col(2).Ints(), []int64{2, 2}) {
+		t.Errorf("counts: %v", out.Col(2).Ints())
+	}
+}
+
+func TestHavingFiltersGroups(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket pos (seg int, speed int)")
+	c := h.exec(`select seg, count(*) as n from [select * from pos] p
+		group by seg having n >= 2`)
+	h.feed("pos", ints(1, 10), ints(1, 20), ints(2, 30))
+	h.run()
+	out := c.Out.TakeAll()
+	if out.Len() != 1 || out.Col(0).Ints()[0] != 1 {
+		t.Errorf("having: %v", out)
+	}
+}
+
+func TestOneTimeQueryOverTable(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create table hist (id int, bal int)")
+	h.feed("hist", ints(1, 100), ints(2, 200))
+	c := h.exec("select id, bal from hist where bal > 150")
+	if c.Result == nil || c.Result.Len() != 1 || c.Result.Col(0).Ints()[0] != 2 {
+		t.Errorf("one-time result: %v", c.Result)
+	}
+	// Tables are never consumed.
+	if h.cat.Basket("hist").Len() != 2 {
+		t.Errorf("table consumed: %d", h.cat.Basket("hist").Len())
+	}
+}
+
+func TestTableJoinInsideContinuousQuery(t *testing.T) {
+	// A continuous query joining a stream with a persistent table: the
+	// table is read under lock but never consumed.
+	h := newHarness(t)
+	h.exec("create basket s (id int, v int)")
+	h.exec("create table ref (id int, name string)")
+	ref := h.cat.Basket("ref")
+	ref.AppendRow(vector.NewInt(1), vector.NewStr("one"))
+	ref.AppendRow(vector.NewInt(2), vector.NewStr("two"))
+	c := h.exec(`select t.id, r.name, t.v from [select * from s] t, ref r
+		where t.id = r.id`)
+	h.feed("s", ints(2, 20), ints(3, 30))
+	h.run()
+	out := c.Out.TakeAll()
+	if out.Len() != 1 || out.Col(1).Strs()[0] != "two" {
+		t.Errorf("join with table: %v", out)
+	}
+	if ref.Len() != 2 {
+		t.Error("table was consumed")
+	}
+}
+
+func TestInsertColumnList(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket src (a int, b int)")
+	h.exec("create basket dst (p int, q int)")
+	h.exec("insert into dst (q, p) select t.a, t.b from [select * from src] t")
+	h.feed("src", ints(1, 2))
+	h.run()
+	snap := h.cat.Basket("dst").Snapshot()
+	// a -> q, b -> p: dst row should be (p=2, q=1).
+	if snap.Col(0).Ints()[0] != 2 || snap.Col(1).Ints()[0] != 1 {
+		t.Errorf("column mapping: %v", snap)
+	}
+}
+
+func TestDistinctAndTop(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket s (v int)")
+	c := h.exec("select distinct t.v from [select * from s] t order by v limit 2")
+	h.feed("s", ints(3), ints(1), ints(3), ints(2), ints(1))
+	h.run()
+	out := c.Out.TakeAll()
+	if !reflect.DeepEqual(out.Col(0).Ints(), []int64{1, 2}) {
+		t.Errorf("distinct+top: %v", out.Col(0).Ints())
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cat := NewCatalog()
+	cases := []string{
+		"select * from [select * from nosuch] t",               // unknown basket
+		"select * from s where x > 1",                          // unknown table, one-time
+		"create basket dup (a int); create basket dup (a int)", // duplicate
+	}
+	for _, src := range cases {
+		stmts, err := sql.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		failed := false
+		for _, s := range stmts {
+			if _, err := Compile(cat, s, "t"); err != nil {
+				failed = true
+			}
+		}
+		if !failed {
+			t.Errorf("Compile(%q) should fail", src)
+		}
+	}
+}
+
+func TestVariablesInPredicates(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket s (v int)")
+	h.exec("declare threshold int; set threshold = 10")
+	c := h.exec("select * from [select * from s] t where t.v > threshold")
+	h.feed("s", ints(5), ints(15))
+	h.run()
+	out := c.Out.TakeAll()
+	if out.Len() != 1 || out.Col(0).Ints()[0] != 15 {
+		t.Errorf("var predicate: %v", out)
+	}
+}
+
+func TestConcurrentSchedulerEndToEnd(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket s (v int)")
+	c := h.exec("select * from [select * from s] t where t.v % 2 = 0")
+	if err := h.sch.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer h.sch.Stop()
+	for i := int64(0); i < 200; i++ {
+		h.feed("s", ints(i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Out.Len() < 100 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.Out.Len(); got != 100 {
+		t.Errorf("results = %d, want 100", got)
+	}
+}
+
+func TestBetweenInLikeCaseInQueries(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket s (v int, name string)")
+	c := h.exec(`select t.v, t.name,
+			case when t.v between 10 and 20 then 1 else 0 end as mid
+		from [select * from s] t
+		where t.name like 'a%' and t.v in (5, 15, 25)`)
+	h.feed("s",
+		[]vector.Value{vector.NewInt(5), vector.NewStr("alpha")},
+		[]vector.Value{vector.NewInt(15), vector.NewStr("amber")},
+		[]vector.Value{vector.NewInt(15), vector.NewStr("beta")},
+		[]vector.Value{vector.NewInt(25), vector.NewStr("argon")},
+		[]vector.Value{vector.NewInt(7), vector.NewStr("apex")},
+	)
+	h.run()
+	out := c.Out.TakeAll()
+	if out.Len() != 3 {
+		t.Fatalf("results = %d: %v", out.Len(), out)
+	}
+	mids := out.ColByName("mid").Ints()
+	if !reflect.DeepEqual(mids, []int64{0, 1, 0}) {
+		t.Errorf("case arms: %v", mids)
+	}
+}
+
+func TestUnionOfStreams(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket a (v int)")
+	h.exec("create basket b (v int)")
+	c := h.exec(`select t.v from [select * from a] t
+		union all
+		select u.v from [select * from b] u
+		order by v`)
+	h.feed("a", ints(3), ints(1))
+	h.feed("b", ints(2), ints(1))
+	h.run()
+	out := c.Out.TakeAll()
+	if !reflect.DeepEqual(out.Col(0).Ints(), []int64{1, 1, 2, 3}) {
+		t.Errorf("union all: %v", out.Col(0).Ints())
+	}
+}
+
+func TestUnionDistinctDeduplicates(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create table ta (v int)")
+	h.exec("create table tb (v int)")
+	h.feed("ta", ints(1), ints(2), ints(2))
+	h.feed("tb", ints(2), ints(3))
+	c := h.exec("select v from ta union select v from tb order by v")
+	if c.Result == nil {
+		t.Fatal("one-time union missing result")
+	}
+	if !reflect.DeepEqual(c.Result.Col(0).Ints(), []int64{1, 2, 3}) {
+		t.Errorf("union distinct: %v", c.Result.Col(0).Ints())
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket pos (seg int, vid int)")
+	c := h.exec(`select p.seg, count(distinct p.vid) as cars, count(*) as reports
+		from [select * from pos] p group by p.seg order by p.seg`)
+	h.feed("pos", ints(1, 100), ints(1, 100), ints(1, 200), ints(2, 300))
+	h.run()
+	out := c.Out.TakeAll()
+	if out.Len() != 2 {
+		t.Fatalf("groups: %v", out)
+	}
+	if !reflect.DeepEqual(out.ColByName("cars").Ints(), []int64{2, 1}) {
+		t.Errorf("distinct cars: %v", out.ColByName("cars").Ints())
+	}
+	if !reflect.DeepEqual(out.ColByName("reports").Ints(), []int64{3, 1}) {
+		t.Errorf("reports: %v", out.ColByName("reports").Ints())
+	}
+}
+
+func TestCountDistinctStrings(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create table tt (s string)")
+	tt := h.cat.Basket("tt")
+	for _, s := range []string{"a", "b", "a", "c"} {
+		tt.AppendRow(vector.NewStr(s))
+	}
+	c := h.exec("select count(distinct s) as n from tt")
+	if c.Result.Col(0).Ints()[0] != 3 {
+		t.Errorf("distinct strings: %v", c.Result)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	h := newHarness(t)
+	h.exec("create basket x (tag int, payload int)")
+	h.exec("create table hist (tag int, v int)")
+	stmt, err := sql.ParseOne(`insert into outliers
+		select b.tag, b.payload from [select top 20 from X order by tag] as b
+		where b.payload > 100`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Explain(h.cat, stmt, "outliers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fires on x", "threshold 20", "window: top 20", "filter: (b.payload > 100)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, out)
+		}
+	}
+	// A join with a table shows the read-only lock.
+	stmt, err = sql.ParseOne(`select t.tag, h.v from [select * from x] t, hist h where t.tag = h.tag`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = Explain(h.cat, stmt, "joined")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "locks hist (read-only)") || !strings.Contains(out, "join 2 sources") {
+		t.Errorf("join explain:\n%s", out)
+	}
+	// A with-block explain covers the body.
+	stmt, err = sql.ParseOne(`with a as [select * from x] begin insert into y select * from a; set n = n + 1; end`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = Explain(h.cat, stmt, "split")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "insert into y") || !strings.Contains(out, "set n") {
+		t.Errorf("with explain:\n%s", out)
+	}
+}
+
+func TestCatalogBasics(t *testing.T) {
+	cat := NewCatalog()
+	b, err := cat.CreateBasket("S", []string{"v"}, []vector.Type{vector.Int}, KindBasket)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cat.CreateBasket("s", nil, nil, KindBasket); err == nil {
+		t.Error("duplicate (case-insensitive) create should fail")
+	}
+	if cat.Basket("S") != b || cat.Basket("s") != b {
+		t.Error("case-insensitive lookup broken")
+	}
+	if cat.KindOf("s") != KindBasket {
+		t.Error("kind lookup broken")
+	}
+	cat.CreateBasket("t", []string{"v"}, []vector.Type{vector.Int}, KindTable)
+	if cat.KindOf("t") != KindTable {
+		t.Error("table kind broken")
+	}
+	all := cat.Baskets()
+	if len(all) != 2 || all[0].Name() != "s" || all[1].Name() != "t" {
+		t.Errorf("baskets: %v", all)
+	}
+	cat.DeclareVar("X", vector.Float)
+	if v, ok := cat.Var("x"); !ok || v.Kind != vector.Float {
+		t.Errorf("var: %v %v", v, ok)
+	}
+	cat.SetVar("x", vector.NewFloat(2.5))
+	if v, _ := cat.Var("x"); v.F != 2.5 {
+		t.Errorf("set var: %v", v)
+	}
+	if _, ok := cat.Var("nope"); ok {
+		t.Error("unknown var found")
+	}
+}
+
+func TestSetWithSubqueryLocksBaskets(t *testing.T) {
+	// A standalone SET whose value queries a basket must lock it safely.
+	h := newHarness(t)
+	h.exec("create table tt (v int)")
+	h.feed("tt", ints(1), ints(2), ints(3))
+	h.exec("declare total int; set total = (select sum(v) from tt)")
+	if v, _ := h.cat.Var("total"); v.AsInt() != 6 {
+		t.Errorf("total = %v", v)
+	}
+}
+
+func TestPredicateWindowDoesNotSpin(t *testing.T) {
+	// A predicate window leaves residual tuples in the basket; the
+	// factory must quiesce after processing and only re-fire on new
+	// arrivals (no busy loop on the unchanged residue).
+	h := newHarness(t)
+	h.exec("create basket r (a int, b int)")
+	c := h.exec("select * from [select * from r where r.b < 10] s")
+	h.feed("r", ints(1, 50), ints(2, 5))
+	fires, err := h.sch.RunUntilQuiescent(0) // unbounded: must terminate
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fires > 3 {
+		t.Errorf("factory spun %d times on residue", fires)
+	}
+	if c.Out.Len() != 1 {
+		t.Errorf("results = %d", c.Out.Len())
+	}
+	// New input re-triggers exactly once more.
+	h.feed("r", ints(3, 7))
+	fires, err = h.sch.RunUntilQuiescent(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Errorf("re-fire count = %d", fires)
+	}
+	if c.Out.Len() != 2 {
+		t.Errorf("results after refire = %d", c.Out.Len())
+	}
+}

@@ -1,0 +1,240 @@
+package relop
+
+import (
+	"math"
+
+	"datacell/internal/vector"
+)
+
+// Grouping is the result of a GroupBy: every input tuple i is assigned the
+// dense group id GroupIDs[i]; Repr[g] is the position of the first tuple of
+// group g (used to materialise the key columns).
+type Grouping struct {
+	GroupIDs []int32
+	Repr     []int32
+}
+
+// NumGroups returns the number of distinct groups.
+func (g *Grouping) NumGroups() int { return len(g.Repr) }
+
+// GroupBy computes a dense grouping over one or more aligned key columns.
+// With no key columns every tuple falls into a single group 0 (global
+// aggregate), provided n > 0.
+func GroupBy(keys []*vector.Vector, n int) *Grouping {
+	g := &Grouping{GroupIDs: make([]int32, n)}
+	if len(keys) == 0 {
+		if n > 0 {
+			g.Repr = []int32{0}
+		}
+		return g
+	}
+	if len(keys) == 1 {
+		return groupBySingle(keys[0], n)
+	}
+	ht := make(map[string]int32, 64)
+	for i := 0; i < n; i++ {
+		k := compositeKey(keys, i)
+		id, ok := ht[k]
+		if !ok {
+			id = int32(len(g.Repr))
+			ht[k] = id
+			g.Repr = append(g.Repr, int32(i))
+		}
+		g.GroupIDs[i] = id
+	}
+	return g
+}
+
+func groupBySingle(key *vector.Vector, n int) *Grouping {
+	g := &Grouping{GroupIDs: make([]int32, n)}
+	switch key.Kind() {
+	case vector.Int, vector.Timestamp:
+		ht := make(map[int64]int32, 64)
+		for i, k := range key.Ints() {
+			id, ok := ht[k]
+			if !ok {
+				id = int32(len(g.Repr))
+				ht[k] = id
+				g.Repr = append(g.Repr, int32(i))
+			}
+			g.GroupIDs[i] = id
+		}
+	case vector.Str:
+		ht := make(map[string]int32, 64)
+		for i, k := range key.Strs() {
+			id, ok := ht[k]
+			if !ok {
+				id = int32(len(g.Repr))
+				ht[k] = id
+				g.Repr = append(g.Repr, int32(i))
+			}
+			g.GroupIDs[i] = id
+		}
+	case vector.Float:
+		ht := make(map[float64]int32, 64)
+		for i, k := range key.Floats() {
+			id, ok := ht[k]
+			if !ok {
+				id = int32(len(g.Repr))
+				ht[k] = id
+				g.Repr = append(g.Repr, int32(i))
+			}
+			g.GroupIDs[i] = id
+		}
+	case vector.Bool:
+		ht := map[bool]int32{}
+		for i, k := range key.Bools() {
+			id, ok := ht[k]
+			if !ok {
+				id = int32(len(g.Repr))
+				ht[k] = id
+				g.Repr = append(g.Repr, int32(i))
+			}
+			g.GroupIDs[i] = id
+		}
+	}
+	return g
+}
+
+// AggKind selects the aggregate function.
+type AggKind uint8
+
+// Aggregate functions.
+const (
+	AggCount AggKind = iota
+	AggSum
+	AggAvg
+	AggMin
+	AggMax
+)
+
+// String returns the SQL name of the aggregate.
+func (a AggKind) String() string {
+	switch a {
+	case AggCount:
+		return "count"
+	case AggSum:
+		return "sum"
+	case AggAvg:
+		return "avg"
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	}
+	return "?"
+}
+
+// Aggregate computes the aggregate over v per group and returns one value
+// per group in group-id order. For AggCount, v may be nil (count(*)).
+// Sum/avg over Int produce Int/Float respectively; min/max preserve the
+// input type.
+func Aggregate(kind AggKind, v *vector.Vector, g *Grouping) *vector.Vector {
+	ng := g.NumGroups()
+	switch kind {
+	case AggCount:
+		counts := make([]int64, ng)
+		for _, id := range g.GroupIDs {
+			counts[id]++
+		}
+		return vector.FromInts(counts)
+	case AggSum:
+		if v.Kind() == vector.Float {
+			sums := make([]float64, ng)
+			for i, x := range v.Floats() {
+				sums[g.GroupIDs[i]] += x
+			}
+			return vector.FromFloats(sums)
+		}
+		sums := make([]int64, ng)
+		for i, x := range v.Ints() {
+			sums[g.GroupIDs[i]] += x
+		}
+		return vector.FromInts(sums)
+	case AggAvg:
+		sums := make([]float64, ng)
+		counts := make([]int64, ng)
+		if v.Kind() == vector.Float {
+			for i, x := range v.Floats() {
+				sums[g.GroupIDs[i]] += x
+				counts[g.GroupIDs[i]]++
+			}
+		} else {
+			for i, x := range v.Ints() {
+				sums[g.GroupIDs[i]] += float64(x)
+				counts[g.GroupIDs[i]]++
+			}
+		}
+		for i := range sums {
+			if counts[i] > 0 {
+				sums[i] /= float64(counts[i])
+			} else {
+				sums[i] = math.NaN()
+			}
+		}
+		return vector.FromFloats(sums)
+	case AggMin, AggMax:
+		return aggMinMax(kind, v, g)
+	}
+	panic("relop: unknown aggregate")
+}
+
+func aggMinMax(kind AggKind, v *vector.Vector, g *Grouping) *vector.Vector {
+	ng := g.NumGroups()
+	better := func(c int) bool {
+		if kind == AggMin {
+			return c < 0
+		}
+		return c > 0
+	}
+	switch v.Kind() {
+	case vector.Int, vector.Timestamp:
+		out := make([]int64, ng)
+		seen := make([]bool, ng)
+		for i, x := range v.Ints() {
+			id := g.GroupIDs[i]
+			if !seen[id] || (kind == AggMin && x < out[id]) || (kind == AggMax && x > out[id]) {
+				out[id] = x
+				seen[id] = true
+			}
+		}
+		if v.Kind() == vector.Timestamp {
+			return vector.FromTimestamps(out)
+		}
+		return vector.FromInts(out)
+	case vector.Float:
+		out := make([]float64, ng)
+		seen := make([]bool, ng)
+		for i, x := range v.Floats() {
+			id := g.GroupIDs[i]
+			if !seen[id] || (kind == AggMin && x < out[id]) || (kind == AggMax && x > out[id]) {
+				out[id] = x
+				seen[id] = true
+			}
+		}
+		return vector.FromFloats(out)
+	default:
+		out := vector.New(v.Kind(), ng)
+		vals := make([]vector.Value, ng)
+		seen := make([]bool, ng)
+		for i := 0; i < v.Len(); i++ {
+			id := g.GroupIDs[i]
+			x := v.Get(i)
+			if !seen[id] || better(x.Compare(vals[id])) {
+				vals[id] = x
+				seen[id] = true
+			}
+		}
+		for _, val := range vals {
+			out.Append(val)
+		}
+		return out
+	}
+}
+
+// Distinct returns, in first-occurrence order, one position per distinct
+// composite key of the given aligned columns.
+func Distinct(keys []*vector.Vector, n int) []int32 {
+	g := GroupBy(keys, n)
+	return g.Repr
+}

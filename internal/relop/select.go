@@ -1,0 +1,379 @@
+// Package relop provides the vectorized relational operators of the
+// column-store kernel: selections producing candidate lists, positional
+// projection, hash and theta joins, grouped aggregation, sorting, top-N and
+// distinct. Operators work column-at-a-time over vector.Vector values,
+// optionally restricted by a candidate list of positions, mirroring the
+// MonetDB execution primitives the DataCell reuses.
+package relop
+
+import (
+	"datacell/internal/vector"
+)
+
+// CmpOp is a comparison operator code used by predicate selections and
+// theta joins.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	}
+	return "?"
+}
+
+// Negate returns the complement operator (e.g. LT -> GE).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	}
+	return op
+}
+
+func cmpHolds(op CmpOp, c int) bool {
+	switch op {
+	case EQ:
+		return c == 0
+	case NE:
+		return c != 0
+	case LT:
+		return c < 0
+	case LE:
+		return c <= 0
+	case GT:
+		return c > 0
+	case GE:
+		return c >= 0
+	}
+	return false
+}
+
+// SelectPred returns the positions in v (restricted to cand when non-nil)
+// whose value compares to val under op. The result is sorted ascending.
+func SelectPred(v *vector.Vector, op CmpOp, val vector.Value, cand []int32) []int32 {
+	out := make([]int32, 0, 64)
+	switch v.Kind() {
+	case vector.Int, vector.Timestamp:
+		x := val.AsInt()
+		s := v.Ints()
+		if cand == nil {
+			for i, e := range s {
+				if intHolds(op, e, x) {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, i := range cand {
+				if intHolds(op, s[i], x) {
+					out = append(out, i)
+				}
+			}
+		}
+	case vector.Float:
+		x := val.AsFloat()
+		s := v.Floats()
+		if cand == nil {
+			for i, e := range s {
+				if floatHolds(op, e, x) {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, i := range cand {
+				if floatHolds(op, s[i], x) {
+					out = append(out, i)
+				}
+			}
+		}
+	case vector.Bool:
+		s := v.Bools()
+		if cand == nil {
+			for i, e := range s {
+				if cmpHolds(op, cmpBool(e, val.B)) {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, i := range cand {
+				if cmpHolds(op, cmpBool(s[i], val.B)) {
+					out = append(out, i)
+				}
+			}
+		}
+	case vector.Str:
+		s := v.Strs()
+		if cand == nil {
+			for i, e := range s {
+				if cmpHolds(op, cmpStr(e, val.S)) {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, i := range cand {
+				if cmpHolds(op, cmpStr(s[i], val.S)) {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func intHolds(op CmpOp, a, b int64) bool {
+	switch op {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func floatHolds(op CmpOp, a, b float64) bool {
+	switch op {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return a < b
+	case LE:
+		return a <= b
+	case GT:
+		return a > b
+	default:
+		return a >= b
+	}
+}
+
+func cmpBool(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case b:
+		return -1
+	default:
+		return 1
+	}
+}
+
+func cmpStr(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// SelectRange returns the positions whose value lies between lo and hi.
+// loIncl/hiIncl control bound inclusivity. This is the MonetDB
+// select(b, lo, hi) primitive used by the paper's example factory.
+func SelectRange(v *vector.Vector, lo, hi vector.Value, loIncl, hiIncl bool, cand []int32) []int32 {
+	out := make([]int32, 0, 64)
+	switch v.Kind() {
+	case vector.Int, vector.Timestamp:
+		l, h := lo.AsInt(), hi.AsInt()
+		s := v.Ints()
+		test := func(e int64) bool {
+			if e < l || (e == l && !loIncl) {
+				return false
+			}
+			if e > h || (e == h && !hiIncl) {
+				return false
+			}
+			return true
+		}
+		if cand == nil {
+			for i, e := range s {
+				if test(e) {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, i := range cand {
+				if test(s[i]) {
+					out = append(out, i)
+				}
+			}
+		}
+	case vector.Float:
+		l, h := lo.AsFloat(), hi.AsFloat()
+		s := v.Floats()
+		test := func(e float64) bool {
+			if e < l || (e == l && !loIncl) {
+				return false
+			}
+			if e > h || (e == h && !hiIncl) {
+				return false
+			}
+			return true
+		}
+		if cand == nil {
+			for i, e := range s {
+				if test(e) {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, i := range cand {
+				if test(s[i]) {
+					out = append(out, i)
+				}
+			}
+		}
+	default:
+		lo0, hi0 := lo, hi
+		test := func(e vector.Value) bool {
+			cl := e.Compare(lo0)
+			if cl < 0 || (cl == 0 && !loIncl) {
+				return false
+			}
+			ch := e.Compare(hi0)
+			if ch > 0 || (ch == 0 && !hiIncl) {
+				return false
+			}
+			return true
+		}
+		n := v.Len()
+		if cand == nil {
+			for i := 0; i < n; i++ {
+				if test(v.Get(i)) {
+					out = append(out, int32(i))
+				}
+			}
+		} else {
+			for _, i := range cand {
+				if test(v.Get(int(i))) {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SelectBool returns the positions where the bool vector is true.
+func SelectBool(v *vector.Vector, cand []int32) []int32 {
+	out := make([]int32, 0, 64)
+	s := v.Bools()
+	if cand == nil {
+		for i, b := range s {
+			if b {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for _, i := range cand {
+		if s[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CandAll returns the full candidate list [0, n).
+func CandAll(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// CandAnd intersects two ascending candidate lists.
+func CandAnd(a, b []int32) []int32 {
+	out := make([]int32, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// CandOr unions two ascending candidate lists.
+func CandOr(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// CandNot complements an ascending candidate list with respect to domain
+// [0, n).
+func CandNot(a []int32, n int) []int32 {
+	out := make([]int32, 0, n-len(a))
+	j := 0
+	for i := int32(0); i < int32(n); i++ {
+		if j < len(a) && a[j] == i {
+			j++
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}

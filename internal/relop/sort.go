@@ -1,0 +1,88 @@
+package relop
+
+import (
+	"sort"
+
+	"datacell/internal/vector"
+)
+
+// SortKey describes one ordering column for Sort.
+type SortKey struct {
+	Col  *vector.Vector
+	Desc bool
+}
+
+// Sort returns the permutation of positions [0, n) that orders the input by
+// the given keys (stable, so equal keys keep arrival order — important for
+// the temporal-order semantics of "order by tag" windows).
+func Sort(keys []SortKey, n int) []int32 {
+	perm := CandAll(n)
+	if len(keys) == 0 {
+		return perm
+	}
+	sort.SliceStable(perm, func(a, b int) bool {
+		i, j := int(perm[a]), int(perm[b])
+		for _, k := range keys {
+			c := comparePos(k.Col, i, j)
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return perm
+}
+
+func comparePos(v *vector.Vector, i, j int) int {
+	switch v.Kind() {
+	case vector.Int, vector.Timestamp:
+		s := v.Ints()
+		switch {
+		case s[i] < s[j]:
+			return -1
+		case s[i] > s[j]:
+			return 1
+		default:
+			return 0
+		}
+	case vector.Float:
+		s := v.Floats()
+		switch {
+		case s[i] < s[j]:
+			return -1
+		case s[i] > s[j]:
+			return 1
+		default:
+			return 0
+		}
+	case vector.Str:
+		return cmpStr(v.Strs()[i], v.Strs()[j])
+	case vector.Bool:
+		return cmpBool(v.Bools()[i], v.Bools()[j])
+	}
+	return 0
+}
+
+// TopN truncates an ordering permutation to its first n entries, the
+// implementation of the DataCell "top n" result-set constraint.
+func TopN(perm []int32, n int) []int32 {
+	if n < 0 || n > len(perm) {
+		n = len(perm)
+	}
+	return perm[:n]
+}
+
+// IsSorted reports whether v is non-decreasing; used by tests and the
+// heartbeat machinery.
+func IsSorted(v *vector.Vector) bool {
+	for i := 1; i < v.Len(); i++ {
+		if comparePos(v, i-1, i) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,99 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"datacell/internal/expr"
+	"datacell/internal/relop"
+)
+
+func TestParseBetweenInLikeCase(t *testing.T) {
+	s := mustParseOne(t, `select case when v between 1 and 5 then 'low' else 'hi' end b
+		from t where s like 'a%' and v in (1, 2, -3) and w not in (9)
+		and u not between 5 and 6 and z not like '%x'`).(*SelectStmt)
+	w := s.Where.String()
+	for _, frag := range []string{
+		"s like 'a%'", "v in (1, 2, -3)", "w not in (9)",
+		"u not between 5 and 6", "z not like '%x'",
+	} {
+		if !strings.Contains(w, frag) {
+			t.Errorf("where missing %q: %s", frag, w)
+		}
+	}
+	if _, ok := s.Items[0].Expr.(*expr.Case); !ok {
+		t.Errorf("case item: %T", s.Items[0].Expr)
+	}
+	if s.Items[0].Alias != "b" {
+		t.Errorf("alias: %+v", s.Items[0])
+	}
+}
+
+func TestParseBetweenBindsBeforeAnd(t *testing.T) {
+	// "a between 1 and 2 and b = 3" must parse the first AND as the
+	// between separator and the second as a conjunction.
+	s := mustParseOne(t, "select * from t where a between 1 and 2 and b = 3").(*SelectStmt)
+	b, ok := s.Where.(*expr.Bin)
+	if !ok || b.Op != expr.And {
+		t.Fatalf("where: %s", s.Where)
+	}
+	if _, ok := b.L.(*expr.Between); !ok {
+		t.Errorf("left: %T", b.L)
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	s := mustParseOne(t, `select a from t union all select b from u order by a limit 3`).(*SelectStmt)
+	if s.Union == nil || !s.UnionAll {
+		t.Fatalf("union: %+v", s)
+	}
+	// ORDER BY / LIMIT hoisted to the union level.
+	if len(s.OrderBy) != 1 || s.Top != 3 {
+		t.Errorf("hoisting: order=%v top=%d", s.OrderBy, s.Top)
+	}
+	if len(s.Union.OrderBy) != 0 || s.Union.Top != -1 {
+		t.Errorf("rhs kept clauses: %+v", s.Union)
+	}
+	// Distinct union.
+	s = mustParseOne(t, `select a from t union select b from u`).(*SelectStmt)
+	if s.Union == nil || s.UnionAll {
+		t.Errorf("distinct union: %+v", s)
+	}
+}
+
+func TestParseCountDistinct(t *testing.T) {
+	s := mustParseOne(t, "select count(distinct vid) from t").(*SelectStmt)
+	a := s.Items[0].Agg
+	if a == nil || a.Kind != relop.AggCount || !a.Distinct || a.Arg == nil {
+		t.Errorf("agg: %+v", a)
+	}
+}
+
+func TestSoftKeywordsAsIdentifiers(t *testing.T) {
+	// "day", "hour" etc. are interval units but must still work as column
+	// and basket names (Linear Road has a "day" column).
+	s := mustParseOne(t, "select d.day, d.hour from dayq d where d.day > 3").(*SelectStmt)
+	if s.Items[0].ItemName(0) != "day" || s.Items[1].ItemName(1) != "hour" {
+		t.Errorf("items: %+v", s.Items)
+	}
+	cs := mustParseOne(t, "create basket q (day int, tag timestamp)").(*CreateStmt)
+	if cs.Cols[0].Name != "day" {
+		t.Errorf("cols: %+v", cs.Cols)
+	}
+	// Interval shorthand still works.
+	s2 := mustParseOne(t, "select * from t where ts > now() - 2 hours").(*SelectStmt)
+	if !strings.Contains(s2.Where.String(), "7200000000") {
+		t.Errorf("interval: %s", s2.Where)
+	}
+}
+
+func TestParseIsContinuousThroughUnion(t *testing.T) {
+	s := mustParseOne(t, "select v from tt union select t.v from [select * from s] t").(*SelectStmt)
+	if !s.IsContinuous() {
+		t.Error("union with basket expression should be continuous")
+	}
+	s = mustParseOne(t, "select v from tt union select v from uu").(*SelectStmt)
+	if s.IsContinuous() {
+		t.Error("plain union should be one-time")
+	}
+}

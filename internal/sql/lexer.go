@@ -1,0 +1,174 @@
+// Package sql implements the DataCell's SQL front-end: a lexer and parser
+// for the SQL'03 subset the paper uses, extended with the two orthogonal
+// DataCell constructs — basket expressions ([select … from …] sub-queries
+// with delete side-effects) and compound with…begin…end blocks for stream
+// splitting. The parser produces an AST whose scalar expressions reuse the
+// engine's expr nodes; internal/plan compiles the AST into factories.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokKind classifies lexer tokens.
+type TokKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokOp // punctuation and operators
+)
+
+// Token is one lexical unit with its source position (byte offset).
+type Token struct {
+	Kind TokKind
+	Text string // keywords lower-cased; idents preserved; ops literal
+	Pos  int
+}
+
+func (t Token) String() string {
+	if t.Kind == TokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+var keywords = map[string]bool{
+	"select": true, "from": true, "where": true, "group": true, "by": true,
+	"having": true, "order": true, "asc": true, "desc": true, "top": true,
+	"limit": true, "distinct": true, "all": true, "as": true, "and": true,
+	"or": true, "not": true, "insert": true, "into": true, "values": true,
+	"create": true, "basket": true, "table": true, "stream": true,
+	"declare": true, "set": true, "with": true, "begin": true, "end": true,
+	"true": true, "false": true, "null": true, "union": true,
+	"between": true, "in": true, "like": true, "case": true, "when": true,
+	"then": true, "else": true,
+	"count": true, "sum": true, "avg": true, "min": true, "max": true,
+	"int": true, "integer": true, "bigint": true, "float": true,
+	"double": true, "real": true, "bool": true, "boolean": true,
+	"varchar": true, "string": true, "text": true, "timestamp": true,
+	"interval": true, "second": true, "seconds": true, "minute": true,
+	"minutes": true, "hour": true, "hours": true, "day": true, "days": true,
+}
+
+// Lex tokenises src. It returns an error for unterminated strings or
+// unexpected characters.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && src[i+1] == '-': // line comment
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*': // block comment
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return nil, fmt.Errorf("sql: unterminated comment at offset %d", i)
+			}
+			i += end + 4
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(src[i])) {
+				i++
+			}
+			word := src[start:i]
+			if keywords[strings.ToLower(word)] {
+				toks = append(toks, Token{TokKeyword, strings.ToLower(word), start})
+			} else {
+				toks = append(toks, Token{TokIdent, word, start})
+			}
+		case c >= '0' && c <= '9' || (c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9'):
+			start := i
+			seenDot, seenExp := false, false
+			for i < n {
+				d := src[i]
+				if d >= '0' && d <= '9' {
+					i++
+					continue
+				}
+				if d == '.' && !seenDot && !seenExp {
+					seenDot = true
+					i++
+					continue
+				}
+				if (d == 'e' || d == 'E') && !seenExp && i > start {
+					seenExp = true
+					i++
+					if i < n && (src[i] == '+' || src[i] == '-') {
+						i++
+					}
+					continue
+				}
+				break
+			}
+			toks = append(toks, Token{TokNumber, src[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for {
+				if i >= n {
+					return nil, fmt.Errorf("sql: unterminated string at offset %d", start)
+				}
+				if src[i] == '\'' {
+					if i+1 < n && src[i+1] == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			toks = append(toks, Token{TokString, sb.String(), start})
+		default:
+			start := i
+			// Multi-char operators first.
+			two := ""
+			if i+1 < n {
+				two = src[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				op := two
+				if op == "!=" {
+					op = "<>"
+				}
+				toks = append(toks, Token{TokOp, op, start})
+				i += 2
+				continue
+			}
+			switch c {
+			case '(', ')', '[', ']', ',', ';', '.', '+', '-', '*', '/', '%', '<', '>', '=':
+				toks = append(toks, Token{TokOp, string(c), start})
+				i++
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,317 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"datacell/internal/expr"
+	"datacell/internal/relop"
+	"datacell/internal/vector"
+)
+
+func mustParseOne(t *testing.T, src string) Statement {
+	t.Helper()
+	s, err := ParseOne(src)
+	if err != nil {
+		t.Fatalf("ParseOne(%q): %v", src, err)
+	}
+	return s
+}
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, b FROM t WHERE a >= 1.5 AND s = 'it''s' -- c\n;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	var texts []string
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+		texts = append(texts, tok.Text)
+	}
+	if texts[0] != "select" || kinds[0] != TokKeyword {
+		t.Errorf("keyword lowering: %v", toks[0])
+	}
+	found := false
+	for _, tok := range toks {
+		if tok.Kind == TokString && tok.Text == "it's" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("escaped quote not handled")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("select 'unterminated"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	if _, err := Lex("select a ? b"); err == nil {
+		t.Error("bad character should fail")
+	}
+	if _, err := Lex("/* no end"); err == nil {
+		t.Error("unterminated comment should fail")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("select /* block */ a -- line\nfrom t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(toks) != 5 { // select a from t EOF
+		t.Errorf("tokens: %v", toks)
+	}
+}
+
+func TestParsePaperQ1(t *testing.T) {
+	s := mustParseOne(t, "select * from [select * from R] as S where S.a > 10").(*SelectStmt)
+	if !s.IsContinuous() {
+		t.Error("q1 should be continuous")
+	}
+	if len(s.From) != 1 || s.From[0].Basket == nil || s.From[0].Alias != "s" {
+		t.Errorf("from: %+v", s.From)
+	}
+	if !s.Items[0].Star {
+		t.Error("select list should be *")
+	}
+	if s.Where == nil {
+		t.Error("where missing")
+	}
+	inner := s.From[0].Basket
+	if inner.From[0].Name != "r" || inner.IsContinuous() {
+		t.Errorf("inner: %+v", inner.From)
+	}
+}
+
+func TestParsePaperQ2(t *testing.T) {
+	s := mustParseOne(t, "select * from [select * from R where R.b<20] as S where S.a >10").(*SelectStmt)
+	inner := s.From[0].Basket
+	if inner.Where == nil {
+		t.Error("inner predicate window missing")
+	}
+	if inner.Where.String() != "(r.b < 20)" {
+		t.Errorf("inner where = %s", inner.Where)
+	}
+}
+
+func TestParseOutliersExample(t *testing.T) {
+	src := `insert into outliers
+		select b.tag, b.payload
+		from [select top 20 from X order by tag] as b
+		where b.payload > 100`
+	ins := mustParseOne(t, src).(*InsertStmt)
+	if ins.Target != "outliers" {
+		t.Errorf("target = %q", ins.Target)
+	}
+	be := ins.Query.From[0].Basket
+	if be.Top != 20 {
+		t.Errorf("top = %d", be.Top)
+	}
+	if len(be.OrderBy) != 1 || be.OrderBy[0].Desc {
+		t.Errorf("order by: %+v", be.OrderBy)
+	}
+	if !be.Items[0].Star {
+		t.Error("top-without-list should mean *")
+	}
+	if len(ins.Query.Items) != 2 {
+		t.Errorf("outer select list: %+v", ins.Query.Items)
+	}
+}
+
+func TestParseSplitWithBlock(t *testing.T) {
+	src := `with A as [select * from X]
+	begin
+		insert into Y select * from A where A.payload>100;
+		insert into Z select * from A where A.payload<=200;
+	end`
+	w := mustParseOne(t, src).(*WithBlock)
+	if w.Alias != "a" || w.Basket == nil || len(w.Body) != 2 {
+		t.Fatalf("with: %+v", w)
+	}
+	ins := w.Body[1].(*InsertStmt)
+	if ins.Target != "z" {
+		t.Errorf("second insert target = %q", ins.Target)
+	}
+}
+
+func TestParseMergeJoin(t *testing.T) {
+	s := mustParseOne(t, "select A.* from [select * from X,Y where X.id=Y.id] as A").(*SelectStmt)
+	be := s.From[0].Basket
+	if len(be.From) != 2 || be.From[0].Name != "x" || be.From[1].Name != "y" {
+		t.Errorf("join sources: %+v", be.From)
+	}
+	if s.Items[0].StarAlias != "a" {
+		t.Errorf("alias.*: %+v", s.Items[0])
+	}
+}
+
+func TestParseTrashWithIntervalAndBareBasket(t *testing.T) {
+	ins := mustParseOne(t, "insert into trash [select all from X where X.tag < now()-1 hour]").(*InsertStmt)
+	be := ins.Query.From[0].Basket
+	if be == nil {
+		t.Fatal("bare basket expression not wrapped")
+	}
+	w := be.Where.String()
+	if !strings.Contains(w, "3600000000") {
+		t.Errorf("interval not folded to micros: %s", w)
+	}
+	if !strings.Contains(w, "now()") {
+		t.Errorf("now() missing: %s", w)
+	}
+}
+
+func TestParseAggregationBlock(t *testing.T) {
+	src := `with Z as [select top 10 payload from X]
+	begin
+		set cnt = cnt + (select count(*) from Z);
+		set tot = tot + (select sum(payload) from Z);
+	end`
+	w := mustParseOne(t, src).(*WithBlock)
+	set := w.Body[0].(*SetStmt)
+	if set.Name != "cnt" {
+		t.Errorf("set name = %q", set.Name)
+	}
+	b, ok := set.Value.(*expr.Bin)
+	if !ok {
+		t.Fatalf("set value: %T", set.Value)
+	}
+	sub, ok := b.R.(*SubqueryExpr)
+	if !ok {
+		t.Fatalf("rhs: %T", b.R)
+	}
+	if sub.Sel.Items[0].Agg == nil || sub.Sel.Items[0].Agg.Kind != relop.AggCount || !sub.Sel.Items[0].Agg.Star {
+		t.Errorf("count(*): %+v", sub.Sel.Items[0])
+	}
+}
+
+func TestParseGroupByHaving(t *testing.T) {
+	s := mustParseOne(t, `select seg, avg(speed) v from [select * from pos] p
+		group by seg having v > 3 order by seg desc limit 5`).(*SelectStmt)
+	if len(s.GroupBy) != 1 {
+		t.Errorf("group by: %+v", s.GroupBy)
+	}
+	if s.Items[1].Agg == nil || s.Items[1].Agg.Kind != relop.AggAvg || s.Items[1].Alias != "v" {
+		t.Errorf("agg item: %+v", s.Items[1])
+	}
+	if s.Having == nil || s.Top != 5 || !s.OrderBy[0].Desc {
+		t.Errorf("having/top/order: %+v", s)
+	}
+}
+
+func TestParseCreate(t *testing.T) {
+	cs := mustParseOne(t, "create basket X (tag int, payload float, name varchar(32))").(*CreateStmt)
+	if cs.Kind != "basket" || cs.Name != "x" || len(cs.Cols) != 3 {
+		t.Fatalf("create: %+v", cs)
+	}
+	if cs.Cols[1].Type != vector.Float || cs.Cols[2].Type != vector.Str {
+		t.Errorf("types: %+v", cs.Cols)
+	}
+	ct := mustParseOne(t, "create table history (id int, bal float)").(*CreateStmt)
+	if ct.Kind != "table" {
+		t.Errorf("kind = %q", ct.Kind)
+	}
+	cst := mustParseOne(t, "create stream s (v int)").(*CreateStmt)
+	if cst.Kind != "basket" {
+		t.Errorf("stream kind = %q", cst.Kind)
+	}
+}
+
+func TestParseDeclareSet(t *testing.T) {
+	d := mustParseOne(t, "declare cnt integer").(*DeclareStmt)
+	if d.Name != "cnt" || d.Type != vector.Int {
+		t.Errorf("declare: %+v", d)
+	}
+	s := mustParseOne(t, "set cnt = 0").(*SetStmt)
+	if s.Name != "cnt" {
+		t.Errorf("set: %+v", s)
+	}
+}
+
+func TestParseMultipleStatements(t *testing.T) {
+	ss, err := Parse(`create basket a (x int);
+		create basket b (x int);
+		insert into b select * from [select * from a] t where t.x > 0;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ss) != 3 {
+		t.Fatalf("statements = %d", len(ss))
+	}
+}
+
+func TestParseIntervalKeywordForm(t *testing.T) {
+	s := mustParseOne(t, "select * from t where ts > now() - interval '5' second").(*SelectStmt)
+	if !strings.Contains(s.Where.String(), "5000000") {
+		t.Errorf("interval: %s", s.Where)
+	}
+}
+
+func TestParseExpressionsPrecedence(t *testing.T) {
+	s := mustParseOne(t, "select * from t where a + 2 * b < 10 and not c = 3 or d > 1").(*SelectStmt)
+	want := "(((a + (2 * b)) < 10) and not (c = 3))"
+	if got := s.Where.String(); !strings.HasPrefix(got, "(") || !strings.Contains(got, want) {
+		t.Errorf("precedence: %s", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"selec * from t",
+		"select * from",
+		"select * from [select * from x",
+		"insert into t values (1)",
+		"create basket ()",
+		"with a as [select * from x] begin end",
+		"with a as [select * from x] begin delete from y; end",
+		"select * from t where",
+		"select count(* from t",
+		"select null from t",
+		"set x 5",
+		"select * from t where a between 1",
+		"select * from t where a in (b)",
+		"select * from t where s like 5",
+		"select case when a > 1 then 2 end c from t",
+		"select * from t where not between 1 and 2",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseFunctionsAndQualifiedStars(t *testing.T) {
+	s := mustParseOne(t, "select abs(a - b) d, t.* from t where mod(a, 2) = 0").(*SelectStmt)
+	if s.Items[0].Alias != "d" {
+		t.Errorf("alias: %+v", s.Items[0])
+	}
+	if !s.Items[1].Star || s.Items[1].StarAlias != "t" {
+		t.Errorf("t.*: %+v", s.Items[1])
+	}
+}
+
+func TestItemName(t *testing.T) {
+	s := mustParseOne(t, "select a, b as bb, count(*), a+1 from t").(*SelectStmt)
+	names := []string{}
+	for i, it := range s.Items {
+		names = append(names, it.ItemName(i))
+	}
+	want := []string{"a", "bb", "count", "col4"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("ItemName[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+func TestSubqueryExprUnplanned(t *testing.T) {
+	sub := &SubqueryExpr{Sel: &SelectStmt{Top: -1}}
+	if _, err := sub.Eval(nil); err == nil {
+		t.Error("unplanned subquery must not evaluate")
+	}
+	if sub.String() == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,67 @@
+// Package stream implements the periphery of the DataCell: receptors that
+// pick up events from communication channels and place them in baskets, and
+// emitters that deliver result tuples to subscribed clients. The
+// interchange format is purposely simple — flat relational tuples in a
+// textual, pipe-separated form — matching the paper's adapter design.
+// Receptors and emitters run as independent goroutines; together with the
+// factories between them they form the multi-threaded Petri net through
+// which the stream flows.
+package stream
+
+import (
+	"fmt"
+	"strings"
+
+	"datacell/internal/bat"
+	"datacell/internal/vector"
+)
+
+// FieldSep separates attribute values in the textual tuple format.
+const FieldSep = "|"
+
+// EncodeRow renders one tuple in the flat textual interchange format.
+func EncodeRow(vals []vector.Value) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, FieldSep)
+}
+
+// DecodeRow parses one textual tuple according to the given types.
+func DecodeRow(line string, types []vector.Type) ([]vector.Value, error) {
+	line = strings.TrimRight(line, "\r\n")
+	if line == "" {
+		return nil, fmt.Errorf("stream: empty tuple")
+	}
+	parts := strings.Split(line, FieldSep)
+	if len(parts) != len(types) {
+		return nil, fmt.Errorf("stream: tuple has %d fields, want %d", len(parts), len(types))
+	}
+	vals := make([]vector.Value, len(parts))
+	for i, p := range parts {
+		v, err := vector.ParseValue(types[i], p)
+		if err != nil {
+			return nil, err
+		}
+		vals[i] = v
+	}
+	return vals, nil
+}
+
+// EncodeRelation renders every tuple of rel, one line each, restricted to
+// its first ncols columns (use rel.NumCols() for all).
+func EncodeRelation(rel *bat.Relation, ncols int) []string {
+	if ncols <= 0 || ncols > rel.NumCols() {
+		ncols = rel.NumCols()
+	}
+	out := make([]string, rel.Len())
+	row := make([]vector.Value, ncols)
+	for i := 0; i < rel.Len(); i++ {
+		for j := 0; j < ncols; j++ {
+			row[j] = rel.Col(j).Get(i)
+		}
+		out[i] = EncodeRow(row)
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package stream
+
+import (
+	"bufio"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+)
+
+// Receptor is a separate thread that continuously picks up incoming events
+// from a communication channel, validates their structure and forwards
+// their content to its basket. Structurally invalid events are counted and
+// dropped — the same silent-filter behaviour as basket integrity
+// constraints.
+type Receptor struct {
+	b *basket.Basket
+	// BatchSize controls how many validated tuples are collected before a
+	// single append into the basket (amortising lock traffic); 1 appends
+	// tuple-at-a-time. Flush happens on channel end regardless.
+	BatchSize int
+
+	received atomic.Int64
+	invalid  atomic.Int64
+
+	mu      sync.Mutex
+	wg      sync.WaitGroup
+	started bool
+}
+
+// NewReceptor returns a receptor feeding basket b with batch size 64.
+func NewReceptor(b *basket.Basket) *Receptor {
+	return &Receptor{b: b, BatchSize: 64}
+}
+
+// Basket returns the destination basket.
+func (r *Receptor) Basket() *basket.Basket { return r.b }
+
+// Received returns the number of structurally valid tuples forwarded.
+func (r *Receptor) Received() int64 { return r.received.Load() }
+
+// Invalid returns the number of malformed events dropped.
+func (r *Receptor) Invalid() int64 { return r.invalid.Load() }
+
+// Listen consumes the textual tuple stream from rd until EOF (or basket
+// close) on the calling goroutine. Use Go to run it as the receptor
+// thread.
+func (r *Receptor) Listen(rd io.Reader) error {
+	names, types := r.b.UserSchema()
+	batch := bat.NewEmptyRelation(names, types)
+	flush := func() error {
+		if batch.Len() == 0 {
+			return nil
+		}
+		_, err := r.b.Append(batch)
+		batch = bat.NewEmptyRelation(names, types)
+		return err
+	}
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		vals, err := DecodeRow(line, types)
+		if err != nil {
+			r.invalid.Add(1)
+			continue
+		}
+		batch.AppendRow(vals...)
+		r.received.Add(1)
+		if batch.Len() >= r.BatchSize {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	return sc.Err()
+}
+
+// Go runs Listen on a new goroutine.
+func (r *Receptor) Go(rd io.Reader) {
+	r.mu.Lock()
+	r.started = true
+	r.wg.Add(1)
+	r.mu.Unlock()
+	go func() {
+		defer r.wg.Done()
+		_ = r.Listen(rd)
+	}()
+}
+
+// Wait blocks until all Go-launched listeners have finished.
+func (r *Receptor) Wait() { r.wg.Wait() }

@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Replayer feeds a recorded tuple trace (one pipe-separated tuple per
+// line, as produced by cmd/lrgen or EncodeRelation) into an io.Writer —
+// typically a TCP connection to a receptor — optionally pacing tuples by a
+// timestamp column, so a three-hour trace can be replayed at any speedup.
+// It is the sensor tool of the paper's experimental setup.
+type Replayer struct {
+	// TimeCol is the zero-based field carrying the tuple's timestamp in
+	// seconds; -1 disables pacing (replay as fast as possible).
+	TimeCol int
+	// Speedup divides the trace's inter-tuple gaps: 60 replays an hour of
+	// trace per minute. Values <= 0 mean 1.
+	Speedup float64
+	// Sleep is replaceable for tests; defaults to time.Sleep.
+	Sleep func(d time.Duration)
+
+	Lines  int64 // lines replayed
+	Paused time.Duration
+}
+
+// NewReplayer returns a pacing replayer on the given timestamp column.
+func NewReplayer(timeCol int, speedup float64) *Replayer {
+	return &Replayer{TimeCol: timeCol, Speedup: speedup}
+}
+
+// Replay copies the trace from r to w, pacing by the timestamp column.
+func (rp *Replayer) Replay(r io.Reader, w io.Writer) error {
+	sleep := rp.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	speed := rp.Speedup
+	if speed <= 0 {
+		speed = 1
+	}
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var last int64 = -1
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rp.TimeCol >= 0 {
+			if ts, ok := fieldInt(line, rp.TimeCol); ok {
+				if last >= 0 && ts > last {
+					gap := time.Duration(float64(ts-last) * float64(time.Second) / speed)
+					// Flush what we have before pausing so downstream
+					// sees tuples at their paced times.
+					if err := bw.Flush(); err != nil {
+						return err
+					}
+					sleep(gap)
+					rp.Paused += gap
+				}
+				last = ts
+			}
+		}
+		if _, err := bw.WriteString(line); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		rp.Lines++
+	}
+	return sc.Err()
+}
+
+// fieldInt extracts the i-th pipe-separated field as an integer.
+func fieldInt(line string, i int) (int64, bool) {
+	for ; i > 0; i-- {
+		k := strings.IndexByte(line, '|')
+		if k < 0 {
+			return 0, false
+		}
+		line = line[k+1:]
+	}
+	if k := strings.IndexByte(line, '|'); k >= 0 {
+		line = line[:k]
+	}
+	v, err := strconv.ParseInt(line, 10, 64)
+	return v, err == nil
+}

@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"net"
+	"sync"
+)
+
+// TCPReceptor listens on a TCP address and feeds every accepted
+// connection's tuple stream into the receptor's basket. It models the
+// paper's sensor-to-kernel channel.
+type TCPReceptor struct {
+	*Receptor
+	ln   net.Listener
+	mu   sync.Mutex
+	wg   sync.WaitGroup
+	stop bool
+}
+
+// ListenTCP starts a TCP receptor on addr (e.g. "127.0.0.1:0"). The
+// returned receptor is already accepting connections; query Addr for the
+// bound address.
+func ListenTCP(addr string, r *Receptor) (*TCPReceptor, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPReceptor{Receptor: r, ln: ln}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPReceptor) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPReceptor) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			defer conn.Close()
+			_ = t.Listen(conn)
+		}()
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to drain.
+func (t *TCPReceptor) Close() {
+	t.mu.Lock()
+	if !t.stop {
+		t.stop = true
+		t.ln.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// TCPEmitter serves an emitter's result stream over TCP: every accepted
+// client is subscribed and receives all subsequent result tuples. It
+// models the kernel-to-actuator channel.
+type TCPEmitter struct {
+	*Emitter
+	ln net.Listener
+	wg sync.WaitGroup
+}
+
+// ServeTCP starts a TCP emitter on addr.
+func ServeTCP(addr string, e *Emitter) (*TCPEmitter, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TCPEmitter{Emitter: e, ln: ln}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the bound listen address.
+func (t *TCPEmitter) Addr() string { return t.ln.Addr().String() }
+
+func (t *TCPEmitter) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return
+		}
+		t.SubscribeWriter(conn)
+	}
+}
+
+// Close stops accepting new clients and shuts down the emitter.
+func (t *TCPEmitter) Close() {
+	t.ln.Close()
+	t.wg.Wait()
+	t.Stop()
+}
