@@ -3,7 +3,8 @@
 //	microbench -fig 4a      elapsed time vs #queries, with/without kernel
 //	microbench -fig 4b      throughput vs #queries, with/without kernel
 //	microbench -fig 5a      latency vs batch size for 10/100/1000 queries
-//	microbench -fig 5b      strategy comparison vs #queries
+//	microbench -fig 5b      strategy comparison vs #queries (kernel-wired)
+//	microbench -fig 5be     strategy comparison vs #queries (public engine)
 //	microbench -fig kernel  pure kernel events/second
 //	microbench -fig all     everything
 //
@@ -15,11 +16,12 @@ import (
 	"fmt"
 	"os"
 
+	datacell "datacell"
 	"datacell/internal/microbench"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, kernel, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, kernel, all")
 	tuples := flag.Int("tuples", 100_000, "tuples per run (paper: 1e5)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
@@ -37,9 +39,10 @@ func main() {
 	run("4b", func() error { return fig4(*tuples, false) })
 	run("5a", func() error { return fig5a(*tuples, *seed) })
 	run("5b", func() error { return fig5b(*tuples, *seed) })
+	run("5be", func() error { return fig5bEngine(*tuples, *seed) })
 	run("kernel", func() error { return kernel(*tuples, *seed) })
 	switch *fig {
-	case "4a", "4b", "5a", "5b", "kernel", "all":
+	case "4a", "4b", "5a", "5b", "5be", "kernel", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -119,6 +122,33 @@ func fig5b(tuples int, seed int64) error {
 			fmt.Printf("\t%.3f", res.Elapsed.Seconds())
 		}
 		fmt.Println()
+	}
+	return nil
+}
+
+// fig5bEngine is the Figure 5b experiment driven through the public
+// engine API: SQL queries, engine-level strategy selection, per-stream
+// query groups. The replicas column shows the separate strategy copying
+// every tuple once per query while shared and partial ingest it once.
+func fig5bEngine(tuples int, seed int64) error {
+	fmt.Println("# Figure 5b (public engine): elapsed seconds vs number of queries, per strategy")
+	fmt.Println("queries\tseparate\tshared\tpartial\treplicas_separate")
+	for _, q := range []int{2, 8, 32, 128, 256, 1024} {
+		fmt.Printf("%d", q)
+		var repl int64
+		for _, s := range []datacell.Strategy{
+			datacell.StrategySeparate, datacell.StrategyShared, datacell.StrategyPartial,
+		} {
+			res, err := datacell.RunFig5b(s, q, tuples, seed)
+			if err != nil {
+				return err
+			}
+			if s == datacell.StrategySeparate {
+				repl = res.ReplicaAppended
+			}
+			fmt.Printf("\t%.3f", res.Elapsed.Seconds())
+		}
+		fmt.Printf("\t%d\n", repl)
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"datacell/internal/basket"
 	"datacell/internal/bat"
 	"datacell/internal/core"
+	"datacell/internal/expr"
 	"datacell/internal/plan"
 	"datacell/internal/sql"
 	"datacell/internal/stream"
@@ -60,34 +61,60 @@ type QueryInfo struct {
 // registered with Exec/RegisterQuery; streams are fed with Append or TCP
 // receptors; results are consumed with Subscribe or TCP emitters.
 //
-// Multi-query processing uses the separate-baskets strategy: every
-// continuous query consuming a stream gets a private input basket and a
-// replicator fans arriving tuples out, so queries run fully independently
-// (the paper's Figure 2a). The shared-baskets and partial-deletes
-// strategies are available on the kernel level (internal/core) and
-// compared in the Figure 5b benchmark.
+// Multi-query processing is organised per stream by query groups: every
+// continuous query consuming exactly one stream compiles to a reusable
+// stream-scan artifact, and the group wires all of a stream's artifacts
+// under the engine's strategy — separate private baskets (Figure 2a, the
+// default), one shared basket (Figure 2b) or a partial-delete chain
+// (Figure 2c). The strategy is selected with SetStrategy or the pragma
+// `set strategy = '…'` and groups rewire live when queries come and go.
+// Queries consuming several streams keep a private replica per stream.
 type Engine struct {
-	mu        sync.Mutex
-	cat       *plan.Catalog
-	sch       *core.Scheduler
-	queries   map[string]*plan.Compiled
-	emitters  []*stream.Emitter
-	tcpIn     []*stream.TCPReceptor
-	tcpOut    []*stream.TCPEmitter
-	consumers map[string][]*basket.Basket // stream name -> private baskets
-	repls     map[string]*core.Factory    // stream name -> replicator
-	started   bool
-	qctr      int
+	mu       sync.Mutex
+	cat      *plan.Catalog
+	sch      *core.Scheduler
+	strategy Strategy
+	queries  map[string]*queryRec
+	groups   map[string]*queryGroup // stream name -> sharing group
+	emitters []*stream.Emitter
+	tcpIn    []*stream.TCPReceptor
+	tcpOut   []*stream.TCPEmitter
+	started  bool
+	qctr     int
 }
 
-// New returns an empty engine.
+// queryRec tracks one registered continuous query: shareable queries are
+// group members (wired and rewired by their stream's query group), all
+// others own a standalone compiled factory fed by private replica taps.
+type queryRec struct {
+	name     string
+	out      *basket.Basket
+	member   *groupMember              // group-wired single-stream queries
+	compiled *plan.Compiled            // standalone path
+	taps     map[string]*basket.Basket // stream name -> private replica
+}
+
+// factory returns the factory currently executing the query (nil only
+// while a group rewire is in flight). Group rewires replace a member's
+// factory under e.mu, so callers must hold e.mu.
+func (r *queryRec) factory() *core.Factory {
+	if r.compiled != nil {
+		return r.compiled.Factory
+	}
+	if r.member != nil {
+		return r.member.factory
+	}
+	return nil
+}
+
+// New returns an empty engine using the separate-baskets strategy.
 func New() *Engine {
 	return &Engine{
-		cat:       plan.NewCatalog(),
-		sch:       core.NewScheduler(),
-		queries:   map[string]*plan.Compiled{},
-		consumers: map[string][]*basket.Basket{},
-		repls:     map[string]*core.Factory{},
+		cat:      plan.NewCatalog(),
+		sch:      core.NewScheduler(),
+		strategy: StrategySeparate,
+		queries:  map[string]*queryRec{},
+		groups:   map[string]*queryGroup{},
 	}
 }
 
@@ -138,13 +165,149 @@ func (e *Engine) RegisterQuery(name, src string) error {
 }
 
 func (e *Engine) register(name string, s sql.Statement) (QueryInfo, error) {
-	// Route stream consumption through a private basket per query
-	// (separate-baskets strategy).
-	privates := map[string]*basket.Basket{}
-	if isContinuousStmt(s) {
-		if err := e.rewriteToPrivate(name, s, privates); err != nil {
+	// `set strategy = '…'` is an engine pragma, not a session variable.
+	if set, ok := s.(*sql.SetStmt); ok && strings.EqualFold(set.Name, "strategy") {
+		return QueryInfo{Name: name}, e.execStrategyPragma(set)
+	}
+	if !isContinuousStmt(s) {
+		if _, err := plan.Compile(e.cat, s, name); err != nil {
 			return QueryInfo{}, err
 		}
+		return QueryInfo{Name: name}, nil
+	}
+	// Phase 1: analysis. A query consuming exactly one stream becomes a
+	// member of that stream's query group, wired (and rewired) under the
+	// engine strategy; everything else takes the standalone path.
+	if _, isWith := s.(*sql.WithBlock); !isWith {
+		a, err := plan.Analyze(e.cat, s, name)
+		if err != nil {
+			return QueryInfo{}, err
+		}
+		if a.Scan != nil {
+			return e.registerScan(name, a)
+		}
+	}
+	return e.registerStandalone(name, s)
+}
+
+// execStrategyPragma applies `set strategy = '<name>'`.
+func (e *Engine) execStrategyPragma(set *sql.SetStmt) error {
+	c, ok := set.Value.(*expr.Const)
+	if !ok || c.Val.Kind != vector.Str {
+		return fmt.Errorf("datacell: set strategy expects a string literal ('separate', 'shared' or 'partial')")
+	}
+	s, err := ParseStrategy(c.Val.S)
+	if err != nil {
+		return err
+	}
+	return e.SetStrategy(s)
+}
+
+// registerScan adds a shareable query to its stream's group (phase 2, the
+// group wiring path).
+func (e *Engine) registerScan(name string, a *plan.Analysis) (QueryInfo, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	g, err := e.addScanLocked(name, a)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	if err := e.rewireLocked(g); err != nil {
+		return QueryInfo{}, err
+	}
+	return QueryInfo{Name: name, Continuous: true}, nil
+}
+
+// addScanLocked records a shareable query as a member of its stream's
+// group without rewiring. Caller holds e.mu and must rewire the returned
+// group before releasing it.
+func (e *Engine) addScanLocked(name string, a *plan.Analysis) (*queryGroup, error) {
+	if _, dup := e.queries[name]; dup {
+		return nil, fmt.Errorf("datacell: query %q already registered", name)
+	}
+	g, err := e.groupLocked(a.Scan.Stream)
+	if err != nil {
+		return nil, err
+	}
+	m := &groupMember{name: name, scan: a.Scan}
+	g.scans = append(g.scans, m)
+	e.queries[name] = &queryRec{name: name, out: a.Out, member: m}
+	return g, nil
+}
+
+// NamedQuery pairs a query name with its SQL source for bulk
+// registration.
+type NamedQuery struct {
+	Name string
+	SQL  string
+}
+
+// RegisterQueries registers a set of continuous queries at once. Shareable
+// queries are collected first and every affected stream group is rewired
+// a single time, which matters when installing hundreds of queries over
+// one stream: a rewire is linear in the group size, so one-by-one
+// registration is quadratic. Non-shareable statements fall back to the
+// one-by-one path. On error, queries registered so far stay registered.
+func (e *Engine) RegisterQueries(qs []NamedQuery) error {
+	type analyzed struct {
+		name string
+		a    *plan.Analysis
+	}
+	var scans []analyzed
+	for _, nq := range qs {
+		s, err := sql.ParseOne(nq.SQL)
+		if err != nil {
+			return fmt.Errorf("datacell: query %q: %w", nq.Name, err)
+		}
+		_, isWith := s.(*sql.WithBlock)
+		if !isContinuousStmt(s) || isWith {
+			if _, err := e.register(nq.Name, s); err != nil {
+				return err
+			}
+			continue
+		}
+		a, err := plan.Analyze(e.cat, s, nq.Name)
+		if err != nil {
+			return err
+		}
+		if a.Scan == nil {
+			if _, err := e.registerStandalone(nq.Name, s); err != nil {
+				return err
+			}
+			continue
+		}
+		scans = append(scans, analyzed{name: nq.Name, a: a})
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	dirty := map[*queryGroup]bool{}
+	var firstErr error
+	for _, sc := range scans {
+		g, err := e.addScanLocked(sc.name, sc.a)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		dirty[g] = true
+	}
+	// Rewire even on error: members added before the failure are
+	// registered and must be executing, not sitting in an unwired group.
+	for g := range dirty {
+		if err := e.rewireLocked(g); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// registerStandalone compiles a multi-stream query or with-block to its
+// own factory (phase 2, the standalone wiring path). Stream consumption
+// is routed through a private replica per stream, attached as a tap to
+// each stream's group so the replicating wiring keeps feeding it.
+func (e *Engine) registerStandalone(name string, s sql.Statement) (QueryInfo, error) {
+	privates := map[string]*basket.Basket{}
+	if err := e.rewriteToPrivate(name, s, privates); err != nil {
+		return QueryInfo{}, err
 	}
 	c, err := plan.Compile(e.cat, s, name)
 	if err != nil {
@@ -154,16 +317,24 @@ func (e *Engine) register(name string, s sql.Statement) (QueryInfo, error) {
 		return QueryInfo{Name: name}, nil
 	}
 	e.mu.Lock()
-	e.queries[name] = c
-	for streamName, priv := range privates {
-		e.consumers[streamName] = append(e.consumers[streamName], priv)
+	if _, dup := e.queries[name]; dup {
+		e.mu.Unlock()
+		return QueryInfo{}, fmt.Errorf("datacell: query %q already registered", name)
 	}
-	e.mu.Unlock()
-	for streamName := range privates {
-		if err := e.ensureReplicator(streamName); err != nil {
-			return QueryInfo{}, err
+	e.queries[name] = &queryRec{name: name, out: c.Out, compiled: c, taps: privates}
+	for streamName, priv := range privates {
+		g, gerr := e.groupLocked(streamName)
+		if gerr != nil {
+			e.mu.Unlock()
+			return QueryInfo{}, gerr
+		}
+		g.taps = append(g.taps, priv)
+		if gerr := e.rewireLocked(g); gerr != nil {
+			e.mu.Unlock()
+			return QueryInfo{}, gerr
 		}
 	}
+	e.mu.Unlock()
 	if err := e.sch.Register(c.Factory); err != nil {
 		return QueryInfo{}, err
 	}
@@ -234,70 +405,44 @@ func (e *Engine) rewriteToPrivate(qname string, s sql.Statement, privates map[st
 	return nil
 }
 
-// ensureReplicator installs (once per stream) the factory that moves
-// arriving tuples from the stream basket into every consumer's private
-// basket. The consumer list is read dynamically, so queries can be added
-// while the engine runs.
-func (e *Engine) ensureReplicator(streamName string) error {
-	e.mu.Lock()
-	if _, ok := e.repls[streamName]; ok {
-		e.mu.Unlock()
-		return nil
-	}
-	src := e.cat.Basket(streamName)
-	e.mu.Unlock()
-	if src == nil {
-		return fmt.Errorf("datacell: unknown stream %q", streamName)
-	}
-	// The replicator's nominal output is the first private basket; the
-	// actual fan-out list is read per firing so later queries join in.
-	e.mu.Lock()
-	first := e.consumers[streamName][0]
-	e.mu.Unlock()
-	f, err := core.NewFactory("replicate$"+streamName,
-		[]*basket.Basket{src}, []*basket.Basket{first},
-		func(ctx *core.Context) error {
-			rel := ctx.In(0).TakeAllLocked()
-			if rel.Len() == 0 {
-				return nil
-			}
-			e.mu.Lock()
-			outs := append([]*basket.Basket(nil), e.consumers[streamName]...)
-			e.mu.Unlock()
-			for _, o := range outs {
-				if o == first {
-					if _, err := ctx.Out(0).AppendLocked(rel); err != nil {
-						return err
-					}
-					continue
-				}
-				// Later consumers are outside the lock set; Append takes
-				// their basket lock individually (no cycles: replicators
-				// only feed downstream).
-				if _, err := o.Append(rel); err != nil {
-					return err
-				}
-			}
-			return nil
-		})
-	if err != nil {
-		return err
-	}
-	e.mu.Lock()
-	e.repls[streamName] = f
-	e.mu.Unlock()
-	return e.sch.Register(f)
-}
-
 // Explain returns a human-readable description of how a statement would
-// be compiled: firing inputs with thresholds, locked side inputs, and the
-// operator pipeline. Nothing is created or registered.
+// be compiled: firing inputs with thresholds, locked side inputs, the
+// operator pipeline, and — for continuous queries — the multi-query
+// wiring it would receive under the engine's current strategy. Nothing is
+// created or registered.
 func (e *Engine) Explain(src string) (string, error) {
 	s, err := sql.ParseOne(src)
 	if err != nil {
 		return "", err
 	}
-	return plan.Explain(e.cat, s, "query")
+	base, err := plan.Explain(e.cat, s, "query")
+	if err != nil {
+		return "", err
+	}
+	if !isContinuousStmt(s) {
+		return base, nil
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	if streamName, ok := plan.ShareableStream(e.cat, s); ok {
+		e.mu.Lock()
+		strat := e.strategy
+		members := 0
+		forced := false
+		if g := e.groups[streamName]; g != nil {
+			members = len(g.scans)
+			forced = len(g.taps) > 0
+		}
+		e.mu.Unlock()
+		fmt.Fprintf(&b, "wiring: query group on stream %s, strategy %s (%d members installed)\n",
+			streamName, strat, members)
+		if forced && strat != StrategySeparate {
+			b.WriteString("wiring: group forced to separate baskets (stream has standalone consumers)\n")
+		}
+	} else {
+		b.WriteString("wiring: standalone factory over private stream replicas (not shareable)\n")
+	}
+	return b.String(), nil
 }
 
 // QueryStats reports the activity counters of one registered continuous
@@ -312,60 +457,85 @@ type QueryStats struct {
 }
 
 // Stats returns activity counters for every registered continuous query,
-// sorted by name.
+// sorted by name. Fires/Errors count the query's current factory; a group
+// rewire (strategy switch, membership change) starts a fresh factory, so
+// those counters restart while OutRows keeps accumulating.
 func (e *Engine) Stats() []QueryStats {
-	e.mu.Lock()
-	names := make([]string, 0, len(e.queries))
-	for n := range e.queries {
-		names = append(names, n)
+	type snap struct {
+		name    string
+		out     *basket.Basket
+		factory *core.Factory
 	}
-	qs := make(map[string]*plan.Compiled, len(e.queries))
-	for n, c := range e.queries {
-		qs[n] = c
+	// Factory pointers must be read under e.mu: group rewires replace a
+	// member's factory concurrently.
+	e.mu.Lock()
+	snaps := make([]snap, 0, len(e.queries))
+	for n, r := range e.queries {
+		snaps = append(snaps, snap{name: n, out: r.out, factory: r.factory()})
 	}
 	e.mu.Unlock()
-	sort.Strings(names)
-	out := make([]QueryStats, 0, len(names))
-	for _, n := range names {
-		c := qs[n]
-		st := c.Out.Stats()
-		out = append(out, QueryStats{
-			Name:    n,
-			Fires:   c.Factory.Fires(),
-			Errors:  c.Factory.Errors(),
-			LastErr: c.Factory.LastError(),
-			OutRows: st.Appended,
-			Pending: c.Out.Len(),
-		})
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].name < snaps[j].name })
+	out := make([]QueryStats, 0, len(snaps))
+	for _, s := range snaps {
+		st := s.out.Stats()
+		q := QueryStats{Name: s.name, OutRows: st.Appended, Pending: s.out.Len()}
+		if s.factory != nil {
+			q.Fires = s.factory.Fires()
+			q.Errors = s.factory.Errors()
+			q.LastErr = s.factory.LastError()
+		}
+		out = append(out, q)
 	}
 	return out
 }
 
 // RemoveQuery unregisters a continuous query: its factory stops firing,
-// its private input baskets stop receiving replicated tuples, and its
-// output basket is left in place (drain it or let subscribers finish).
+// its stream's query group rewires without it, and its output basket is
+// left in place (drain it or let subscribers finish).
 func (e *Engine) RemoveQuery(name string) error {
 	e.mu.Lock()
-	c, ok := e.queries[name]
+	rec, ok := e.queries[name]
 	if !ok {
 		e.mu.Unlock()
 		return fmt.Errorf("datacell: unknown query %q", name)
 	}
 	delete(e.queries, name)
-	suffix := "$" + strings.ToLower(name)
-	for streamName, privs := range e.consumers {
-		kept := privs[:0]
-		for _, p := range privs {
-			if strings.HasSuffix(p.Name(), suffix) {
-				continue
+	var err error
+	if rec.member != nil {
+		for _, g := range e.groups {
+			for i, m := range g.scans {
+				if m != rec.member {
+					continue
+				}
+				g.scans = append(g.scans[:i], g.scans[i+1:]...)
+				if e2 := e.rewireLocked(g); err == nil {
+					err = e2
+				}
+				break
 			}
-			kept = append(kept, p)
 		}
-		e.consumers[streamName] = kept
+	}
+	for streamName, priv := range rec.taps {
+		g := e.groups[streamName]
+		if g == nil {
+			continue
+		}
+		for i, t := range g.taps {
+			if t == priv {
+				g.taps = append(g.taps[:i], g.taps[i+1:]...)
+				break
+			}
+		}
+		if e2 := e.rewireLocked(g); err == nil {
+			err = e2
+		}
 	}
 	e.mu.Unlock()
-	e.sch.Unregister(c.Factory)
-	return nil
+	if rec.compiled != nil && rec.compiled.Factory != nil {
+		e.sch.Unregister(rec.compiled.Factory)
+		rec.compiled.Factory.WaitIdle()
+	}
+	return err
 }
 
 // Query runs a one-time query immediately and returns its rows.
@@ -396,7 +566,7 @@ func (e *Engine) Out(query string) (*basket.Basket, error) {
 	if !ok {
 		return nil, fmt.Errorf("datacell: unknown query %q", query)
 	}
-	return c.Out, nil
+	return c.out, nil
 }
 
 // Subscribe delivers every result batch of the named continuous query to

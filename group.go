@@ -1,0 +1,365 @@
+package datacell
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+	"strings"
+
+	"datacell/internal/basket"
+	"datacell/internal/core"
+	"datacell/internal/plan"
+)
+
+// Strategy selects the paper's multi-query processing scheme (§4.2,
+// Figures 2a–2c) used to wire all continuous queries that consume one
+// stream. It is set engine-wide with SetStrategy or the SQL pragma
+// `set strategy = 'separate' | 'shared' | 'partial'`.
+type Strategy string
+
+// Multi-query processing strategies.
+const (
+	// StrategySeparate replicates every arriving tuple into a private
+	// basket per query; queries run fully independently (Figure 2a).
+	StrategySeparate Strategy = "separate"
+	// StrategyShared lets all queries read the stream basket in place; a
+	// locker/unlocker pair synchronises the group and covered tuples are
+	// removed once per group, not once per query (Figure 2b).
+	StrategyShared Strategy = "shared"
+	// StrategyPartial chains the queries: each removes the tuples it
+	// covers and forwards only the residue to the next (Figure 2c).
+	StrategyPartial Strategy = "partial"
+)
+
+// ParseStrategy converts a strategy name into a Strategy.
+func ParseStrategy(s string) (Strategy, error) {
+	switch Strategy(strings.ToLower(strings.TrimSpace(s))) {
+	case StrategySeparate:
+		return StrategySeparate, nil
+	case StrategyShared:
+		return StrategyShared, nil
+	case StrategyPartial:
+		return StrategyPartial, nil
+	}
+	return "", fmt.Errorf("datacell: unknown strategy %q (want 'separate', 'shared' or 'partial')", s)
+}
+
+// queryGroup manages the multi-query wiring of one stream: every
+// continuous query consuming the stream is either a scan member (a
+// compiled plan.StreamScan that can be wired under any strategy) or a tap
+// (the private replica basket of a standalone query that needs a full
+// copy of the stream). Membership changes and engine strategy switches
+// tear the current factory wiring down and rebuild it, which is safe
+// while the scheduler runs.
+type queryGroup struct {
+	name   string
+	stream *basket.Basket
+	scans  []*groupMember
+	taps   []*basket.Basket
+	wired  []*core.Factory
+	// privs records every private replica basket this group ever created,
+	// including those of since-removed members: a replica's residue is
+	// per-query window state that must never be mistaken for in-flight
+	// stream data by drainAux (other queries already got their copies).
+	privs map[*basket.Basket]bool
+	// effective is the strategy of the current wiring (taps force
+	// separate); gen numbers wirings so rebuilt factories get fresh names.
+	effective Strategy
+	gen       int
+}
+
+// groupMember is one scan member: its compiled stream-scan artifact, the
+// private replica used under the separate strategy (created lazily,
+// persists across rewires so residual window tuples survive), and the
+// factory currently executing the query.
+type groupMember struct {
+	name    string
+	scan    *plan.StreamScan
+	priv    *basket.Basket
+	factory *core.Factory
+}
+
+// flush runs the member's query once over its private replica, consuming
+// whatever it covers. Called during a rewire (the member's factory is
+// quiesced), it takes the same basket locks a firing would, in global ID
+// order. Residual tuples the query already declined to cover match
+// nothing again, so flushing is idempotent; only replicated-but-
+// unprocessed tuples produce output.
+func (m *groupMember) flush() error {
+	if m.priv == nil || m.priv.Len() == 0 {
+		return nil
+	}
+	if m.priv.Len() < m.scan.Threshold {
+		// A tuple-count window that is not full has not triggered; its
+		// tuples stay in the replica and resume if the group returns to
+		// the separate wiring.
+		return nil
+	}
+	out := m.scan.Out
+	lockSet := append([]*basket.Basket{m.priv, out}, m.scan.LockOnly...)
+	uniq := lockSet[:0]
+	seen := map[uint64]bool{}
+	for _, b := range lockSet {
+		if !seen[b.ID()] {
+			seen[b.ID()] = true
+			uniq = append(uniq, b)
+		}
+	}
+	slices.SortFunc(uniq, func(a, b *basket.Basket) int {
+		switch {
+		case a.ID() < b.ID():
+			return -1
+		case a.ID() > b.ID():
+			return 1
+		}
+		return 0
+	})
+	for _, b := range uniq {
+		b.Lock()
+	}
+	before := out.LenLocked()
+	err := m.scan.Run(m.priv, nil)
+	grew := out.LenLocked() > before
+	for i := len(uniq) - 1; i >= 0; i-- {
+		uniq[i].Unlock()
+	}
+	if grew {
+		out.NotifyAppend()
+	}
+	return err
+}
+
+// groupLocked returns (creating if needed) the query group of a stream.
+// Caller holds e.mu.
+func (e *Engine) groupLocked(streamName string) (*queryGroup, error) {
+	if g, ok := e.groups[streamName]; ok {
+		return g, nil
+	}
+	b := e.cat.Basket(streamName)
+	if b == nil {
+		return nil, fmt.Errorf("datacell: unknown stream %q", streamName)
+	}
+	g := &queryGroup{name: streamName, stream: b, effective: e.strategy}
+	e.groups[streamName] = g
+	return g, nil
+}
+
+// rewireLocked tears down a group's current factory wiring and rebuilds
+// it under the engine strategy. Old factories are unregistered and waited
+// idle first, so they can never fire again; a mid-cycle teardown of the
+// shared wiring may have left the stream blocked, which the rebuild
+// reopens. Caller holds e.mu; factory bodies never take e.mu, so waiting
+// under it cannot deadlock.
+func (e *Engine) rewireLocked(g *queryGroup) error {
+	for _, f := range g.wired {
+		e.sch.Unregister(f)
+		f.WaitIdle()
+	}
+	// Complete a shared cycle torn down midway: tuples some reader already
+	// emitted carry cover credits, and the unlocker that would have
+	// removed them is gone — delete them now or the rebuilt wiring scans
+	// them again and emits duplicates. A no-op outside shared wiring
+	// (no credits are ever recorded).
+	g.stream.Lock()
+	g.stream.DeleteCoveredLocked(1)
+	g.stream.Unlock()
+	g.stream.SetEnabled(true)
+	g.drainAux()
+	g.wired = nil
+	for _, m := range g.scans {
+		m.factory = nil
+	}
+	if len(g.scans) == 0 && len(g.taps) == 0 {
+		return nil
+	}
+
+	// Standalone queries need a full private copy of the stream, which
+	// only the replicating wiring provides; their presence forces the
+	// separate strategy for the whole group.
+	g.effective = e.strategy
+	if len(g.taps) > 0 {
+		g.effective = StrategySeparate
+	}
+	// Leaving the separate wiring: process tuples already replicated into
+	// the members' private baskets first — no factory of the new wiring
+	// reads them, so they would otherwise be stranded unprocessed.
+	if g.effective != StrategySeparate {
+		for _, m := range g.scans {
+			if err := m.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	g.gen++
+	prefix := fmt.Sprintf("%s$%s%d", g.name, g.effective, g.gen)
+
+	var fs []*core.Factory
+	switch g.effective {
+	case StrategySeparate:
+		outs := make([]*basket.Basket, 0, len(g.scans)+len(g.taps))
+		for _, m := range g.scans {
+			if m.priv == nil {
+				names, types := g.stream.UserSchema()
+				m.priv = basket.New(g.name+"$"+strings.ToLower(m.name), names, types)
+				if g.privs == nil {
+					g.privs = map[*basket.Basket]bool{}
+				}
+				g.privs[m.priv] = true
+			}
+			outs = append(outs, m.priv)
+		}
+		outs = append(outs, g.taps...)
+		rep, err := core.NewReplicator(prefix+".replicate", g.stream, outs)
+		if err != nil {
+			return err
+		}
+		fs = append(fs, rep)
+		for _, m := range g.scans {
+			f, err := core.NewStreamQueryFactory(prefix+".q."+m.name, m.priv, m.scan.StreamQuery())
+			if err != nil {
+				return err
+			}
+			m.factory = f
+			fs = append(fs, f)
+		}
+	case StrategyShared:
+		all, err := core.SharedBaskets(prefix, g.stream, g.streamQueries())
+		if err != nil {
+			return err
+		}
+		for i, m := range g.scans {
+			m.factory = all[1+i] // [locker, readers…, unlocker]
+		}
+		fs = all
+	case StrategyPartial:
+		all, err := core.PartialDeletes(prefix, g.stream, g.streamQueries())
+		if err != nil {
+			return err
+		}
+		for i, m := range g.scans {
+			m.factory = all[i]
+		}
+		fs = all
+	}
+	for _, f := range fs {
+		if err := e.sch.Register(f); err != nil {
+			return err
+		}
+	}
+	g.wired = fs
+	return nil
+}
+
+// drainAux returns tuples stranded in auxiliary wiring baskets — the
+// partial-delete chain of a torn-down wiring — to the stream, so a
+// mid-cycle rewire never loses in-flight data. Only old factory inputs
+// that carry the stream's schema qualify; member replicas (g.privs,
+// including replicas of removed members) keep their residue — it is
+// per-query window state, not in-flight data — and the shared wiring's
+// flag baskets don't match the schema.
+func (g *queryGroup) drainAux() {
+	sNames, sTypes := g.stream.UserSchema()
+	seen := map[*basket.Basket]bool{}
+	for _, f := range g.wired {
+		for _, in := range f.Inputs() {
+			if in == g.stream || g.privs[in] || seen[in] {
+				continue
+			}
+			seen[in] = true
+			names, types := in.UserSchema()
+			if !slices.Equal(names, sNames) || !slices.Equal(types, sTypes) {
+				continue
+			}
+			if rel := in.TakeAll(); rel.Len() > 0 {
+				g.stream.Append(rel)
+			}
+		}
+	}
+}
+
+func (g *queryGroup) streamQueries() []core.StreamQuery {
+	qs := make([]core.StreamQuery, len(g.scans))
+	for i, m := range g.scans {
+		qs[i] = m.scan.StreamQuery()
+	}
+	return qs
+}
+
+// SetStrategy switches the engine's multi-query processing strategy and
+// rewires every stream's query group accordingly. It can be called while
+// the engine runs; tuples already replicated into private baskets under
+// the previous wiring are processed by their owners before the switch
+// takes effect for them.
+func (e *Engine) SetStrategy(s Strategy) error {
+	s, err := ParseStrategy(string(s))
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.strategy == s {
+		return nil
+	}
+	e.strategy = s
+	names := make([]string, 0, len(e.groups))
+	for n := range e.groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if err := e.rewireLocked(e.groups[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Strategy returns the engine's current multi-query processing strategy.
+func (e *Engine) Strategy() Strategy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.strategy
+}
+
+// GroupInfo describes the current wiring of one stream's query group.
+type GroupInfo struct {
+	Stream   string
+	Strategy Strategy // effective strategy of the installed wiring
+	Members  []string // group-wired (shareable) queries, wiring order
+	Taps     int      // standalone consumers receiving a full replica
+	// ReplicaAppended counts tuples appended to private replica baskets
+	// over the group's lifetime: 0 under shared/partial wiring, about
+	// members×ingested under separate wiring.
+	ReplicaAppended int64
+}
+
+// Groups reports the current multi-query wiring of every stream that has
+// at least one continuous consumer, sorted by stream name.
+func (e *Engine) Groups() []GroupInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.groups))
+	for n := range e.groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]GroupInfo, 0, len(names))
+	for _, n := range names {
+		g := e.groups[n]
+		if len(g.scans) == 0 && len(g.taps) == 0 {
+			continue
+		}
+		gi := GroupInfo{Stream: n, Strategy: g.effective, Taps: len(g.taps)}
+		for _, m := range g.scans {
+			gi.Members = append(gi.Members, m.name)
+			if m.priv != nil {
+				gi.ReplicaAppended += m.priv.Stats().Appended
+			}
+		}
+		for _, t := range g.taps {
+			gi.ReplicaAppended += t.Stats().Appended
+		}
+		out = append(out, gi)
+	}
+	return out
+}

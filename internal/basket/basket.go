@@ -67,6 +67,13 @@ type Basket struct {
 	constraints []Constraint
 	onAppend    atomic.Value // func(), scheduler wake-up hook
 
+	// covers holds per-resident-tuple cover credits for the shared-baskets
+	// strategy: each reader that has covered a tuple adds one credit, and
+	// the group's unlocker removes every tuple that collected enough
+	// credits in one step. nil until the first CoverLocked call; kept
+	// positionally aligned with rel by the delete/take operations.
+	covers []int32
+
 	appended int64
 	dropped  int64
 	consumed int64
@@ -271,6 +278,9 @@ func (b *Basket) appendLocked(rel *bat.Relation) (int, error) {
 			b.rel.AppendRelation(withTS.Rename(b.names))
 		}
 		b.appended += int64(accepted)
+		if b.covers != nil {
+			b.covers = append(b.covers, make([]int32, accepted)...)
+		}
 		b.notEmpty.Broadcast()
 	}
 	b.dropped += int64(dropped)
@@ -317,6 +327,7 @@ func (b *Basket) TakeAllLocked() *bat.Relation {
 	b.consumed += int64(out.Len())
 	b.seqbase += bat.OID(out.Len())
 	b.rel = bat.NewEmptyRelation(b.names, b.types)
+	b.covers = nil
 	return out
 }
 
@@ -325,6 +336,7 @@ func (b *Basket) TakeAllLocked() *bat.Relation {
 func (b *Basket) TakeLocked(sel []int32) *bat.Relation {
 	out := b.rel.Gather(sel)
 	b.rel.DeleteSorted(sel)
+	b.covers = deleteSortedCounts(b.covers, sel)
 	b.consumed += int64(len(sel))
 	return out
 }
@@ -333,7 +345,65 @@ func (b *Basket) TakeLocked(sel []int32) *bat.Relation {
 // materialising them.
 func (b *Basket) DeleteLocked(sel []int32) {
 	b.rel.DeleteSorted(sel)
+	b.covers = deleteSortedCounts(b.covers, sel)
 	b.consumed += int64(len(sel))
+}
+
+// CoverLocked adds one cover credit to each of the given resident
+// positions. A shared-basket reader calls it once per firing with the
+// positions its basket expression covered; the positions need not be
+// sorted but must not repeat. Caller holds the basket lock.
+func (b *Basket) CoverLocked(sel []int32) {
+	if len(sel) == 0 {
+		return
+	}
+	if n := b.rel.Len(); len(b.covers) < n {
+		b.covers = append(b.covers, make([]int32, n-len(b.covers))...)
+	}
+	for _, p := range sel {
+		b.covers[p]++
+	}
+}
+
+// DeleteCoveredLocked removes every tuple that has collected at least min
+// cover credits, shifting the surviving tuples' credits down with them.
+// It returns the number of tuples removed. This is the shared-baskets
+// unlocker's one-step delete: with min 1 it removes the union of what the
+// group covered; with min = group size only tuples every member covered.
+func (b *Basket) DeleteCoveredLocked(min int32) int {
+	if len(b.covers) == 0 {
+		return 0
+	}
+	ripe := make([]int32, 0, len(b.covers))
+	for i, c := range b.covers {
+		if c >= min {
+			ripe = append(ripe, int32(i))
+		}
+	}
+	if len(ripe) == 0 {
+		return 0
+	}
+	b.DeleteLocked(ripe)
+	return len(ripe)
+}
+
+// deleteSortedCounts removes the entries of counts at the given ascending
+// positions, compacting in place (the credit-slice mirror of the
+// relation's shift delete).
+func deleteSortedCounts(counts []int32, sel []int32) []int32 {
+	if len(counts) == 0 || len(sel) == 0 {
+		return counts
+	}
+	w, di := 0, 0
+	for i := range counts {
+		if di < len(sel) && int(sel[di]) == i {
+			di++
+			continue
+		}
+		counts[w] = counts[i]
+		w++
+	}
+	return counts[:w]
 }
 
 // WaitNotEmpty blocks until the basket holds at least min tuples or is

@@ -283,3 +283,54 @@ func TestConcurrentAppendTake(t *testing.T) {
 		t.Errorf("stats = %+v", st)
 	}
 }
+
+func TestCoverCreditsUnionDelete(t *testing.T) {
+	// Two shared readers cover overlapping position sets; the union is
+	// removed in one step, the uncovered tuple survives.
+	b := newIntBasket("s")
+	b.Append(userRel(10, 20, 30, 40))
+	b.Lock()
+	b.CoverLocked([]int32{0, 1})
+	b.CoverLocked([]int32{1, 3})
+	if n := b.DeleteCoveredLocked(1); n != 3 {
+		t.Errorf("union delete removed %d, want 3", n)
+	}
+	b.Unlock()
+	snap := b.Snapshot()
+	if snap.Len() != 1 || snap.Col(0).Ints()[0] != 30 {
+		t.Errorf("residue: %v", snap.Col(0).Ints())
+	}
+}
+
+func TestCoverCreditsThresholdAndShift(t *testing.T) {
+	b := newIntBasket("s")
+	b.Append(userRel(1, 2, 3))
+	b.Lock()
+	b.CoverLocked([]int32{0, 2})
+	b.CoverLocked([]int32{2})
+	// Only position 2 reached two credits.
+	if n := b.DeleteCoveredLocked(2); n != 1 {
+		t.Errorf("threshold delete removed %d, want 1", n)
+	}
+	// Credits of the survivors shifted with the tuples: position 0 still
+	// holds one credit, so a union delete removes exactly it.
+	if n := b.DeleteCoveredLocked(1); n != 1 {
+		t.Errorf("follow-up union delete removed %d, want 1", n)
+	}
+	if b.LenLocked() != 1 {
+		t.Errorf("len = %d", b.LenLocked())
+	}
+	b.Unlock()
+	// New arrivals start with zero credits while tracking is active.
+	b.Append(userRel(4))
+	b.Lock()
+	if n := b.DeleteCoveredLocked(1); n != 0 {
+		t.Errorf("fresh tuples deleted: %d", n)
+	}
+	// TakeAll resets the tracker entirely.
+	b.TakeAllLocked()
+	if n := b.DeleteCoveredLocked(1); n != 0 {
+		t.Errorf("delete after take-all: %d", n)
+	}
+	b.Unlock()
+}

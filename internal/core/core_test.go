@@ -42,6 +42,16 @@ func allScan(name string) ScanQuery {
 	}
 }
 
+// bindAll pairs scan callbacks with their result baskets in the
+// StreamQuery form the strategies consume.
+func bindAll(qs []ScanQuery, results []*basket.Basket) []StreamQuery {
+	out := make([]StreamQuery, len(qs))
+	for i, q := range qs {
+		out[i] = q.Bind(results[i])
+	}
+	return out
+}
+
 func TestFactoryValidation(t *testing.T) {
 	b := intBasket("b")
 	if _, err := NewFactory("f", nil, []*basket.Basket{b}, func(*Context) error { return nil }); err == nil {
@@ -242,7 +252,7 @@ func TestSeparateBasketsStrategy(t *testing.T) {
 	in := intBasket("stream")
 	results := []*basket.Basket{intBasket("r0"), intBasket("r1")}
 	qs := []ScanQuery{rangeScan("low", 0, 50), rangeScan("high", 50, 100)}
-	fs, err := SeparateBaskets("sep", in, qs, results)
+	fs, err := SeparateBaskets("sep", in, bindAll(qs, results))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +279,7 @@ func TestSharedBasketsStrategy(t *testing.T) {
 	in := intBasket("stream")
 	results := []*basket.Basket{intBasket("r0"), intBasket("r1"), intBasket("r2")}
 	qs := []ScanQuery{rangeScan("a", 0, 30), rangeScan("b", 30, 60), rangeScan("c", 60, 100)}
-	fs, err := SharedBaskets("sh", in, qs, results)
+	fs, err := SharedBaskets("sh", in, bindAll(qs, results))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +327,7 @@ func TestSharedBasketsKeepsUncoveredTuples(t *testing.T) {
 	results := []*basket.Basket{intBasket("r0")}
 	// Query covers only x < 10; other tuples must survive in the basket.
 	qs := []ScanQuery{rangeScan("small", 0, 10)}
-	fs, err := SharedBaskets("sh2", in, qs, results)
+	fs, err := SharedBaskets("sh2", in, bindAll(qs, results))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +353,7 @@ func TestPartialDeletesStrategy(t *testing.T) {
 	in := intBasket("stream")
 	results := []*basket.Basket{intBasket("r0"), intBasket("r1")}
 	qs := []ScanQuery{rangeScan("low", 0, 50), rangeScan("high", 50, 100)}
-	fs, err := PartialDeletes("pd", in, qs, results)
+	fs, err := PartialDeletes("pd", in, bindAll(qs, results))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +390,7 @@ func TestPartialDeletesShrinkChain(t *testing.T) {
 		},
 	}
 	results := []*basket.Basket{intBasket("r0"), intBasket("r1")}
-	fs, _ := PartialDeletes("pd2", in, []ScanQuery{q1, q2}, results)
+	fs, _ := PartialDeletes("pd2", in, bindAll([]ScanQuery{q1, q2}, results))
 	s := NewScheduler()
 	for _, f := range fs {
 		s.Register(f)
@@ -487,8 +497,8 @@ func TestSlidingWindowJoinWithTriggerBasket(t *testing.T) {
 			}
 			// Matched tuples leave the window (merge semantics: matching
 			// tuples are removed; non-matched wait for late arrivals).
-			ctx.Out(1).DeleteLocked(dedupSorted(ls))
-			ctx.Out(2).DeleteLocked(dedupSorted(rs))
+			ctx.Out(1).DeleteLocked(sortedPositions(ls))
+			ctx.Out(2).DeleteLocked(sortedPositions(rs))
 			return nil
 		})
 
@@ -514,33 +524,60 @@ func TestSlidingWindowJoinWithTriggerBasket(t *testing.T) {
 	}
 }
 
-func dedupSorted(s []int32) []int32 {
-	out := append([]int32(nil), s...)
-	sortInt32s(out)
-	w := 0
-	for i, v := range out {
-		if i == 0 || v != out[w-1] {
-			out[w] = v
-			w++
+func TestSortedPositions(t *testing.T) {
+	got := sortedPositions([]int32{5, 1, 5, 3, 1})
+	want := []int32{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("sortedPositions = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sortedPositions[%d] = %d, want %d", i, got[i], want[i])
 		}
 	}
-	return out[:w]
 }
 
-func TestSortInt32s(t *testing.T) {
-	big := make([]int32, 100)
-	for i := range big {
-		big[i] = int32(100 - i)
+func TestSharedBasketsReaderErrorDoesNotWedgeGroup(t *testing.T) {
+	// A failing reader must still report done, or the unlocker never
+	// fires and the stream stays blocked forever.
+	in := intBasket("stream")
+	good := intBasket("good.out")
+	bad := StreamQuery{
+		Name:    "bad",
+		Outputs: []*basket.Basket{intBasket("bad.out")},
+		Fire: func(b *basket.Basket, report func([]int32)) error {
+			return fmt.Errorf("boom")
+		},
 	}
-	sortInt32s(big)
-	for i := 1; i < len(big); i++ {
-		if big[i-1] > big[i] {
-			t.Fatal("quicksort path failed")
-		}
+	fs, err := SharedBaskets("shw", in, []StreamQuery{bad, rangeScan("ok", 0, 100).Bind(good)})
+	if err != nil {
+		t.Fatal(err)
 	}
-	small := []int32{3, 1, 2}
-	sortInt32s(small)
-	if small[0] != 1 || small[2] != 3 {
-		t.Errorf("insertion path: %v", small)
+	s := NewScheduler()
+	for _, f := range fs {
+		s.Register(f)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Stop()
+	in.Append(intRel(5, 50))
+	deadline := time.Now().Add(5 * time.Second)
+	for good.Len() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if good.Len() != 2 {
+		t.Fatalf("healthy reader delivered %d results, want 2", good.Len())
+	}
+	// Second round: the stream was unblocked and the cycle restarts.
+	in.Append(intRel(7))
+	for good.Len() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if good.Len() != 3 {
+		t.Errorf("group wedged after reader error: %d results", good.Len())
+	}
+	if !in.Enabled() {
+		t.Error("stream left disabled")
 	}
 }

@@ -164,12 +164,45 @@ func (f *Factory) fireable() bool {
 	return true
 }
 
+// Enabled reports whether the factory would fire right now: thresholds
+// met and guard passing, evaluated under the basket locks. Quiescence
+// checks need it because the lock-free fireable() cannot consult the
+// guard — a factory whose input holds residual tuples but whose guard
+// waits for new arrivals is fireable-looking yet permanently disabled.
+func (f *Factory) Enabled() bool {
+	if f.killed.Load() {
+		return false
+	}
+	for _, b := range f.lockSet {
+		b.Lock()
+	}
+	ready := true
+	for i, in := range f.inputs {
+		if in.LenLocked() < f.threshold[i] {
+			ready = false
+			break
+		}
+	}
+	if ready && f.guard != nil && !f.guard(&Context{f: f}) {
+		ready = false
+	}
+	for i := len(f.lockSet) - 1; i >= 0; i-- {
+		f.lockSet[i].Unlock()
+	}
+	return ready
+}
+
 // TryFire locks all baskets, re-checks the firing condition, runs the body
 // once if met and reports whether it ran. Locks are taken in global basket
 // ID order, so any set of factories sharing baskets is deadlock-free.
 func (f *Factory) TryFire() (bool, error) {
 	f.runMu.Lock()
 	defer f.runMu.Unlock()
+	if f.killed.Load() {
+		// Unregistered: never touch the baskets again. Unregister followed
+		// by WaitIdle is therefore a full quiesce of this factory.
+		return false, nil
+	}
 
 	for _, b := range f.lockSet {
 		b.Lock()
@@ -218,6 +251,15 @@ func (f *Factory) TryFire() (bool, error) {
 		}
 	}
 	return true, err
+}
+
+// WaitIdle blocks until no firing of this factory is in progress. After
+// Scheduler.Unregister followed by WaitIdle, the factory is guaranteed to
+// never touch its baskets again — the handshake group rewiring relies on.
+func (f *Factory) WaitIdle() {
+	f.runMu.Lock()
+	//lint:ignore SA2001 acquiring runMu is the synchronisation point itself
+	f.runMu.Unlock()
 }
 
 // ping delivers a non-blocking wake-up.

@@ -196,7 +196,9 @@ func (s *Scheduler) Quiescent() bool {
 	fs := append([]*Factory(nil), s.factories...)
 	s.mu.Unlock()
 	for _, f := range fs {
-		if f.fireable() {
+		// Cheap lock-free screen first; confirm under locks so a guarded
+		// factory sitting on residual tuples does not block quiescence.
+		if f.fireable() && f.Enabled() {
 			return false
 		}
 	}

@@ -2,22 +2,85 @@ package core
 
 import (
 	"fmt"
+	"slices"
 
 	"datacell/internal/basket"
 	"datacell/internal/bat"
-	"datacell/internal/relop"
 	"datacell/internal/vector"
 )
 
-// ScanQuery describes one continuous query for the multi-query processing
-// strategies. Scan inspects the (locked) input relation and returns the
-// positions that match the query (emitted to its result basket) and the
-// positions covered by the query's basket expression (eligible for removal
-// once every query in the group has seen them). For a full-stream query
-// both are usually the same.
+// StreamQuery is one continuous query over a stream, in the form the
+// multi-query wiring strategies consume. It generalises the earlier
+// positional ScanQuery callbacks so that fully compiled plans (the plan
+// package's StreamScan artifacts) and hand-wired kernel scans plug into
+// the same three wirings.
+//
+// Fire runs the query once over `in`, a basket holding tuples of the
+// query's input stream. The contract depends on the report argument:
+//
+//   - report == nil: the query owns `in` exclusively (separate-baskets
+//     private copy, or a partial-deletes chain basket). It must delete the
+//     tuples its basket expression covers from `in` and leave the rest.
+//   - report != nil: `in` is shared with other queries. The query must not
+//     modify `in`; it reports the positions its basket expression covered
+//     through report instead, and the group wiring deletes them once every
+//     member is done.
+//
+// Fire appends its result tuples to the query's own output baskets, which
+// must all be listed in Outputs (result basket first) so the wiring can
+// include them in the factory lock set.
+type StreamQuery struct {
+	Name      string
+	Threshold int // minimum input tuples per firing; <=1 means any
+	Outputs   []*basket.Basket
+	Fire      func(in *basket.Basket, report func(covered []int32)) error
+}
+
+// ScanQuery describes one continuous query as a positional scan callback:
+// Scan inspects the (locked) input relation and returns the positions that
+// match the query (emitted to its result basket) and the positions covered
+// by the query's basket expression (eligible for removal once every query
+// in the group has seen them). For a full-stream query both are usually
+// the same. It is the micro-benchmark and test idiom; Bind turns it into a
+// StreamQuery for the wiring strategies.
 type ScanQuery struct {
 	Name string
 	Scan func(rel *bat.Relation) (matched, covered []int32)
+}
+
+// Bind attaches a result basket to the scan callback, producing the
+// generalised StreamQuery form.
+func (q ScanQuery) Bind(out *basket.Basket) StreamQuery {
+	scan := q.Scan
+	return StreamQuery{
+		Name:    q.Name,
+		Outputs: []*basket.Basket{out},
+		Fire: func(in *basket.Basket, report func(covered []int32)) error {
+			rel := in.RelLocked()
+			matched, covered := scan(rel)
+			if len(matched) > 0 {
+				if _, err := out.AppendLocked(rel.Gather(matched)); err != nil {
+					return err
+				}
+			}
+			if report != nil {
+				report(covered)
+				return nil
+			}
+			if len(covered) > 0 {
+				in.DeleteLocked(sortedPositions(covered))
+			}
+			return nil
+		},
+	}
+}
+
+// sortedPositions returns the ascending, deduplicated copy of a position
+// list, the form the basket delete operations require.
+func sortedPositions(sel []int32) []int32 {
+	out := slices.Clone(sel)
+	slices.Sort(out)
+	return slices.Compact(out)
 }
 
 // NewReplicator builds the fan-out factory of the separate-baskets
@@ -38,32 +101,32 @@ func NewReplicator(name string, in *basket.Basket, outs []*basket.Basket) (*Fact
 	})
 }
 
-// NewScanFactory builds a single-query factory in the separate-baskets
-// style: it owns its input exclusively, so each firing consumes the whole
-// basket, emits the matching tuples and drops the rest.
-func NewScanFactory(name string, in, out *basket.Basket, scan func(rel *bat.Relation) []int32) (*Factory, error) {
-	return NewFactory(name, []*basket.Basket{in}, []*basket.Basket{out}, func(ctx *Context) error {
-		rel := ctx.In(0).TakeAllLocked()
-		if rel.Len() == 0 {
-			return nil
-		}
-		sel := scan(rel)
-		if len(sel) == 0 {
-			return nil
-		}
-		_, err := ctx.Out(0).AppendLocked(rel.Gather(sel))
-		return err
+// NewStreamQueryFactory wires one StreamQuery in the separate-baskets
+// style: the query owns `in` exclusively and each firing lets it consume
+// the tuples its basket expression covers. A generation guard makes the
+// factory fire only on new arrivals, so residual (uncovered) tuples —
+// a predicate window waiting for more data — do not retrigger it.
+func NewStreamQueryFactory(name string, in *basket.Basket, q StreamQuery) (*Factory, error) {
+	lastGen := int64(-1)
+	f, err := NewFactory(name, []*basket.Basket{in}, q.Outputs, func(ctx *Context) error {
+		lastGen = ctx.In(0).AppendedLocked()
+		return q.Fire(ctx.In(0), nil)
 	})
+	if err != nil {
+		return nil, err
+	}
+	f.SetGuard(func(ctx *Context) bool { return ctx.In(0).AppendedLocked() != lastGen })
+	if q.Threshold > 1 {
+		f.SetThreshold(0, q.Threshold)
+	}
+	return f, nil
 }
 
 // SeparateBaskets wires the paper's first strategy around stream basket in:
 // a replicator copies arriving tuples into one private basket per query and
 // each query runs independently over its own copy (Figure 2a). It returns
-// all factories to register.
-func SeparateBaskets(prefix string, in *basket.Basket, queries []ScanQuery, results []*basket.Basket) ([]*Factory, error) {
-	if len(queries) != len(results) {
-		return nil, fmt.Errorf("core: %d queries but %d result baskets", len(queries), len(results))
-	}
+// the replicator followed by one factory per query.
+func SeparateBaskets(prefix string, in *basket.Basket, queries []StreamQuery) ([]*Factory, error) {
 	names, types := in.UserSchema()
 	privates := make([]*basket.Basket, len(queries))
 	for i := range queries {
@@ -75,9 +138,7 @@ func SeparateBaskets(prefix string, in *basket.Basket, queries []ScanQuery, resu
 	}
 	fs := []*Factory{rep}
 	for i, q := range queries {
-		q := q
-		f, err := NewScanFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name), privates[i], results[i],
-			func(rel *bat.Relation) []int32 { m, _ := q.Scan(rel); return m })
+		f, err := NewStreamQueryFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name), privates[i], q)
 		if err != nil {
 			return nil, err
 		}
@@ -91,8 +152,6 @@ func SeparateBaskets(prefix string, in *basket.Basket, queries []ScanQuery, resu
 var (
 	flagNames = []string{"flag"}
 	flagTypes = []vector.Type{vector.Bool}
-	posNames  = []string{"pos"}
-	posTypes  = []vector.Type{vector.Int}
 )
 
 func flagRow() *bat.Relation {
@@ -105,14 +164,12 @@ func flagRow() *bat.Relation {
 // share the stream basket. A locker factory L fires when the shared basket
 // holds tuples and the group is idle; it blocks the stream and hands one
 // "go" token to every query. Each query scans the shared basket without
-// deleting, emits its matches, and reports the positions its basket
-// expression covered. Once every query is done, the unlocker factory U
-// removes the union of covered positions in one step and unblocks the
-// stream.
-func SharedBaskets(prefix string, shared *basket.Basket, queries []ScanQuery, results []*basket.Basket) ([]*Factory, error) {
-	if len(queries) != len(results) {
-		return nil, fmt.Errorf("core: %d queries but %d result baskets", len(queries), len(results))
-	}
+// deleting, emits its matches, and marks the positions its basket
+// expression covered as cover credits on the shared basket. Once every
+// query is done, the unlocker factory U removes the union of covered
+// tuples in one step and unblocks the stream. The returned factories are
+// ordered [locker, query 0 … query k-1, unlocker].
+func SharedBaskets(prefix string, shared *basket.Basket, queries []StreamQuery) ([]*Factory, error) {
 	k := len(queries)
 	idle := basket.New(prefix+".idle", flagNames, flagTypes)
 	if err := idle.AppendRow(vector.NewBool(true)); err != nil {
@@ -122,7 +179,7 @@ func SharedBaskets(prefix string, shared *basket.Basket, queries []ScanQuery, re
 	doneB := make([]*basket.Basket, k)
 	for i := range queries {
 		goB[i] = basket.New(fmt.Sprintf("%s.go.%d", prefix, i), flagNames, flagTypes)
-		doneB[i] = basket.New(fmt.Sprintf("%s.done.%d", prefix, i), posNames, posTypes)
+		doneB[i] = basket.New(fmt.Sprintf("%s.done.%d", prefix, i), flagNames, flagTypes)
 	}
 
 	// Locker: consumes the idle token, blocks the stream, releases the
@@ -150,31 +207,41 @@ func SharedBaskets(prefix string, shared *basket.Basket, queries []ScanQuery, re
 	locker.SetGuard(func(ctx *Context) bool {
 		return ctx.In(0).AppendedLocked() != lastGen
 	})
+	// Batch thresholds gate the whole group at the locker: once the stream
+	// is blocked the readers must be able to run, so they cannot wait on a
+	// tuple count themselves.
+	maxTh := 1
+	for _, q := range queries {
+		if q.Threshold > maxTh {
+			maxTh = q.Threshold
+		}
+	}
+	if maxTh > 1 {
+		locker.SetThreshold(0, maxTh)
+	}
 	fs := []*Factory{locker}
 
 	for i, q := range queries {
 		q := q
+		outs := append(append([]*basket.Basket(nil), q.Outputs...), doneB[i])
 		reader, err := NewFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name),
-			[]*basket.Basket{shared, goB[i]},
-			[]*basket.Basket{results[i], doneB[i]},
+			[]*basket.Basket{shared, goB[i]}, outs,
 			func(ctx *Context) error {
 				ctx.In(1).TakeAllLocked() // consume go token
-				rel := ctx.In(0).RelLocked()
-				matched, covered := q.Scan(rel)
-				if len(matched) > 0 {
-					if _, err := ctx.Out(0).AppendLocked(rel.Gather(matched)); err != nil {
-						return err
-					}
+				var covered []int32
+				fireErr := q.Fire(ctx.In(0), func(c []int32) {
+					covered = append(covered, c...)
+				})
+				// Record the cover credits and mark this reader done so the
+				// unlocker's firing condition is met. The done flag goes out
+				// even when the query failed: a missing flag would wedge the
+				// whole group with the stream left blocked, turning one bad
+				// firing into a permanent stall.
+				ctx.In(0).CoverLocked(sortedPositions(covered))
+				if _, err := ctx.Out(ctx.NumOut() - 1).AppendLocked(flagRow()); err != nil {
+					return err
 				}
-				// Report covered positions plus a sentinel so the
-				// unlocker's firing condition is always met.
-				rep := bat.NewEmptyRelation(posNames, posTypes)
-				rep.AppendRow(vector.NewInt(-1))
-				for _, p := range covered {
-					rep.AppendRow(vector.NewInt(int64(p)))
-				}
-				_, err := ctx.Out(1).AppendLocked(rep)
-				return err
+				return fireErr
 			})
 		if err != nil {
 			return nil, err
@@ -182,27 +249,17 @@ func SharedBaskets(prefix string, shared *basket.Basket, queries []ScanQuery, re
 		fs = append(fs, reader)
 	}
 
-	// Unlocker: once all done markers are in, delete the union of covered
-	// tuples from the shared basket in one step and unblock the stream.
+	// Unlocker: once all done markers are in, delete every tuple some
+	// query covered from the shared basket in one step and unblock the
+	// stream.
 	unlockIns := append([]*basket.Basket(nil), doneB...)
 	unlocker, err := NewFactory(prefix+".unlock",
 		unlockIns, []*basket.Basket{idle, shared},
 		func(ctx *Context) error {
-			var union []int32
-			seen := map[int32]bool{}
 			for i := 0; i < ctx.NumIn(); i++ {
-				rep := ctx.In(i).TakeAllLocked()
-				for _, p := range rep.Col(0).Ints() {
-					if p >= 0 && !seen[int32(p)] {
-						seen[int32(p)] = true
-						union = append(union, int32(p))
-					}
-				}
+				ctx.In(i).TakeAllLocked()
 			}
-			if len(union) > 0 {
-				sortInt32s(union)
-				ctx.Out(1).DeleteLocked(union)
-			}
+			ctx.Out(1).DeleteCoveredLocked(1)
 			ctx.Out(1).SetEnabledLocked(true)
 			_, err := ctx.Out(0).AppendLocked(flagRow())
 			return err
@@ -217,40 +274,36 @@ func SharedBaskets(prefix string, shared *basket.Basket, queries []ScanQuery, re
 // form a chain. Each query consumes its chain basket, removes the tuples
 // covered by its basket expression and forwards only the residue to the
 // next query, so later queries analyse progressively less data at the cost
-// of reorganising the basket at every step.
-func PartialDeletes(prefix string, in *basket.Basket, queries []ScanQuery, results []*basket.Basket) ([]*Factory, error) {
-	if len(queries) != len(results) {
-		return nil, fmt.Errorf("core: %d queries but %d result baskets", len(queries), len(results))
-	}
+// of reorganising the basket at every step. The last query's residue is
+// dropped (garbage collection of tuples no query needs). The returned
+// factories are in query order.
+func PartialDeletes(prefix string, in *basket.Basket, queries []StreamQuery) ([]*Factory, error) {
 	names, types := in.UserSchema()
 	chain := in
 	var fs []*Factory
 	for i, q := range queries {
 		q := q
+		last := i == len(queries)-1
 		var next *basket.Basket
-		if i < len(queries)-1 {
+		outs := append([]*basket.Basket(nil), q.Outputs...)
+		if !last {
 			next = basket.New(fmt.Sprintf("%s.chain.%d", prefix, i+1), names, types)
-		} else {
-			next = basket.New(prefix+".residue", names, types)
+			outs = append(outs, next)
 		}
 		f, err := NewFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name),
-			[]*basket.Basket{chain},
-			[]*basket.Basket{results[i], next},
+			[]*basket.Basket{chain}, outs,
 			func(ctx *Context) error {
-				rel := ctx.In(0).TakeAllLocked()
-				if rel.Len() == 0 {
+				if ctx.In(0).LenLocked() == 0 {
 					return nil
 				}
-				matched, covered := q.Scan(rel)
-				if len(matched) > 0 {
-					if _, err := ctx.Out(0).AppendLocked(rel.Gather(matched)); err != nil {
-						return err
-					}
+				// The query consumes the tuples it covers; what remains in
+				// the chain basket afterwards is the residue.
+				if err := q.Fire(ctx.In(0), nil); err != nil {
+					return err
 				}
-				residue := relop.CandNot(covered, rel.Len())
-				if len(residue) > 0 {
-					rel.KeepSorted(residue)
-					if _, err := ctx.Out(1).AppendLocked(rel); err != nil {
+				residue := ctx.In(0).TakeAllLocked()
+				if next != nil && residue.Len() > 0 {
+					if _, err := next.AppendLocked(residue); err != nil {
 						return err
 					}
 				}
@@ -259,45 +312,11 @@ func PartialDeletes(prefix string, in *basket.Basket, queries []ScanQuery, resul
 		if err != nil {
 			return nil, err
 		}
+		if q.Threshold > 1 {
+			f.SetThreshold(0, q.Threshold)
+		}
 		fs = append(fs, f)
 		chain = next
 	}
 	return fs, nil
-}
-
-func sortInt32s(s []int32) {
-	// Insertion sort is fine for small covered sets; fall back to a simple
-	// quicksort for larger ones.
-	if len(s) < 32 {
-		for i := 1; i < len(s); i++ {
-			for j := i; j > 0 && s[j-1] > s[j]; j-- {
-				s[j-1], s[j] = s[j], s[j-1]
-			}
-		}
-		return
-	}
-	quickSortInt32(s)
-}
-
-func quickSortInt32(s []int32) {
-	if len(s) < 2 {
-		return
-	}
-	p := s[len(s)/2]
-	l, r := 0, len(s)-1
-	for l <= r {
-		for s[l] < p {
-			l++
-		}
-		for s[r] > p {
-			r--
-		}
-		if l <= r {
-			s[l], s[r] = s[r], s[l]
-			l++
-			r--
-		}
-	}
-	quickSortInt32(s[:r+1])
-	quickSortInt32(s[l:])
 }

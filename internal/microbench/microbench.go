@@ -162,18 +162,20 @@ func (s Strategy) String() string {
 // registers all factories. It returns the per-query result baskets.
 func MultiQuery(strategy Strategy, in *basket.Basket, queries []core.ScanQuery, sch *core.Scheduler) ([]*basket.Basket, error) {
 	results := make([]*basket.Basket, len(queries))
-	for i := range results {
+	bound := make([]core.StreamQuery, len(queries))
+	for i, q := range queries {
 		results[i] = NewStreamBasket(fmt.Sprintf("%s.res%d", strategy, i))
+		bound[i] = q.Bind(results[i])
 	}
 	var fs []*core.Factory
 	var err error
 	switch strategy {
 	case StrategySeparate:
-		fs, err = core.SeparateBaskets(strategy.String(), in, queries, results)
+		fs, err = core.SeparateBaskets(strategy.String(), in, bound)
 	case StrategyShared:
-		fs, err = core.SharedBaskets(strategy.String(), in, queries, results)
+		fs, err = core.SharedBaskets(strategy.String(), in, bound)
 	case StrategyPartial:
-		fs, err = core.PartialDeletes(strategy.String(), in, queries, results)
+		fs, err = core.PartialDeletes(strategy.String(), in, bound)
 	}
 	if err != nil {
 		return nil, err

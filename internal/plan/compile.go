@@ -139,57 +139,15 @@ func compileContinuousInsert(cat *Catalog, ins *sql.InsertStmt, name string) (*C
 
 // compileContinuousSelect builds a factory for a continuous select,
 // appending results to target (created from the query's schema when it
-// does not exist yet). An empty target name auto-creates "<name>_out".
+// does not exist yet). It is the two compilation phases back to back:
+// analysis (firing structure + shareable stream-scan artifact) and wiring
+// (the standalone factory).
 func compileContinuousSelect(cat *Catalog, s *sql.SelectStmt, name, target string, cols []string) (*Compiled, error) {
-	proto, err := protoEnv(cat).execSelect(s)
-	if err != nil {
-		return nil, fmt.Errorf("plan: %s: %w", name, err)
-	}
-	if target == "" {
-		target = strings.ToLower(name) + "_out"
-	}
-	out, err := ensureTarget(cat, target, cols, proto)
+	a, err := analyzeSelect(cat, s, name, target, cols)
 	if err != nil {
 		return nil, err
 	}
-
-	inputs, thresholds := consumedInputs(cat, s)
-	if len(inputs) == 0 {
-		return nil, fmt.Errorf("plan: %s: continuous query consumes no baskets", name)
-	}
-	lockOnly := lockOnlyBaskets(cat, s, inputs)
-	outputs := append([]*basket.Basket{out}, lockOnly...)
-
-	lastGens := newGenTracker(inputs)
-	f, err := core.NewFactory(name, inputs, outputs, func(ctx *core.Context) error {
-		lastGens.update()
-		rel, err := newEnv(cat).execSelect(s)
-		if err != nil {
-			return err
-		}
-		if rel.Len() == 0 {
-			return nil
-		}
-		rel, err = conformToTarget(rel, out, cols)
-		if err != nil {
-			return err
-		}
-		_, err = out.AppendLocked(rel)
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	// Fire only on new arrivals: a predicate window can leave residual
-	// tuples in its inputs, which must not retrigger the query until the
-	// stream moves (otherwise the factory spins on an unchanged basket).
-	f.SetGuard(func(*core.Context) bool { return lastGens.changed() })
-	for i, th := range thresholds {
-		if th > 1 {
-			f.SetThreshold(i, th)
-		}
-	}
-	return &Compiled{Name: name, Factory: f, Out: out}, nil
+	return a.Wire()
 }
 
 // genTracker remembers the per-input append generations of a factory's

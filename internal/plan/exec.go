@@ -2,7 +2,7 @@ package plan
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"datacell/internal/basket"
@@ -16,10 +16,25 @@ import (
 // env carries the execution context of one firing: the catalog, the
 // with-block bindings, and whether this is a prototype (schema-inference)
 // run that must not touch basket contents.
+//
+// The redirect and onCovered hooks make one compiled statement runnable
+// under any multi-query sharing strategy: redirect substitutes a physical
+// basket (a private replica, the shared stream basket, or a chain basket)
+// for a stream referenced by name inside basket expressions, and onCovered
+// intercepts the consumption side-effect so shared readers can report
+// covered positions instead of deleting them.
 type env struct {
 	cat   *Catalog
 	binds map[string]*bat.Relation
 	proto bool // schema-inference mode: empty inputs, no side effects
+
+	// redirect maps a stream's catalog name (lower-case) to the basket a
+	// basket expression should actually read. nil means no redirection.
+	redirect map[string]*basket.Basket
+	// onCovered, when non-nil, is offered the covered positions of each
+	// consuming source before deletion; returning true claims the
+	// consumption (the executor must not delete).
+	onCovered func(b *basket.Basket, covered []int32) bool
 }
 
 func newEnv(cat *Catalog) *env {
@@ -222,6 +237,12 @@ func (e *env) evalTableRef(tr *sql.TableRef, idx int, insideBasket bool) (*sourc
 		if b == nil {
 			return nil, fmt.Errorf("plan: unknown basket or table %q", tr.Name)
 		}
+		consuming := insideBasket && e.cat.KindOf(tr.Name) == KindBasket
+		if consuming && e.redirect != nil && !e.proto {
+			if rb, ok := e.redirect[strings.ToLower(tr.Name)]; ok {
+				b = rb
+			}
+		}
 		var rel *bat.Relation
 		if e.proto {
 			names, types := b.Schema()
@@ -230,7 +251,7 @@ func (e *env) evalTableRef(tr *sql.TableRef, idx int, insideBasket bool) (*sourc
 			rel = b.RelLocked()
 		}
 		s.rel = rel.Qualify(tr.Alias)
-		if insideBasket && e.cat.KindOf(tr.Name) == KindBasket && !e.proto {
+		if consuming && !e.proto {
 			s.consume = b
 		}
 	}
@@ -428,6 +449,9 @@ func (e *env) execBasketScan(be *sql.SelectStmt) (*bat.Relation, error) {
 			}
 		}
 		sortAsc(covered)
+		if e.onCovered != nil && e.onCovered(s.consume, covered) {
+			continue
+		}
 		if len(covered) > 0 {
 			s.consume.DeleteLocked(covered)
 		}
@@ -689,15 +713,7 @@ func countDistinct(v *vector.Vector, g *relop.Grouping) *vector.Vector {
 }
 
 func sortAsc(s []int32) {
-	sorted := true
-	for i := 1; i < len(s); i++ {
-		if s[i-1] > s[i] {
-			sorted = false
-			break
-		}
+	if !slices.IsSorted(s) {
+		slices.Sort(s)
 	}
-	if sorted {
-		return
-	}
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }

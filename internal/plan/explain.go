@@ -71,6 +71,9 @@ func explainFiring(b *strings.Builder, cat *Catalog, s *sql.SelectStmt) {
 	for _, lo := range lockOnlyBaskets(cat, s, inputs) {
 		fmt.Fprintf(b, "  locks %s (read-only)\n", lo.Name())
 	}
+	if len(inputs) == 1 {
+		fmt.Fprintf(b, "  stream-scan artifact: single consumed stream %s (eligible for basket sharing)\n", inputs[0].Name())
+	}
 }
 
 func explainSelect(b *strings.Builder, s *sql.SelectStmt, depth int) {
