@@ -1,29 +1,49 @@
-// Command microbench regenerates the paper's §6.1 micro-benchmark figures:
+// Command microbench regenerates the paper's §6.1 micro-benchmark figures
+// and the repository's scaling sweep:
 //
 //	microbench -fig 4a      elapsed time vs #queries, with/without kernel
 //	microbench -fig 4b      throughput vs #queries, with/without kernel
 //	microbench -fig 5a      latency vs batch size for 10/100/1000 queries
 //	microbench -fig 5b      strategy comparison vs #queries (kernel-wired)
 //	microbench -fig 5be     strategy comparison vs #queries (public engine)
+//	microbench -fig scale   throughput vs parallelism, per strategy
 //	microbench -fig kernel  pure kernel events/second
 //	microbench -fig all     everything
 //
-// Use -tuples to scale the stream (the paper uses 10^5).
+// Use -tuples to scale the stream (the paper uses 10^5). With -json, each
+// figure additionally writes its data points to BENCH_<fig>.json so the
+// performance trajectory is machine-readable.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	datacell "datacell"
 	"datacell/internal/microbench"
 )
 
+// writeJSON dumps one figure's data points to BENCH_<fig>.json.
+func writeJSON(enabled bool, fig string, rows any) error {
+	if !enabled {
+		return nil
+	}
+	payload := map[string]any{"fig": fig, "rows": rows}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+fig+".json", append(data, '\n'), 0o644)
+}
+
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, kernel, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, scale, kernel, all")
 	tuples := flag.Int("tuples", 100_000, "tuples per run (paper: 1e5)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonOut := flag.Bool("json", false, "also write each figure's data to BENCH_<fig>.json")
 	flag.Parse()
 
 	run := func(name string, f func() error) {
@@ -35,14 +55,15 @@ func main() {
 			}
 		}
 	}
-	run("4a", func() error { return fig4(*tuples, true) })
-	run("4b", func() error { return fig4(*tuples, false) })
-	run("5a", func() error { return fig5a(*tuples, *seed) })
-	run("5b", func() error { return fig5b(*tuples, *seed) })
-	run("5be", func() error { return fig5bEngine(*tuples, *seed) })
-	run("kernel", func() error { return kernel(*tuples, *seed) })
+	run("4a", func() error { return fig4(*tuples, true, *jsonOut) })
+	run("4b", func() error { return fig4(*tuples, false, *jsonOut) })
+	run("5a", func() error { return fig5a(*tuples, *seed, *jsonOut) })
+	run("5b", func() error { return fig5b(*tuples, *seed, *jsonOut) })
+	run("5be", func() error { return fig5bEngine(*tuples, *seed, *jsonOut) })
+	run("scale", func() error { return figScale(*tuples, *seed, *jsonOut) })
+	run("kernel", func() error { return kernel(*tuples, *seed, *jsonOut) })
 	switch *fig {
-	case "4a", "4b", "5a", "5b", "5be", "kernel", "all":
+	case "4a", "4b", "5a", "5b", "5be", "scale", "kernel", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -52,14 +73,24 @@ func main() {
 // fig4 runs the communication pipeline for 8..64 chained queries, with and
 // without the kernel in the loop. elapsed=true prints Figure 4a (elapsed
 // ms), else Figure 4b (throughput).
-func fig4(tuples int, elapsed bool) error {
+func fig4(tuples int, elapsed, jsonOut bool) error {
+	type row struct {
+		Queries         int     `json:"queries"`
+		WithKernelMs    float64 `json:"with_kernel_ms"`
+		WithoutKernelMs float64 `json:"without_kernel_ms"`
+		WithKernelTps   float64 `json:"with_kernel_tps"`
+		WithoutKernTps  float64 `json:"without_kernel_tps"`
+	}
+	name := "4b"
 	if elapsed {
+		name = "4a"
 		fmt.Println("# Figure 4a: elapsed time (ms) vs number of queries")
 		fmt.Println("queries\twith_kernel_ms\twithout_kernel_ms")
 	} else {
 		fmt.Println("# Figure 4b: throughput (10^3 tuples/s) vs number of queries")
 		fmt.Println("queries\twith_kernel\twithout_kernel")
 	}
+	var rows []row
 	for _, q := range []int{8, 16, 32, 64} {
 		with, err := microbench.RunCommPipeline(q, tuples, true)
 		if err != nil {
@@ -69,21 +100,33 @@ func fig4(tuples int, elapsed bool) error {
 		if err != nil {
 			return err
 		}
+		r := row{
+			Queries:         q,
+			WithKernelMs:    float64(with.Elapsed.Microseconds()) / 1000,
+			WithoutKernelMs: float64(without.Elapsed.Microseconds()) / 1000,
+			WithKernelTps:   with.Throughput,
+			WithoutKernTps:  without.Throughput,
+		}
+		rows = append(rows, r)
 		if elapsed {
-			fmt.Printf("%d\t%.1f\t%.1f\n", q,
-				float64(with.Elapsed.Microseconds())/1000,
-				float64(without.Elapsed.Microseconds())/1000)
+			fmt.Printf("%d\t%.1f\t%.1f\n", q, r.WithKernelMs, r.WithoutKernelMs)
 		} else {
-			fmt.Printf("%d\t%.2f\t%.2f\n", q, with.Throughput/1000, without.Throughput/1000)
+			fmt.Printf("%d\t%.2f\t%.2f\n", q, r.WithKernelTps/1000, r.WithoutKernTps/1000)
 		}
 	}
-	return nil
+	return writeJSON(jsonOut, name, rows)
 }
 
 // fig5a sweeps the batch size for 10, 100 and 1000 installed queries.
-func fig5a(tuples int, seed int64) error {
+func fig5a(tuples int, seed int64, jsonOut bool) error {
+	type row struct {
+		Batch     int     `json:"batch"`
+		Queries   int     `json:"queries"`
+		LatencyUs float64 `json:"latency_us"`
+	}
 	fmt.Println("# Figure 5a: avg latency per tuple (µs) vs batch size")
 	fmt.Println("batch\tq10\tq100\tq1000")
+	var rows []row
 	for _, batch := range []int{1, 10, 100, 1_000, 10_000, 100_000} {
 		if batch > tuples {
 			break
@@ -98,18 +141,27 @@ func fig5a(tuples int, seed int64) error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("\t%.1f", float64(res.LatencyPer.Nanoseconds())/1000)
+			lat := float64(res.LatencyPer.Nanoseconds()) / 1000
+			rows = append(rows, row{Batch: batch, Queries: q, LatencyUs: lat})
+			fmt.Printf("\t%.1f", lat)
 		}
 		fmt.Println()
 	}
-	return nil
+	return writeJSON(jsonOut, "5a", rows)
 }
 
 // fig5b compares the three processing strategies while varying the number
 // of queries, at a fixed batch of `tuples`.
-func fig5b(tuples int, seed int64) error {
+func fig5b(tuples int, seed int64, jsonOut bool) error {
+	type row struct {
+		Queries  int     `json:"queries"`
+		Strategy string  `json:"strategy"`
+		Seconds  float64 `json:"seconds"`
+		Results  int     `json:"results"`
+	}
 	fmt.Println("# Figure 5b: elapsed seconds vs number of queries, per strategy")
 	fmt.Println("queries\tseparate\tshared\tpartial")
+	var rows []row
 	for _, q := range []int{2, 8, 32, 128, 256, 1024} {
 		fmt.Printf("%d", q)
 		for _, s := range []microbench.Strategy{
@@ -119,20 +171,29 @@ func fig5b(tuples int, seed int64) error {
 			if err != nil {
 				return err
 			}
+			rows = append(rows, row{Queries: q, Strategy: s.String(), Seconds: res.Elapsed.Seconds(), Results: res.Results})
 			fmt.Printf("\t%.3f", res.Elapsed.Seconds())
 		}
 		fmt.Println()
 	}
-	return nil
+	return writeJSON(jsonOut, "5b", rows)
 }
 
 // fig5bEngine is the Figure 5b experiment driven through the public
 // engine API: SQL queries, engine-level strategy selection, per-stream
 // query groups. The replicas column shows the separate strategy copying
 // every tuple once per query while shared and partial ingest it once.
-func fig5bEngine(tuples int, seed int64) error {
+func fig5bEngine(tuples int, seed int64, jsonOut bool) error {
+	type row struct {
+		Queries         int     `json:"queries"`
+		Strategy        string  `json:"strategy"`
+		Seconds         float64 `json:"seconds"`
+		Results         int     `json:"results"`
+		ReplicaAppended int64   `json:"replica_appended"`
+	}
 	fmt.Println("# Figure 5b (public engine): elapsed seconds vs number of queries, per strategy")
 	fmt.Println("queries\tseparate\tshared\tpartial\treplicas_separate")
+	var rows []row
 	for _, q := range []int{2, 8, 32, 128, 256, 1024} {
 		fmt.Printf("%d", q)
 		var repl int64
@@ -146,18 +207,64 @@ func fig5bEngine(tuples int, seed int64) error {
 			if s == datacell.StrategySeparate {
 				repl = res.ReplicaAppended
 			}
+			rows = append(rows, row{
+				Queries: q, Strategy: string(s),
+				Seconds: res.Elapsed.Seconds(), Results: res.Results,
+				ReplicaAppended: res.ReplicaAppended,
+			})
 			fmt.Printf("\t%.3f", res.Elapsed.Seconds())
 		}
 		fmt.Printf("\t%d\n", repl)
 	}
-	return nil
+	return writeJSON(jsonOut, "5be", rows)
 }
 
-func kernel(tuples int, seed int64) error {
+// figScale sweeps the engine parallelism per strategy: one stream, 8
+// disjoint predicate-window queries, threaded execution end to end. With
+// hardware cores available, the partitioned wirings scale toward
+// min(P, cores)×; the GOMAXPROCS column header records what this machine
+// offers so the numbers can be read in context.
+func figScale(tuples int, seed int64, jsonOut bool) error {
+	type row struct {
+		Parallelism int     `json:"parallelism"`
+		Strategy    string  `json:"strategy"`
+		Seconds     float64 `json:"seconds"`
+		ThroughputK float64 `json:"throughput_ktps"`
+		Results     int     `json:"results"`
+		Partitions  int     `json:"partitions"`
+	}
+	const q = 8
+	batch := tuples / 20
+	fmt.Printf("# Scale: throughput (10^3 tuples/s) vs parallelism; %d queries, batches of %d, GOMAXPROCS=%d\n",
+		q, batch, runtime.GOMAXPROCS(0))
+	fmt.Println("parallelism\tseparate\tshared\tpartial")
+	var rows []row
+	for _, p := range []int{1, 2, 4, 8} {
+		fmt.Printf("%d", p)
+		for _, s := range []datacell.Strategy{
+			datacell.StrategySeparate, datacell.StrategyShared, datacell.StrategyPartial,
+		} {
+			res, err := datacell.RunScale(s, p, q, tuples, batch, seed)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row{
+				Parallelism: p, Strategy: string(s),
+				Seconds: res.Elapsed.Seconds(), ThroughputK: res.Throughput / 1000,
+				Results: res.Results, Partitions: res.Partitions,
+			})
+			fmt.Printf("\t%.1f", res.Throughput/1000)
+		}
+		fmt.Println()
+	}
+	return writeJSON(jsonOut, "scale", rows)
+}
+
+func kernel(tuples int, seed int64, jsonOut bool) error {
 	rate, err := microbench.KernelThroughput(tuples, 20, seed)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("# Pure kernel activity (no communication): %.2fM events/s per factory\n", rate/1e6)
-	return nil
+	return writeJSON(jsonOut, "kernel", []map[string]float64{{"events_per_second": rate}})
 }

@@ -70,17 +70,18 @@ type QueryInfo struct {
 // `set strategy = '…'` and groups rewire live when queries come and go.
 // Queries consuming several streams keep a private replica per stream.
 type Engine struct {
-	mu       sync.Mutex
-	cat      *plan.Catalog
-	sch      *core.Scheduler
-	strategy Strategy
-	queries  map[string]*queryRec
-	groups   map[string]*queryGroup // stream name -> sharing group
-	emitters []*stream.Emitter
-	tcpIn    []*stream.TCPReceptor
-	tcpOut   []*stream.TCPEmitter
-	started  bool
-	qctr     int
+	mu          sync.Mutex
+	cat         *plan.Catalog
+	sch         *core.Scheduler
+	strategy    Strategy
+	parallelism int // stream partitions for partitionable queries
+	queries     map[string]*queryRec
+	groups      map[string]*queryGroup // stream name -> sharing group
+	emitters    []*stream.Emitter
+	tcpIn       []*stream.TCPReceptor
+	tcpOut      []*stream.TCPEmitter
+	started     bool
+	qctr        int
 }
 
 // queryRec tracks one registered continuous query: shareable queries are
@@ -94,27 +95,31 @@ type queryRec struct {
 	taps     map[string]*basket.Basket // stream name -> private replica
 }
 
-// factory returns the factory currently executing the query (nil only
-// while a group rewire is in flight). Group rewires replace a member's
-// factory under e.mu, so callers must hold e.mu.
-func (r *queryRec) factory() *core.Factory {
+// factories returns the factories currently executing the query — one for
+// standalone and unpartitioned group wirings, one clone per partition
+// under partitioned wirings (empty only while a group rewire is in
+// flight). Group rewires replace a member's factories under e.mu, so
+// callers must hold e.mu.
+func (r *queryRec) factories() []*core.Factory {
 	if r.compiled != nil {
-		return r.compiled.Factory
+		return []*core.Factory{r.compiled.Factory}
 	}
 	if r.member != nil {
-		return r.member.factory
+		return r.member.factories
 	}
 	return nil
 }
 
-// New returns an empty engine using the separate-baskets strategy.
+// New returns an empty engine using the separate-baskets strategy at
+// parallelism 1.
 func New() *Engine {
 	return &Engine{
-		cat:      plan.NewCatalog(),
-		sch:      core.NewScheduler(),
-		strategy: StrategySeparate,
-		queries:  map[string]*queryRec{},
-		groups:   map[string]*queryGroup{},
+		cat:         plan.NewCatalog(),
+		sch:         core.NewScheduler(),
+		strategy:    StrategySeparate,
+		parallelism: 1,
+		queries:     map[string]*queryRec{},
+		groups:      map[string]*queryGroup{},
 	}
 }
 
@@ -165,9 +170,15 @@ func (e *Engine) RegisterQuery(name, src string) error {
 }
 
 func (e *Engine) register(name string, s sql.Statement) (QueryInfo, error) {
-	// `set strategy = '…'` is an engine pragma, not a session variable.
-	if set, ok := s.(*sql.SetStmt); ok && strings.EqualFold(set.Name, "strategy") {
-		return QueryInfo{Name: name}, e.execStrategyPragma(set)
+	// `set strategy = '…'` and `set parallelism = N` are engine pragmas,
+	// not session variables.
+	if set, ok := s.(*sql.SetStmt); ok {
+		switch {
+		case strings.EqualFold(set.Name, "strategy"):
+			return QueryInfo{Name: name}, e.execStrategyPragma(set)
+		case strings.EqualFold(set.Name, "parallelism"):
+			return QueryInfo{Name: name}, e.execParallelismPragma(set)
+		}
 	}
 	if !isContinuousStmt(s) {
 		if _, err := plan.Compile(e.cat, s, name); err != nil {
@@ -201,6 +212,15 @@ func (e *Engine) execStrategyPragma(set *sql.SetStmt) error {
 		return err
 	}
 	return e.SetStrategy(s)
+}
+
+// execParallelismPragma applies `set parallelism = N`.
+func (e *Engine) execParallelismPragma(set *sql.SetStmt) error {
+	c, ok := set.Value.(*expr.Const)
+	if !ok || c.Val.Kind != vector.Int {
+		return fmt.Errorf("datacell: set parallelism expects an integer literal")
+	}
+	return e.SetParallelism(int(c.Val.I))
 }
 
 // registerScan adds a shareable query to its stream's group (phase 2, the
@@ -425,13 +445,31 @@ func (e *Engine) Explain(src string) (string, error) {
 	var b strings.Builder
 	b.WriteString(base)
 	if streamName, ok := plan.ShareableStream(e.cat, s); ok {
+		mode, col, _ := plan.Partitionability(e.cat, s)
 		e.mu.Lock()
 		strat := e.strategy
+		par := e.parallelism
 		members := 0
 		forced := false
+		pinned := false
 		if g := e.groups[streamName]; g != nil {
 			members = len(g.scans)
 			forced = len(g.taps) > 0
+			if strat != StrategySeparate && !forced && mode != plan.PartNone {
+				// The shared and partial wirings split the stream once for
+				// the whole group, so the installed members constrain the
+				// partitioning this query would actually receive.
+				switch gmode, gcol := g.partitioning(); {
+				case gmode == plan.PartNone:
+					mode, col = plan.PartNone, ""
+					pinned = true
+				case gmode == plan.PartHash && mode == plan.PartHash && col != gcol:
+					mode, col = plan.PartNone, ""
+					pinned = true
+				case gmode == plan.PartHash:
+					mode, col = plan.PartHash, gcol
+				}
+			}
 		}
 		e.mu.Unlock()
 		fmt.Fprintf(&b, "wiring: query group on stream %s, strategy %s (%d members installed)\n",
@@ -439,10 +477,30 @@ func (e *Engine) Explain(src string) (string, error) {
 		if forced && strat != StrategySeparate {
 			b.WriteString("wiring: group forced to separate baskets (stream has standalone consumers)\n")
 		}
+		switch {
+		case pinned:
+			b.WriteString("wiring: partitioning none (group members pin the stream to one partition)\n")
+		case mode == plan.PartNone:
+			b.WriteString("wiring: partitioning none (plan must see the whole stream)\n")
+		case par <= 1:
+			fmt.Fprintf(&b, "wiring: partitioning %s available (parallelism 1, single partition)\n",
+				describePartitioning(mode, col))
+		default:
+			fmt.Fprintf(&b, "wiring: partitioning %s across %d partitions (splitter, %d clones, merge emitter)\n",
+				describePartitioning(mode, col), par, par)
+		}
 	} else {
 		b.WriteString("wiring: standalone factory over private stream replicas (not shareable)\n")
 	}
 	return b.String(), nil
+}
+
+// describePartitioning renders a partitioning verdict for explain output.
+func describePartitioning(mode plan.PartMode, col string) string {
+	if mode == plan.PartHash {
+		return fmt.Sprintf("hash(%s)", col)
+	}
+	return mode.String()
 }
 
 // QueryStats reports the activity counters of one registered continuous
@@ -457,21 +515,22 @@ type QueryStats struct {
 }
 
 // Stats returns activity counters for every registered continuous query,
-// sorted by name. Fires/Errors count the query's current factory; a group
-// rewire (strategy switch, membership change) starts a fresh factory, so
-// those counters restart while OutRows keeps accumulating.
+// sorted by name. Fires/Errors sum over the query's current factories
+// (partition clones under partitioned wiring); a group rewire (strategy or
+// parallelism switch, membership change) starts fresh factories, so those
+// counters restart while OutRows keeps accumulating.
 func (e *Engine) Stats() []QueryStats {
 	type snap struct {
-		name    string
-		out     *basket.Basket
-		factory *core.Factory
+		name      string
+		out       *basket.Basket
+		factories []*core.Factory
 	}
 	// Factory pointers must be read under e.mu: group rewires replace a
-	// member's factory concurrently.
+	// member's factories concurrently.
 	e.mu.Lock()
 	snaps := make([]snap, 0, len(e.queries))
 	for n, r := range e.queries {
-		snaps = append(snaps, snap{name: n, out: r.out, factory: r.factory()})
+		snaps = append(snaps, snap{name: n, out: r.out, factories: r.factories()})
 	}
 	e.mu.Unlock()
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].name < snaps[j].name })
@@ -479,10 +538,15 @@ func (e *Engine) Stats() []QueryStats {
 	for _, s := range snaps {
 		st := s.out.Stats()
 		q := QueryStats{Name: s.name, OutRows: st.Appended, Pending: s.out.Len()}
-		if s.factory != nil {
-			q.Fires = s.factory.Fires()
-			q.Errors = s.factory.Errors()
-			q.LastErr = s.factory.LastError()
+		for _, f := range s.factories {
+			if f == nil {
+				continue
+			}
+			q.Fires += f.Fires()
+			q.Errors += f.Errors()
+			if err := f.LastError(); err != nil {
+				q.LastErr = err
+			}
 		}
 		out = append(out, q)
 	}

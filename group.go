@@ -63,20 +63,40 @@ type queryGroup struct {
 	// stream data by drainAux (other queries already got their copies).
 	privs map[*basket.Basket]bool
 	// effective is the strategy of the current wiring (taps force
-	// separate); gen numbers wirings so rebuilt factories get fresh names.
+	// separate); parallel is the partition count the wiring actually uses;
+	// gen numbers wirings so rebuilt factories get fresh names.
 	effective Strategy
+	parallel  int
 	gen       int
+
+	// Partitioned-wiring teardown state. parts are the stream partitions
+	// of a shared/partial wiring (their residue returns to the stream);
+	// memberParts are the per-member partitions of a separate wiring
+	// (their residue is per-query window state and returns to the member's
+	// private replica); staging pairs flush computed-but-unmerged results
+	// to their query's result basket.
+	parts       []*basket.Basket
+	memberParts map[*groupMember][]*basket.Basket
+	staging     []stagedOut
+}
+
+// stagedOut pairs the staging baskets of one partitioned query with its
+// result basket, for the teardown flush.
+type stagedOut struct {
+	staging []*basket.Basket
+	out     *basket.Basket
 }
 
 // groupMember is one scan member: its compiled stream-scan artifact, the
 // private replica used under the separate strategy (created lazily,
 // persists across rewires so residual window tuples survive), and the
-// factory currently executing the query.
+// factories currently executing the query — one under unpartitioned
+// wiring, one clone per partition under partitioned wiring.
 type groupMember struct {
-	name    string
-	scan    *plan.StreamScan
-	priv    *basket.Basket
-	factory *core.Factory
+	name      string
+	scan      *plan.StreamScan
+	priv      *basket.Basket
+	factories []*core.Factory
 }
 
 // flush runs the member's query once over its private replica, consuming
@@ -118,7 +138,7 @@ func (m *groupMember) flush() error {
 		b.Lock()
 	}
 	before := out.LenLocked()
-	err := m.scan.Run(m.priv, nil)
+	err := m.scan.Run(m.priv, out, nil)
 	grew := out.LenLocked() > before
 	for i := len(uniq) - 1; i >= 0; i-- {
 		uniq[i].Unlock()
@@ -139,7 +159,7 @@ func (e *Engine) groupLocked(streamName string) (*queryGroup, error) {
 	if b == nil {
 		return nil, fmt.Errorf("datacell: unknown stream %q", streamName)
 	}
-	g := &queryGroup{name: streamName, stream: b, effective: e.strategy}
+	g := &queryGroup{name: streamName, stream: b, effective: e.strategy, parallel: 1}
 	e.groups[streamName] = g
 	return g, nil
 }
@@ -164,10 +184,18 @@ func (e *Engine) rewireLocked(g *queryGroup) error {
 	g.stream.DeleteCoveredLocked(1)
 	g.stream.Unlock()
 	g.stream.SetEnabled(true)
+	// Partitioned baskets drain first: staging results must reach their
+	// result baskets before drainAux could mistake a stream-schema staging
+	// basket for in-flight stream data, and partition residue must return
+	// to its owner (stream or member replica) with its cover credits
+	// resolved, which drainAux does not do.
+	g.drainPartitioned()
 	g.drainAux()
 	g.wired = nil
+	g.parts, g.memberParts, g.staging = nil, nil, nil
+	g.parallel = 1
 	for _, m := range g.scans {
-		m.factory = nil
+		m.factories = nil
 	}
 	if len(g.scans) == 0 && len(g.taps) == 0 {
 		return nil
@@ -194,52 +222,14 @@ func (e *Engine) rewireLocked(g *queryGroup) error {
 	prefix := fmt.Sprintf("%s$%s%d", g.name, g.effective, g.gen)
 
 	var fs []*core.Factory
-	switch g.effective {
-	case StrategySeparate:
-		outs := make([]*basket.Basket, 0, len(g.scans)+len(g.taps))
-		for _, m := range g.scans {
-			if m.priv == nil {
-				names, types := g.stream.UserSchema()
-				m.priv = basket.New(g.name+"$"+strings.ToLower(m.name), names, types)
-				if g.privs == nil {
-					g.privs = map[*basket.Basket]bool{}
-				}
-				g.privs[m.priv] = true
-			}
-			outs = append(outs, m.priv)
-		}
-		outs = append(outs, g.taps...)
-		rep, err := core.NewReplicator(prefix+".replicate", g.stream, outs)
-		if err != nil {
-			return err
-		}
-		fs = append(fs, rep)
-		for _, m := range g.scans {
-			f, err := core.NewStreamQueryFactory(prefix+".q."+m.name, m.priv, m.scan.StreamQuery())
-			if err != nil {
-				return err
-			}
-			m.factory = f
-			fs = append(fs, f)
-		}
-	case StrategyShared:
-		all, err := core.SharedBaskets(prefix, g.stream, g.streamQueries())
-		if err != nil {
-			return err
-		}
-		for i, m := range g.scans {
-			m.factory = all[1+i] // [locker, readers…, unlocker]
-		}
-		fs = all
-	case StrategyPartial:
-		all, err := core.PartialDeletes(prefix, g.stream, g.streamQueries())
-		if err != nil {
-			return err
-		}
-		for i, m := range g.scans {
-			m.factory = all[i]
-		}
-		fs = all
+	var err error
+	if g.effective == StrategySeparate {
+		fs, err = e.wireSeparateLocked(g, prefix)
+	} else {
+		fs, err = e.wireSharedChainLocked(g, prefix)
+	}
+	if err != nil {
+		return err
 	}
 	for _, f := range fs {
 		if err := e.sch.Register(f); err != nil {
@@ -248,6 +238,190 @@ func (e *Engine) rewireLocked(g *queryGroup) error {
 	}
 	g.wired = fs
 	return nil
+}
+
+// wireSeparateLocked builds the separate-baskets wiring: a replicator
+// copies the stream into one private replica per member (plus the taps),
+// and each member runs over its replica — partitioned into splitter,
+// per-partition clones and a merge emitter when the member's plan admits
+// it and the engine parallelism exceeds one, as a single factory
+// otherwise. Partitioning composes per member here: every member applies
+// its own verdict.
+func (e *Engine) wireSeparateLocked(g *queryGroup, prefix string) ([]*core.Factory, error) {
+	outs := make([]*basket.Basket, 0, len(g.scans)+len(g.taps))
+	for _, m := range g.scans {
+		if m.priv == nil {
+			names, types := g.stream.UserSchema()
+			m.priv = basket.New(g.name+"$"+strings.ToLower(m.name), names, types)
+			if g.privs == nil {
+				g.privs = map[*basket.Basket]bool{}
+			}
+			g.privs[m.priv] = true
+		}
+		outs = append(outs, m.priv)
+	}
+	outs = append(outs, g.taps...)
+	rep, err := core.NewReplicator(prefix+".replicate", g.stream, outs)
+	if err != nil {
+		return nil, err
+	}
+	fs := []*core.Factory{rep}
+	for _, m := range g.scans {
+		mfs, err := e.wireMemberLocked(g, prefix, m)
+		if err != nil {
+			return nil, err
+		}
+		fs = append(fs, mfs...)
+	}
+	return fs, nil
+}
+
+// wireMemberLocked wires one separate-strategy member over its private
+// replica.
+func (e *Engine) wireMemberLocked(g *queryGroup, prefix string, m *groupMember) ([]*core.Factory, error) {
+	sq := m.scan.StreamQuery()
+	p := e.parallelism
+	if p <= 1 || m.scan.Part == plan.PartNone {
+		f, err := core.NewStreamQueryFactory(prefix+".q."+m.name, m.priv, sq)
+		if err != nil {
+			return nil, err
+		}
+		m.factories = []*core.Factory{f}
+		return []*core.Factory{f}, nil
+	}
+	names, types := g.stream.UserSchema()
+	bmode := basket.PartitionRoundRobin
+	if m.scan.Part == plan.PartHash {
+		bmode = basket.PartitionHash
+	}
+	pb, err := basket.NewPartitioned(prefix+".part."+m.name, names, types, p, bmode, m.scan.PartCol)
+	if err != nil {
+		return nil, err
+	}
+	pw, err := core.PartitionedQuery(prefix+".m."+m.name, m.priv, pb, sq)
+	if err != nil {
+		return nil, err
+	}
+	m.factories = pw.QueryFs[0]
+	if g.memberParts == nil {
+		g.memberParts = map[*groupMember][]*basket.Basket{}
+	}
+	g.memberParts[m] = pw.Parts
+	g.staging = append(g.staging, stagedOut{staging: pw.Staging[0], out: sq.Out})
+	g.parallel = p
+	return pw.Factories, nil
+}
+
+// wireSharedChainLocked builds the shared-baskets or partial-deletes
+// wiring. All members work on the stream basket (or its partitions)
+// directly, so partitioning applies group-wide: every member must accept
+// the same split, otherwise the group stays at one partition.
+func (e *Engine) wireSharedChainLocked(g *queryGroup, prefix string) ([]*core.Factory, error) {
+	p := e.parallelism
+	mode, col := g.partitioning()
+	if p > 1 && mode != plan.PartNone {
+		names, types := g.stream.UserSchema()
+		bmode := basket.PartitionRoundRobin
+		if mode == plan.PartHash {
+			bmode = basket.PartitionHash
+		}
+		pb, err := basket.NewPartitioned(prefix+".part", names, types, p, bmode, col)
+		if err != nil {
+			return nil, err
+		}
+		var pw *core.Partitioned
+		if g.effective == StrategyShared {
+			pw, err = core.PartitionedShared(prefix, g.stream, pb, g.streamQueries())
+		} else {
+			pw, err = core.PartitionedPartial(prefix, g.stream, pb, g.streamQueries())
+		}
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range g.scans {
+			m.factories = pw.QueryFs[i]
+			g.staging = append(g.staging, stagedOut{staging: pw.Staging[i], out: m.scan.Out})
+		}
+		g.parts = pw.Parts
+		g.parallel = p
+		return pw.Factories, nil
+	}
+	if g.effective == StrategyShared {
+		all, err := core.SharedBaskets(prefix, g.stream, g.streamQueries())
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range g.scans {
+			m.factories = []*core.Factory{all[1+i]} // [locker, readers…, unlocker]
+		}
+		return all, nil
+	}
+	all, err := core.PartialDeletes(prefix, g.stream, g.streamQueries())
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range g.scans {
+		m.factories = []*core.Factory{all[i]}
+	}
+	return all, nil
+}
+
+// partitioning computes the group-wide partitioning verdict used by the
+// shared and partial wirings: row-local members accept any split, grouped
+// members need their hash column, and any non-partitionable member — or
+// two grouped members hashing different columns — pins the group to one
+// partition.
+func (g *queryGroup) partitioning() (plan.PartMode, string) {
+	mode, col := plan.PartRoundRobin, ""
+	for _, m := range g.scans {
+		switch m.scan.Part {
+		case plan.PartNone:
+			return plan.PartNone, ""
+		case plan.PartHash:
+			if col != "" && col != m.scan.PartCol {
+				return plan.PartNone, ""
+			}
+			mode, col = plan.PartHash, m.scan.PartCol
+		}
+	}
+	return mode, col
+}
+
+// drainPartitioned returns the tuples held by a torn-down partitioned
+// wiring to where they belong: staged results flush to their query's
+// result basket, stream partitions return to the stream (completing any
+// interrupted shared cycle's covered deletes first, and re-enabling
+// partitions a mid-cycle teardown left blocked), and per-member partitions
+// return to the member's private replica — they are per-query window
+// state, never shared stream data. Runs after every wired factory is
+// unregistered and idle.
+func (g *queryGroup) drainPartitioned() {
+	for _, so := range g.staging {
+		for _, st := range so.staging {
+			if rel := st.TakeAll(); rel.Len() > 0 {
+				so.out.Append(rel)
+			}
+		}
+	}
+	for _, p := range g.parts {
+		p.Lock()
+		p.SetOnEnable(nil)
+		p.DeleteCoveredLocked(1)
+		rel := p.TakeAllLocked()
+		p.SetEnabledLocked(true)
+		p.Unlock()
+		if rel.Len() > 0 {
+			g.stream.Append(rel)
+		}
+	}
+	for m, parts := range g.memberParts {
+		for _, p := range parts {
+			p.SetOnEnable(nil)
+			if rel := p.TakeAll(); rel.Len() > 0 {
+				m.priv.Append(rel)
+			}
+		}
+	}
 }
 
 // drainAux returns tuples stranded in auxiliary wiring baskets — the
@@ -301,6 +475,44 @@ func (e *Engine) SetStrategy(s Strategy) error {
 		return nil
 	}
 	e.strategy = s
+	return e.rewireAllLocked()
+}
+
+// Strategy returns the engine's current multi-query processing strategy.
+func (e *Engine) Strategy() Strategy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.strategy
+}
+
+// SetParallelism sets the number of stream partitions partitionable
+// continuous queries run over and rewires every stream's query group. It
+// can be called while the engine runs; in-flight tuples migrate to the new
+// wiring. P=1 restores the unpartitioned wiring; plans whose verdict is
+// not partitionable keep a single factory regardless of P.
+func (e *Engine) SetParallelism(p int) error {
+	if p < 1 {
+		return fmt.Errorf("datacell: parallelism must be at least 1, got %d", p)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.parallelism == p {
+		return nil
+	}
+	e.parallelism = p
+	return e.rewireAllLocked()
+}
+
+// Parallelism returns the engine's configured partition count.
+func (e *Engine) Parallelism() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.parallelism
+}
+
+// rewireAllLocked rebuilds every stream group's wiring under the current
+// strategy and parallelism. Caller holds e.mu.
+func (e *Engine) rewireAllLocked() error {
 	names := make([]string, 0, len(e.groups))
 	for n := range e.groups {
 		names = append(names, n)
@@ -314,19 +526,13 @@ func (e *Engine) SetStrategy(s Strategy) error {
 	return nil
 }
 
-// Strategy returns the engine's current multi-query processing strategy.
-func (e *Engine) Strategy() Strategy {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.strategy
-}
-
 // GroupInfo describes the current wiring of one stream's query group.
 type GroupInfo struct {
-	Stream   string
-	Strategy Strategy // effective strategy of the installed wiring
-	Members  []string // group-wired (shareable) queries, wiring order
-	Taps     int      // standalone consumers receiving a full replica
+	Stream     string
+	Strategy   Strategy // effective strategy of the installed wiring
+	Partitions int      // stream partitions the wiring runs over (1 = unpartitioned)
+	Members    []string // group-wired (shareable) queries, wiring order
+	Taps       int      // standalone consumers receiving a full replica
 	// ReplicaAppended counts tuples appended to private replica baskets
 	// over the group's lifetime: 0 under shared/partial wiring, about
 	// members×ingested under separate wiring.
@@ -349,7 +555,7 @@ func (e *Engine) Groups() []GroupInfo {
 		if len(g.scans) == 0 && len(g.taps) == 0 {
 			continue
 		}
-		gi := GroupInfo{Stream: n, Strategy: g.effective, Taps: len(g.taps)}
+		gi := GroupInfo{Stream: n, Strategy: g.effective, Partitions: g.parallel, Taps: len(g.taps)}
 		for _, m := range g.scans {
 			gi.Members = append(gi.Members, m.name)
 			if m.priv != nil {

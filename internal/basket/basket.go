@@ -66,6 +66,7 @@ type Basket struct {
 
 	constraints []Constraint
 	onAppend    atomic.Value // func(), scheduler wake-up hook
+	onEnable    atomic.Value // func(), partition-splitter resume hook
 
 	// covers holds per-resident-tuple cover credits for the shared-baskets
 	// strategy: each reader that has covered a tuple adds one credit, and
@@ -130,8 +131,21 @@ func (b *Basket) SetClock(now func() time.Time) {
 }
 
 // SetOnAppend installs the scheduler wake-up hook, invoked (outside the
-// basket lock) whenever tuples are accepted.
+// basket lock) whenever tuples are accepted. A nil fn clears the hook.
 func (b *Basket) SetOnAppend(fn func()) { b.onAppend.Store(fn) }
+
+// SetOnEnable installs a hook invoked whenever the basket is (re)enabled.
+// The hook may run with the basket lock held (SetEnabledLocked callers)
+// and must not block; the partition splitter uses it to resume shipping
+// tuples once a shared-basket cycle releases a partition. A nil fn clears
+// the hook.
+func (b *Basket) SetOnEnable(fn func()) { b.onEnable.Store(fn) }
+
+func (b *Basket) fireOnEnable() {
+	if fn, ok := b.onEnable.Load().(func()); ok && fn != nil {
+		fn()
+	}
+}
 
 // AddConstraint registers an integrity constraint. Constraints act as
 // silent filters on append.
@@ -172,6 +186,11 @@ func (b *Basket) Enabled() bool {
 	return b.isOn
 }
 
+// EnabledLocked reports whether the basket is enabled; caller holds the
+// lock. Factory guards use it (the partition splitter defers while any
+// partition is mid-cycle).
+func (b *Basket) EnabledLocked() bool { return b.isOn }
+
 // SetEnabled enables or disables the basket. While disabled, Append blocks
 // (the stream is blocked, per the paper's basket-control semantics);
 // re-enabling releases blocked producers.
@@ -182,6 +201,9 @@ func (b *Basket) SetEnabled(on bool) {
 		b.enabled.Broadcast()
 	}
 	b.mu.Unlock()
+	if on {
+		b.fireOnEnable()
+	}
 }
 
 // SetEnabledLocked is SetEnabled for callers that already hold the basket
@@ -190,6 +212,7 @@ func (b *Basket) SetEnabledLocked(on bool) {
 	b.isOn = on
 	if on {
 		b.enabled.Broadcast()
+		b.fireOnEnable()
 	}
 }
 

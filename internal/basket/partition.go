@@ -1,0 +1,222 @@
+package basket
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"datacell/internal/bat"
+	"datacell/internal/vector"
+)
+
+// PartitionMode selects how a PartitionedBasket routes tuples.
+type PartitionMode uint8
+
+// Partitioning modes.
+const (
+	// PartitionRoundRobin spreads tuples evenly over the partitions without
+	// regard to content. Correct for row-local plans (predicate-window
+	// selects), whose result is the same under any disjoint split.
+	PartitionRoundRobin PartitionMode = iota
+	// PartitionHash routes each tuple by a hash of one column, so tuples
+	// with equal keys always land in the same partition. Required by
+	// grouped plans: a group never straddles two partitions.
+	PartitionHash
+)
+
+// String names the mode.
+func (m PartitionMode) String() string {
+	switch m {
+	case PartitionRoundRobin:
+		return "round-robin"
+	case PartitionHash:
+		return "hash"
+	}
+	return "?"
+}
+
+// PartitionedBasket shards one logical stream into P partition baskets
+// behind the basket ingest API: Append accepts the same relations a plain
+// Basket would and routes every tuple to exactly one partition. Each
+// partition is a full Basket (own lock, own timestamp column, own
+// scheduler hooks), which is what lets the engine replicate a query's
+// factory over the partitions and run the clones as independent Petri-net
+// transitions.
+type PartitionedBasket struct {
+	name  string
+	parts []*Basket
+	mode  PartitionMode
+	col   string // hash column (user-schema name) when mode is PartitionHash
+	rr    atomic.Int64
+}
+
+// NewPartitioned creates a partitioned basket of p partitions with the
+// given attribute schema. For PartitionHash, hashCol names the routing
+// column and must be one of the declared attributes.
+func NewPartitioned(name string, names []string, types []vector.Type, p int, mode PartitionMode, hashCol string) (*PartitionedBasket, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("basket: partitioned %s: need at least 1 partition, got %d", name, p)
+	}
+	if mode == PartitionHash {
+		found := false
+		for _, n := range names {
+			if n == hashCol {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("basket: partitioned %s: hash column %q not in schema %v", name, hashCol, names)
+		}
+	}
+	pb := &PartitionedBasket{name: name, mode: mode, col: hashCol}
+	for i := 0; i < p; i++ {
+		pb.parts = append(pb.parts, New(fmt.Sprintf("%s.p%d", name, i), names, types))
+	}
+	return pb, nil
+}
+
+// Name returns the partitioned basket's name.
+func (pb *PartitionedBasket) Name() string { return pb.name }
+
+// Parts returns the partition baskets in partition order.
+func (pb *PartitionedBasket) Parts() []*Basket { return pb.parts }
+
+// NumPartitions returns the partition count P.
+func (pb *PartitionedBasket) NumPartitions() int { return len(pb.parts) }
+
+// Mode returns the routing mode.
+func (pb *PartitionedBasket) Mode() PartitionMode { return pb.mode }
+
+// HashCol returns the hash routing column ("" under round-robin).
+func (pb *PartitionedBasket) HashCol() string { return pb.col }
+
+// Split computes the partition assignment of rel's tuples, returning one
+// ascending position list per partition (nil for partitions that receive
+// nothing). It advances the round-robin cursor but does not touch the
+// partition baskets.
+func (pb *PartitionedBasket) Split(rel *bat.Relation) ([][]int32, error) {
+	p := len(pb.parts)
+	sels := make([][]int32, p)
+	n := rel.Len()
+	if n == 0 {
+		return sels, nil
+	}
+	if p == 1 {
+		sels[0] = allPositions(n)
+		return sels, nil
+	}
+	switch pb.mode {
+	case PartitionRoundRobin:
+		base := pb.rr.Add(int64(n)) - int64(n)
+		for i := 0; i < n; i++ {
+			k := int((base + int64(i)) % int64(p))
+			sels[k] = append(sels[k], int32(i))
+		}
+	case PartitionHash:
+		v := rel.ColByName(pb.col)
+		if v == nil {
+			return nil, fmt.Errorf("basket: partitioned %s: relation has no column %q", pb.name, pb.col)
+		}
+		for i := 0; i < n; i++ {
+			k := int(hashValue(v, i) % uint64(p))
+			sels[k] = append(sels[k], int32(i))
+		}
+	default:
+		return nil, fmt.Errorf("basket: partitioned %s: unknown mode %d", pb.name, pb.mode)
+	}
+	return sels, nil
+}
+
+// Append shards rel across the partitions through the public Basket ingest
+// API (locking, integrity constraints, arrival stamping and scheduler
+// wake-ups per partition). It returns the number of tuples accepted.
+func (pb *PartitionedBasket) Append(rel *bat.Relation) (int, error) {
+	sels, err := pb.Split(rel)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for k, sel := range sels {
+		if len(sel) == 0 {
+			continue
+		}
+		n, err := pb.parts[k].Append(rel.Gather(sel))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// AppendLocked is Append for callers that already hold every partition's
+// lock (the partition-splitter factory, whose output set is the
+// partitions). Scheduler hooks are not fired; the caller's firing cycle
+// handles wake-ups.
+func (pb *PartitionedBasket) AppendLocked(rel *bat.Relation) (int, error) {
+	sels, err := pb.Split(rel)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for k, sel := range sels {
+		if len(sel) == 0 {
+			continue
+		}
+		n, err := pb.parts[k].AppendLocked(rel.Gather(sel))
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+func allPositions(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// hashValue hashes element i of a column vector. The hash only has to
+// co-locate equal keys; it carries no cross-run stability guarantees.
+func hashValue(v *vector.Vector, i int) uint64 {
+	switch v.Kind() {
+	case vector.Int, vector.Timestamp:
+		return mix64(uint64(v.Ints()[i]))
+	case vector.Float:
+		f := v.Floats()[i]
+		if f == 0 {
+			f = 0 // collapse -0.0 into +0.0: they are one grouping key
+		}
+		return mix64(math.Float64bits(f))
+	case vector.Bool:
+		if v.Bools()[i] {
+			return mix64(1)
+		}
+		return mix64(0)
+	case vector.Str:
+		// FNV-1a.
+		h := uint64(14695981039346656037)
+		for _, c := range []byte(v.Strs()[i]) {
+			h ^= uint64(c)
+			h *= 1099511628211
+		}
+		return mix64(h)
+	}
+	return 0
+}
+
+// mix64 is the splitmix64 finaliser, scrambling low-entropy keys (small
+// ints) into well-spread partition assignments.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,116 @@
+package basket
+
+import (
+	"testing"
+
+	"datacell/internal/bat"
+	"datacell/internal/vector"
+)
+
+func intRelKV(pairs ...int64) *bat.Relation {
+	rel := bat.NewEmptyRelation([]string{"k", "v"}, []vector.Type{vector.Int, vector.Int})
+	for i := 0; i+1 < len(pairs); i += 2 {
+		rel.AppendRow(vector.NewInt(pairs[i]), vector.NewInt(pairs[i+1]))
+	}
+	return rel
+}
+
+func TestPartitionedRoundRobinBalances(t *testing.T) {
+	pb, err := NewPartitioned("s", []string{"k", "v"}, []vector.Type{vector.Int, vector.Int},
+		4, PartitionRoundRobin, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rel *bat.Relation
+	{
+		rel = bat.NewEmptyRelation([]string{"k", "v"}, []vector.Type{vector.Int, vector.Int})
+		for i := int64(0); i < 103; i++ {
+			rel.AppendRow(vector.NewInt(i%5), vector.NewInt(i))
+		}
+	}
+	n, err := pb.Append(rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 103 {
+		t.Fatalf("accepted %d tuples, want 103", n)
+	}
+	total := 0
+	for _, p := range pb.Parts() {
+		l := p.Len()
+		if l < 25 || l > 27 {
+			t.Errorf("partition %s holds %d tuples; round-robin should balance 103/4", p.Name(), l)
+		}
+		total += l
+	}
+	if total != 103 {
+		t.Fatalf("partitions hold %d tuples in total, want 103", total)
+	}
+	// A second append keeps rotating: the cursor persists across batches.
+	if _, err := pb.Append(intRelKV(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	total = 0
+	for _, p := range pb.Parts() {
+		total += p.Len()
+	}
+	if total != 104 {
+		t.Fatalf("after second append partitions hold %d, want 104", total)
+	}
+}
+
+func TestPartitionedHashCoLocatesKeys(t *testing.T) {
+	pb, err := NewPartitioned("s", []string{"k", "v"}, []vector.Type{vector.Int, vector.Int},
+		3, PartitionHash, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := bat.NewEmptyRelation([]string{"k", "v"}, []vector.Type{vector.Int, vector.Int})
+	for i := int64(0); i < 200; i++ {
+		rel.AppendRow(vector.NewInt(i%7), vector.NewInt(i))
+	}
+	if _, err := pb.Append(rel); err != nil {
+		t.Fatal(err)
+	}
+	// Every key must live in exactly one partition.
+	home := map[int64]int{}
+	for pi, p := range pb.Parts() {
+		snap := p.Snapshot()
+		ks := snap.ColByName("k")
+		for i := 0; i < snap.Len(); i++ {
+			k := ks.Ints()[i]
+			if prev, ok := home[k]; ok && prev != pi {
+				t.Fatalf("key %d found in partitions %d and %d", k, prev, pi)
+			}
+			home[k] = pi
+		}
+	}
+	if len(home) != 7 {
+		t.Fatalf("saw %d distinct keys, want 7", len(home))
+	}
+}
+
+func TestPartitionedHashRejectsUnknownColumn(t *testing.T) {
+	if _, err := NewPartitioned("s", []string{"v"}, []vector.Type{vector.Int},
+		2, PartitionHash, "nope"); err == nil {
+		t.Fatal("NewPartitioned should reject a hash column outside the schema")
+	}
+	if _, err := NewPartitioned("s", []string{"v"}, []vector.Type{vector.Int},
+		0, PartitionRoundRobin, ""); err == nil {
+		t.Fatal("NewPartitioned should reject zero partitions")
+	}
+}
+
+func TestPartitionedSinglePartitionPassthrough(t *testing.T) {
+	pb, err := NewPartitioned("s", []string{"k", "v"}, []vector.Type{vector.Int, vector.Int},
+		1, PartitionHash, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pb.Append(intRelKV(1, 10, 2, 20, 3, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if got := pb.Parts()[0].Len(); got != 3 {
+		t.Fatalf("single partition holds %d tuples, want 3", got)
+	}
+}

@@ -543,9 +543,9 @@ func TestSharedBasketsReaderErrorDoesNotWedgeGroup(t *testing.T) {
 	in := intBasket("stream")
 	good := intBasket("good.out")
 	bad := StreamQuery{
-		Name:    "bad",
-		Outputs: []*basket.Basket{intBasket("bad.out")},
-		Fire: func(b *basket.Basket, report func([]int32)) error {
+		Name: "bad",
+		Out:  intBasket("bad.out"),
+		Fire: func(in, out *basket.Basket, report func([]int32)) error {
 			return fmt.Errorf("boom")
 		},
 	}

@@ -63,6 +63,12 @@ type Factory struct {
 	// cycle.
 	guard func(ctx *Context) bool
 
+	// anyInput switches the firing rule from AND to OR over the inputs:
+	// the factory fires when at least one input meets its threshold. Merge
+	// emitters use it — partition outputs arrive independently and must
+	// not wait for every partition to produce.
+	anyInput bool
+
 	runMu   sync.Mutex // serialises firings of this factory
 	fires   atomic.Int64
 	errs    atomic.Int64
@@ -138,6 +144,10 @@ func (f *Factory) SetThreshold(i, n int) {
 // locked. A false guard suppresses the firing without counting it.
 func (f *Factory) SetGuard(g func(ctx *Context) bool) { f.guard = g }
 
+// SetFireAnyInput relaxes the firing rule to "at least one input meets its
+// threshold" instead of all of them. Call before registering.
+func (f *Factory) SetFireAnyInput() { f.anyInput = true }
+
 // Fires returns how many times the factory has fired.
 func (f *Factory) Fires() int64 { return f.fires.Load() }
 
@@ -152,12 +162,39 @@ func (f *Factory) LastError() error {
 	return nil
 }
 
-// fireable reports whether every input meets its threshold. It takes no
-// locks: a stale positive is re-checked under locks in TryFire, and a stale
+// fireable reports whether the inputs meet the firing rule (all inputs at
+// threshold, or any input under SetFireAnyInput). It takes no locks: a
+// stale positive is re-checked under locks in TryFire, and a stale
 // negative is repaired by the wake-up hook.
 func (f *Factory) fireable() bool {
+	if f.anyInput {
+		for i, in := range f.inputs {
+			if in.Len() >= f.threshold[i] {
+				return true
+			}
+		}
+		return false
+	}
 	for i, in := range f.inputs {
 		if in.Len() < f.threshold[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// readyLocked is the firing rule evaluated under the basket locks.
+func (f *Factory) readyLocked() bool {
+	if f.anyInput {
+		for i, in := range f.inputs {
+			if in.LenLocked() >= f.threshold[i] {
+				return true
+			}
+		}
+		return false
+	}
+	for i, in := range f.inputs {
+		if in.LenLocked() < f.threshold[i] {
 			return false
 		}
 	}
@@ -176,13 +213,7 @@ func (f *Factory) Enabled() bool {
 	for _, b := range f.lockSet {
 		b.Lock()
 	}
-	ready := true
-	for i, in := range f.inputs {
-		if in.LenLocked() < f.threshold[i] {
-			ready = false
-			break
-		}
-	}
+	ready := f.readyLocked()
 	if ready && f.guard != nil && !f.guard(&Context{f: f}) {
 		ready = false
 	}
@@ -207,13 +238,7 @@ func (f *Factory) TryFire() (bool, error) {
 	for _, b := range f.lockSet {
 		b.Lock()
 	}
-	ready := true
-	for i, in := range f.inputs {
-		if in.LenLocked() < f.threshold[i] {
-			ready = false
-			break
-		}
-	}
+	ready := f.readyLocked()
 	if ready && f.guard != nil && !f.guard(&Context{f: f}) {
 		ready = false
 	}

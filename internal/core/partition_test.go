@@ -1,0 +1,256 @@
+package core
+
+import (
+	"testing"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/relop"
+	"datacell/internal/vector"
+)
+
+func kvBasket(name string) *basket.Basket {
+	return basket.New(name, []string{"k", "v"}, []vector.Type{vector.Int, vector.Int})
+}
+
+func kvPartitioned(t *testing.T, name string, p int, mode basket.PartitionMode, col string) *basket.PartitionedBasket {
+	t.Helper()
+	pb, err := basket.NewPartitioned(name, []string{"k", "v"},
+		[]vector.Type{vector.Int, vector.Int}, p, mode, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pb
+}
+
+func appendKV(t *testing.T, b *basket.Basket, pairs ...int64) {
+	t.Helper()
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if err := b.AppendRow(vector.NewInt(pairs[i]), vector.NewInt(pairs[i+1])); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// kvRange is a full-coverage range query over v for the kv schema:
+// matches lo <= v < hi and covers what it matched.
+func kvRange(name string, lo, hi int64) ScanQuery {
+	return ScanQuery{
+		Name: name,
+		Scan: func(rel *bat.Relation) (matched, covered []int32) {
+			sel := relop.SelectRange(rel.ColByName("v"),
+				vector.NewInt(lo), vector.NewInt(hi), true, false, nil)
+			return sel, sel
+		},
+	}
+}
+
+func TestPartitionSplitterMovesEverything(t *testing.T) {
+	in := kvBasket("in")
+	pb := kvPartitioned(t, "in.part", 3, basket.PartitionRoundRobin, "")
+	split, err := NewPartitionSplitter("split", in, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appendKV(t, in, 1, 10, 2, 20, 3, 30, 4, 40, 5, 50)
+	if _, err := split.TryFire(); err != nil {
+		t.Fatal(err)
+	}
+	if in.Len() != 0 {
+		t.Fatalf("splitter left %d tuples in the stream", in.Len())
+	}
+	total := 0
+	for _, p := range pb.Parts() {
+		total += p.Len()
+	}
+	if total != 5 {
+		t.Fatalf("partitions hold %d tuples, want 5", total)
+	}
+}
+
+func TestPartitionSplitterDefersWhileDisabled(t *testing.T) {
+	in := kvBasket("in")
+	pb := kvPartitioned(t, "in.part", 2, basket.PartitionRoundRobin, "")
+	split, err := NewPartitionSplitter("split", in, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb.Parts()[1].SetEnabled(false)
+	appendKV(t, in, 1, 10, 2, 20)
+	fired, err := split.TryFire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("splitter fired while a partition was disabled")
+	}
+	if in.Len() != 2 {
+		t.Fatalf("stream lost tuples: %d left, want 2", in.Len())
+	}
+	pb.Parts()[1].SetEnabled(true)
+	if fired, err = split.TryFire(); err != nil || !fired {
+		t.Fatalf("splitter should fire after re-enable (fired=%v err=%v)", fired, err)
+	}
+	if in.Len() != 0 {
+		t.Fatalf("splitter left %d tuples after firing", in.Len())
+	}
+}
+
+func TestMergeEmitterFiresOnAnyInput(t *testing.T) {
+	s0, s1 := kvBasket("stage0"), kvBasket("stage1")
+	out := kvBasket("out")
+	merge, err := NewMergeEmitter("merge", []*basket.Basket{s0, s1}, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one staging basket has tuples; the AND firing rule would wait
+	// forever for the other partition.
+	appendKV(t, s1, 9, 90)
+	fired, err := merge.TryFire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("merge emitter did not fire with one non-empty staging basket")
+	}
+	if out.Len() != 1 || s1.Len() != 0 {
+		t.Fatalf("merge moved %d tuples (staging left %d)", out.Len(), s1.Len())
+	}
+}
+
+// TestPartitionedSharedMatchesUnpartitioned runs the same workload through
+// the plain shared-baskets wiring and the partitioned one and compares
+// result counts per query.
+func TestPartitionedSharedMatchesUnpartitioned(t *testing.T) {
+	queries := func(outs []*basket.Basket) []StreamQuery {
+		return []StreamQuery{
+			kvRange("q0", 0, 30).Bind(outs[0]),
+			kvRange("q1", 30, 60).Bind(outs[1]),
+			kvRange("q2", 60, 100).Bind(outs[2]),
+		}
+	}
+	feed := func(in *basket.Basket) {
+		for i := int64(0); i < 90; i++ {
+			appendKV(t, in, i%11, i)
+		}
+	}
+
+	run := func(partitioned bool) []int {
+		in := kvBasket("stream")
+		outs := []*basket.Basket{kvBasket("o0"), kvBasket("o1"), kvBasket("o2")}
+		sch := NewScheduler()
+		var fs []*Factory
+		var err error
+		if partitioned {
+			pb := kvPartitioned(t, "stream.part", 4, basket.PartitionRoundRobin, "")
+			var pw *Partitioned
+			pw, err = PartitionedShared("ps", in, pb, queries(outs))
+			if err == nil {
+				fs = pw.Factories
+			}
+		} else {
+			fs, err = SharedBaskets("sh", in, queries(outs))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range fs {
+			if err := sch.Register(f); err != nil {
+				t.Fatal(err)
+			}
+		}
+		feed(in)
+		if _, err := sch.RunUntilQuiescent(0); err != nil {
+			t.Fatal(err)
+		}
+		counts := make([]int, len(outs))
+		for i, o := range outs {
+			counts[i] = o.Len()
+		}
+		return counts
+	}
+
+	plain := run(false)
+	parted := run(true)
+	for i := range plain {
+		if plain[i] != parted[i] {
+			t.Errorf("query %d: partitioned shared delivered %d rows, plain %d", i, parted[i], plain[i])
+		}
+		if plain[i] == 0 {
+			t.Errorf("query %d produced no rows; comparison is vacuous", i)
+		}
+	}
+}
+
+// TestPartitionedPartialChainsPerPartition checks the partial-deletes
+// wiring over partitions: disjoint queries each get their matches and the
+// chains drain fully.
+func TestPartitionedPartialChainsPerPartition(t *testing.T) {
+	in := kvBasket("stream")
+	outs := []*basket.Basket{kvBasket("o0"), kvBasket("o1")}
+	pb := kvPartitioned(t, "stream.part", 2, basket.PartitionHash, "k")
+	pw, err := PartitionedPartial("pp", in, pb, []StreamQuery{
+		kvRange("q0", 0, 50).Bind(outs[0]),
+		kvRange("q1", 50, 100).Bind(outs[1]),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sch := NewScheduler()
+	for _, f := range pw.Factories {
+		if err := sch.Register(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(0); i < 100; i++ {
+		appendKV(t, in, i%13, i)
+	}
+	if _, err := sch.RunUntilQuiescent(0); err != nil {
+		t.Fatal(err)
+	}
+	if outs[0].Len() != 50 || outs[1].Len() != 50 {
+		t.Fatalf("partitioned partial delivered %d+%d rows, want 50+50", outs[0].Len(), outs[1].Len())
+	}
+	for _, p := range pw.Parts {
+		if p.Len() != 0 {
+			t.Errorf("partition %s still holds %d tuples", p.Name(), p.Len())
+		}
+	}
+}
+
+// TestUnregisterTwiceAndHookCleanup covers the scheduler satellite fixes:
+// a double unregister must not panic on a closed kill channel, and the
+// last watcher leaving a basket must clear its append hook.
+func TestUnregisterTwiceAndHookCleanup(t *testing.T) {
+	in, out := kvBasket("in"), kvBasket("out")
+	f := MustFactory("f", []*basket.Basket{in}, []*basket.Basket{out},
+		func(ctx *Context) error {
+			ctx.In(0).TakeAllLocked()
+			return nil
+		})
+	s := NewScheduler()
+	if err := s.Register(f); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	watching := len(s.watchers[in])
+	s.mu.Unlock()
+	if watching != 1 {
+		t.Fatalf("registered factory has %d watchers on its input, want 1", watching)
+	}
+	s.Unregister(f)
+	s.Unregister(f) // must not panic on double close
+	s.mu.Lock()
+	_, still := s.watchers[in]
+	s.mu.Unlock()
+	if still {
+		t.Error("watcher entry not removed after last unregister")
+	}
+	// The stale hook is gone: an append must not ping the dead factory.
+	appendKV(t, in, 1, 1)
+	select {
+	case <-f.wake:
+		t.Error("unregistered factory still pinged by its former input")
+	default:
+	}
+}

@@ -116,7 +116,10 @@ func (s *Scheduler) spawnLocked(f *Factory) {
 
 // Unregister removes a factory: its thread (if any) terminates after the
 // current firing and it no longer gates quiescence. The factory's baskets
-// are left untouched.
+// are left untouched, except that a basket whose last watcher goes away
+// also loses its append hook — otherwise the basket would keep pinging a
+// factory set that no longer exists. Unregistering a factory twice is a
+// no-op.
 func (s *Scheduler) Unregister(f *Factory) {
 	s.mu.Lock()
 	for i, g := range s.factories {
@@ -129,14 +132,21 @@ func (s *Scheduler) Unregister(f *Factory) {
 		ws := s.watchers[in]
 		for i, g := range ws {
 			if g == f {
-				s.watchers[in] = append(ws[:i], ws[i+1:]...)
+				ws = append(ws[:i], ws[i+1:]...)
 				break
 			}
 		}
+		if len(ws) == 0 {
+			delete(s.watchers, in)
+			in.SetOnAppend(nil)
+		} else {
+			s.watchers[in] = ws
+		}
 	}
 	s.mu.Unlock()
-	f.killed.Store(true)
-	close(f.kill)
+	if f.killed.CompareAndSwap(false, true) {
+		close(f.kill)
+	}
 }
 
 // Stop terminates the factory goroutines and waits for in-flight firings to

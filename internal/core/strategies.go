@@ -13,10 +13,12 @@ import (
 // multi-query wiring strategies consume. It generalises the earlier
 // positional ScanQuery callbacks so that fully compiled plans (the plan
 // package's StreamScan artifacts) and hand-wired kernel scans plug into
-// the same three wirings.
+// the same wirings — including the partitioned ones, which clone a query
+// per partition by substituting Out with a per-partition staging basket.
 //
 // Fire runs the query once over `in`, a basket holding tuples of the
-// query's input stream. The contract depends on the report argument:
+// query's input stream, appending results to `out`. The consumption
+// contract depends on the report argument:
 //
 //   - report == nil: the query owns `in` exclusively (separate-baskets
 //     private copy, or a partial-deletes chain basket). It must delete the
@@ -26,14 +28,20 @@ import (
 //     through report instead, and the group wiring deletes them once every
 //     member is done.
 //
-// Fire appends its result tuples to the query's own output baskets, which
-// must all be listed in Outputs (result basket first) so the wiring can
-// include them in the factory lock set.
+// Both in and out (and every LockOnly basket) are locked by the wiring for
+// the duration of the firing.
 type StreamQuery struct {
 	Name      string
-	Threshold int // minimum input tuples per firing; <=1 means any
-	Outputs   []*basket.Basket
-	Fire      func(in *basket.Basket, report func(covered []int32)) error
+	Threshold int            // minimum input tuples per firing; <=1 means any
+	Out       *basket.Basket // result basket; wirings may substitute staging here
+	LockOnly  []*basket.Basket
+	Fire      func(in, out *basket.Basket, report func(covered []int32)) error
+}
+
+// outputs is the factory output set of the query: result basket first,
+// then the read-only side baskets.
+func (q StreamQuery) outputs() []*basket.Basket {
+	return append([]*basket.Basket{q.Out}, q.LockOnly...)
 }
 
 // ScanQuery describes one continuous query as a positional scan callback:
@@ -53,9 +61,9 @@ type ScanQuery struct {
 func (q ScanQuery) Bind(out *basket.Basket) StreamQuery {
 	scan := q.Scan
 	return StreamQuery{
-		Name:    q.Name,
-		Outputs: []*basket.Basket{out},
-		Fire: func(in *basket.Basket, report func(covered []int32)) error {
+		Name: q.Name,
+		Out:  out,
+		Fire: func(in, out *basket.Basket, report func(covered []int32)) error {
 			rel := in.RelLocked()
 			matched, covered := scan(rel)
 			if len(matched) > 0 {
@@ -108,9 +116,9 @@ func NewReplicator(name string, in *basket.Basket, outs []*basket.Basket) (*Fact
 // a predicate window waiting for more data — do not retrigger it.
 func NewStreamQueryFactory(name string, in *basket.Basket, q StreamQuery) (*Factory, error) {
 	lastGen := int64(-1)
-	f, err := NewFactory(name, []*basket.Basket{in}, q.Outputs, func(ctx *Context) error {
+	f, err := NewFactory(name, []*basket.Basket{in}, q.outputs(), func(ctx *Context) error {
 		lastGen = ctx.In(0).AppendedLocked()
-		return q.Fire(ctx.In(0), nil)
+		return q.Fire(ctx.In(0), q.Out, nil)
 	})
 	if err != nil {
 		return nil, err
@@ -223,13 +231,13 @@ func SharedBaskets(prefix string, shared *basket.Basket, queries []StreamQuery) 
 
 	for i, q := range queries {
 		q := q
-		outs := append(append([]*basket.Basket(nil), q.Outputs...), doneB[i])
+		outs := append(q.outputs(), doneB[i])
 		reader, err := NewFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name),
 			[]*basket.Basket{shared, goB[i]}, outs,
 			func(ctx *Context) error {
 				ctx.In(1).TakeAllLocked() // consume go token
 				var covered []int32
-				fireErr := q.Fire(ctx.In(0), func(c []int32) {
+				fireErr := q.Fire(ctx.In(0), q.Out, func(c []int32) {
 					covered = append(covered, c...)
 				})
 				// Record the cover credits and mark this reader done so the
@@ -285,7 +293,7 @@ func PartialDeletes(prefix string, in *basket.Basket, queries []StreamQuery) ([]
 		q := q
 		last := i == len(queries)-1
 		var next *basket.Basket
-		outs := append([]*basket.Basket(nil), q.Outputs...)
+		outs := q.outputs()
 		if !last {
 			next = basket.New(fmt.Sprintf("%s.chain.%d", prefix, i+1), names, types)
 			outs = append(outs, next)
@@ -298,7 +306,7 @@ func PartialDeletes(prefix string, in *basket.Basket, queries []StreamQuery) ([]
 				}
 				// The query consumes the tuples it covers; what remains in
 				// the chain basket afterwards is the residue.
-				if err := q.Fire(ctx.In(0), nil); err != nil {
+				if err := q.Fire(ctx.In(0), q.Out, nil); err != nil {
 					return err
 				}
 				residue := ctx.In(0).TakeAllLocked()

@@ -36,12 +36,7 @@ func NewConst(v vector.Value) *Const { return &Const{Val: v} }
 
 // Eval implements Expr.
 func (c *Const) Eval(rel *bat.Relation) (*vector.Vector, error) {
-	n := rel.Len()
-	out := vector.New(c.Val.Kind, n)
-	for i := 0; i < n; i++ {
-		out.Append(c.Val)
-	}
-	return out, nil
+	return vector.Fill(c.Val, rel.Len()), nil
 }
 
 // Type implements Expr.

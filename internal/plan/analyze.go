@@ -35,10 +35,11 @@ type Analysis struct {
 // StreamScan is the reusable basket-expression artifact of one analyzed
 // continuous query: the single stream it consumes and a Run body that
 // executes the full plan once over an arbitrary basket holding that
-// stream's tuples. The physical basket is substituted per firing, so the
+// stream's tuples. The physical baskets are substituted per firing, so the
 // same compiled query runs unchanged over a private replica
-// (separate-baskets), the shared stream basket (shared-baskets), or a
-// chain basket (partial-deletes).
+// (separate-baskets), the shared stream basket (shared-baskets), a chain
+// basket (partial-deletes) — and, partitioned, over any partition of the
+// stream with results staged into a per-partition basket.
 type StreamScan struct {
 	Query     string
 	Stream    string         // catalog name of the consumed stream
@@ -46,12 +47,21 @@ type StreamScan struct {
 	Out       *basket.Basket
 	LockOnly  []*basket.Basket
 	Threshold int
-	// Run executes the query once with `in` substituted for the stream.
-	// With report == nil the query consumes (deletes) the tuples its
-	// basket expression covers from `in`; with report non-nil it leaves
-	// `in` untouched and reports the covered positions instead. Results
-	// are appended to Out. Caller holds the locks of in, Out and LockOnly.
-	Run func(in *basket.Basket, report func(covered []int32)) error
+	// Part is the plan's partitionability verdict: round-robin for
+	// row-local predicate-window selects (any disjoint split of the stream
+	// yields the same results), hash for grouped plans (PartCol names the
+	// stream column whose equal values must co-locate), none when the plan
+	// must see the whole stream and stays at one partition.
+	Part    PartMode
+	PartCol string
+	// Run executes the query once with `in` substituted for the stream,
+	// appending results to `out` (the query's result basket, or a
+	// partition staging basket with the same schema). With report == nil
+	// the query consumes (deletes) the tuples its basket expression covers
+	// from `in`; with report non-nil it leaves `in` untouched and reports
+	// the covered positions instead. Caller holds the locks of in, out and
+	// LockOnly.
+	Run func(in, out *basket.Basket, report func(covered []int32)) error
 }
 
 // StreamQuery adapts the artifact to the kernel's generalized multi-query
@@ -60,7 +70,8 @@ func (s *StreamScan) StreamQuery() core.StreamQuery {
 	return core.StreamQuery{
 		Name:      s.Query,
 		Threshold: s.Threshold,
-		Outputs:   append([]*basket.Basket{s.Out}, s.LockOnly...),
+		Out:       s.Out,
+		LockOnly:  s.LockOnly,
 		Fire:      s.Run,
 	}
 }
@@ -124,20 +135,23 @@ func analyzeSelect(cat *Catalog, s *sql.SelectStmt, name, target string, cols []
 // newStreamScan builds the shareable artifact of a single-stream analysis.
 func (a *Analysis) newStreamScan() *StreamScan {
 	stream := a.Inputs[0]
-	cat, sel, out, cols := a.cat, a.sel, a.Out, a.cols
+	cat, sel, cols := a.cat, a.sel, a.cols
 	streamName := stream.Name()
 	// Side baskets are computed against an empty input set: a direct
 	// (non-consuming) scan of the stream itself must be locked too when
 	// the factory's firing input is a substituted basket.
 	lockOnly := lockOnlyBaskets(cat, sel, nil)
+	mode, col := partitionVerdict(cat, sel, streamName)
 	return &StreamScan{
 		Query:     a.Name,
 		Stream:    streamName,
 		In:        stream,
-		Out:       out,
+		Out:       a.Out,
 		LockOnly:  lockOnly,
 		Threshold: a.Thresholds[0],
-		Run: func(in *basket.Basket, report func(covered []int32)) error {
+		Part:      mode,
+		PartCol:   col,
+		Run: func(in, out *basket.Basket, report func(covered []int32)) error {
 			e := newEnv(cat)
 			e.redirect = map[string]*basket.Basket{streamName: in}
 			if report != nil {

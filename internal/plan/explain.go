@@ -73,6 +73,14 @@ func explainFiring(b *strings.Builder, cat *Catalog, s *sql.SelectStmt) {
 	}
 	if len(inputs) == 1 {
 		fmt.Fprintf(b, "  stream-scan artifact: single consumed stream %s (eligible for basket sharing)\n", inputs[0].Name())
+		switch mode, col := partitionVerdict(cat, s, inputs[0].Name()); mode {
+		case PartRoundRobin:
+			b.WriteString("  partitionable: round-robin (row-local predicate window)\n")
+		case PartHash:
+			fmt.Fprintf(b, "  partitionable: hash(%s) (grouped plan, keys co-locate)\n", col)
+		default:
+			b.WriteString("  partitionable: no (plan must see the whole stream)\n")
+		}
 	}
 }
 

@@ -1,0 +1,189 @@
+package plan
+
+import (
+	"slices"
+	"strings"
+
+	"datacell/internal/expr"
+	"datacell/internal/sql"
+)
+
+// PartMode classifies how a stream scan may be partitioned for parallel
+// execution.
+type PartMode uint8
+
+// Partitionability verdicts.
+const (
+	// PartNone: the plan must see the whole stream; it runs at one
+	// partition regardless of the engine's parallelism.
+	PartNone PartMode = iota
+	// PartRoundRobin: a row-local select/project plan whose result is the
+	// same multiset under any disjoint split of the stream.
+	PartRoundRobin
+	// PartHash: a grouped plan that is correct under any split co-locating
+	// tuples with equal grouping keys — hashing one grouping column.
+	PartHash
+)
+
+// String names the verdict.
+func (m PartMode) String() string {
+	switch m {
+	case PartNone:
+		return "none"
+	case PartRoundRobin:
+		return "round-robin"
+	case PartHash:
+		return "hash"
+	}
+	return "?"
+}
+
+// Partitionability reports the partitioning verdict a continuous statement
+// would receive from Analyze — the mode and, for hash partitioning, the
+// stream column to route on. ok is false when the statement is not a
+// shareable single-stream scan at all. Nothing is created.
+func Partitionability(cat *Catalog, stmt sql.Statement) (PartMode, string, bool) {
+	streamName, ok := ShareableStream(cat, stmt)
+	if !ok {
+		return PartNone, "", false
+	}
+	var sel *sql.SelectStmt
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		sel = s
+	case *sql.InsertStmt:
+		sel = s.Query
+	}
+	mode, col := partitionVerdict(cat, sel, streamName)
+	return mode, col, true
+}
+
+// partitionVerdict decides how a single-stream continuous select may be
+// partitioned. The analysis is deliberately conservative: predicate-window
+// selects (row-local basket expression and row-local outer filters and
+// projections) are round-robin-safe; grouped plans whose first grouping
+// key is a plain stream column hash-partition on that column; everything
+// else — tuple-count windows (TOP), ORDER BY, DISTINCT, UNION, joins,
+// global aggregates, scalar sub-queries, session variables, now() — must
+// see the whole stream and falls back to one partition.
+func partitionVerdict(cat *Catalog, sel *sql.SelectStmt, streamName string) (PartMode, string) {
+	if sel.Union != nil || sel.Distinct || len(sel.OrderBy) > 0 || sel.Top >= 0 || len(sel.From) != 1 {
+		return PartNone, ""
+	}
+	// The basket expression must be a plain predicate window over the
+	// stream: one named source, a bare * select list, no window or set
+	// operations of its own. That also guarantees the outer query's
+	// columns are exactly the stream's columns.
+	be := sel.From[0].Basket
+	if be == nil {
+		return PartNone, ""
+	}
+	if len(be.From) != 1 || be.From[0].Name == "" || !strings.EqualFold(be.From[0].Name, streamName) {
+		return PartNone, ""
+	}
+	if be.Union != nil || be.Distinct || len(be.OrderBy) > 0 || be.Top >= 0 ||
+		len(be.GroupBy) > 0 || be.Having != nil {
+		return PartNone, ""
+	}
+	if len(be.Items) != 1 || !be.Items[0].Star {
+		return PartNone, ""
+	}
+	rowLocal := func(x expr.Expr) bool { return rowLocalExpr(cat, x) }
+	if !rowLocal(be.Where) || !rowLocal(sel.Where) || !rowLocal(sel.Having) {
+		return PartNone, ""
+	}
+	aggregated := len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		if it.Agg != nil {
+			aggregated = true
+			if !rowLocal(it.Agg.Arg) {
+				return PartNone, ""
+			}
+			continue
+		}
+		if !it.Star && !rowLocal(it.Expr) {
+			return PartNone, ""
+		}
+	}
+	if !aggregated {
+		return PartRoundRobin, ""
+	}
+	if len(sel.GroupBy) == 0 {
+		// A global aggregate would yield one row per partition instead of
+		// one row total.
+		return PartNone, ""
+	}
+	for _, g := range sel.GroupBy {
+		if !rowLocal(g) {
+			return PartNone, ""
+		}
+	}
+	// Hashing any one grouping column co-locates equal full keys: equal
+	// full key implies equal first key implies same partition.
+	col, ok := sel.GroupBy[0].(*expr.Col)
+	if !ok {
+		return PartNone, ""
+	}
+	key := col.Name
+	if k := strings.LastIndexByte(key, '.'); k >= 0 {
+		key = key[k+1:]
+	}
+	b := cat.Basket(streamName)
+	if b == nil {
+		return PartNone, ""
+	}
+	names, _ := b.UserSchema()
+	if !slices.Contains(names, key) {
+		return PartNone, ""
+	}
+	return PartHash, key
+}
+
+// rowLocalExpr reports whether evaluating x over a subset of the stream's
+// rows yields the same per-row values as over the whole stream. Scalar
+// sub-queries and now() are evaluated per firing (partition clones fire
+// independently), and session variables can change between firings, so
+// all three disqualify.
+func rowLocalExpr(cat *Catalog, x expr.Expr) bool {
+	switch n := x.(type) {
+	case nil:
+		return true
+	case *expr.Const:
+		return true
+	case *expr.Col:
+		if _, isVar := cat.Var(n.Name); isVar {
+			return false
+		}
+		return true
+	case *expr.Bin:
+		return rowLocalExpr(cat, n.L) && rowLocalExpr(cat, n.R)
+	case *expr.Not:
+		return rowLocalExpr(cat, n.E)
+	case *expr.Neg:
+		return rowLocalExpr(cat, n.E)
+	case *expr.Between:
+		return rowLocalExpr(cat, n.E) && rowLocalExpr(cat, n.Lo) && rowLocalExpr(cat, n.Hi)
+	case *expr.InList:
+		return rowLocalExpr(cat, n.E)
+	case *expr.Like:
+		return rowLocalExpr(cat, n.E)
+	case *expr.Case:
+		for _, w := range n.Whens {
+			if !rowLocalExpr(cat, w.Cond) || !rowLocalExpr(cat, w.Then) {
+				return false
+			}
+		}
+		return rowLocalExpr(cat, n.Else)
+	case *expr.Call:
+		if n.Name == "now" {
+			return false
+		}
+		for _, a := range n.Args {
+			if !rowLocalExpr(cat, a) {
+				return false
+			}
+		}
+		return true
+	}
+	return false // sql.SubqueryExpr and anything unrecognised
+}

@@ -1,0 +1,91 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"datacell/internal/sql"
+)
+
+// verdictOf parses one continuous statement and returns its verdict.
+func verdictOf(t *testing.T, cat *Catalog, src string) (PartMode, string) {
+	t.Helper()
+	s, err := sql.ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	mode, col, ok := Partitionability(cat, s)
+	if !ok {
+		t.Fatalf("%q is not a shareable stream scan", src)
+	}
+	return mode, col
+}
+
+func TestPartitionVerdicts(t *testing.T) {
+	h := newHarness(t)
+	h.exec(`create basket s (k int, v int); declare limitvar int; set limitvar = 10; create table side (x int)`)
+
+	cases := []struct {
+		src  string
+		mode PartMode
+		col  string
+	}{
+		// Row-local predicate windows: round-robin.
+		{`select t.v from [select * from s] t`, PartRoundRobin, ""},
+		{`select t.v from [select * from s where v < 10] t where t.v % 2 = 0`, PartRoundRobin, ""},
+		{`select t.k + t.v as kv from [select * from s where v between 2 and 8] t`, PartRoundRobin, ""},
+		// Grouped plans: hash on the (first) grouping key.
+		{`select t.k, count(*) as n from [select * from s] t group by t.k`, PartHash, "k"},
+		{`select t.k, t.v, sum(t.v) as sv from [select * from s] t group by t.k, t.v`, PartHash, "k"},
+		{`select t.k, avg(t.v) as a from [select * from s where v > 0] t group by t.k having a > 1`, PartHash, "k"},
+		// Whole-stream plans: none.
+		{`select count(*) as n from [select * from s] t`, PartNone, ""},                       // global aggregate
+		{`select t.v from [select top 5 * from s] t`, PartNone, ""},                           // tuple-count window
+		{`select t.v from [select * from s order by v] t`, PartNone, ""},                      // ordered window
+		{`select distinct t.v from [select * from s] t`, PartNone, ""},                        // distinct
+		{`select t.v from [select * from s] t order by t.v`, PartNone, ""},                    // outer order
+		{`select t.v from [select * from s where v < limitvar] t`, PartNone, ""},              // session variable
+		{`select t.k, count(*) as n from [select * from s] t group by t.k + 1`, PartNone, ""}, // computed key
+	}
+	for _, tc := range cases {
+		mode, col := verdictOf(t, h.cat, tc.src)
+		if mode != tc.mode || col != tc.col {
+			t.Errorf("verdict of %q = (%s, %q), want (%s, %q)", tc.src, mode, col, tc.mode, tc.col)
+		}
+	}
+}
+
+func TestPartitionVerdictReachesStreamScan(t *testing.T) {
+	h := newHarness(t)
+	h.exec(`create basket s (k int, v int)`)
+	s, err := sql.ParseOne(`select t.k, count(*) as n from [select * from s] t group by t.k`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Analyze(h.cat, s, "grouped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Scan == nil {
+		t.Fatal("no stream-scan artifact")
+	}
+	if a.Scan.Part != PartHash || a.Scan.PartCol != "k" {
+		t.Errorf("StreamScan verdict = (%s, %q), want (hash, k)", a.Scan.Part, a.Scan.PartCol)
+	}
+}
+
+func TestExplainIncludesVerdict(t *testing.T) {
+	h := newHarness(t)
+	h.exec(`create basket s (k int, v int)`)
+	s, err := sql.ParseOne(`select t.v from [select * from s where v < 3] t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Explain(h.cat, s, "rr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "partitionable: round-robin"; !strings.Contains(out, want) {
+		t.Errorf("explain missing %q:\n%s", want, out)
+	}
+}

@@ -227,6 +227,18 @@ func TestParseDeclareSet(t *testing.T) {
 	if s.Name != "cnt" {
 		t.Errorf("set: %+v", s)
 	}
+	// The engine pragmas parse as ordinary set statements with literal
+	// values (the engine intercepts the names).
+	p := mustParseOne(t, "set parallelism = 4").(*SetStmt)
+	c, ok := p.Value.(*expr.Const)
+	if p.Name != "parallelism" || !ok || c.Val.Kind != vector.Int || c.Val.I != 4 {
+		t.Errorf("set parallelism pragma: %+v", p)
+	}
+	st := mustParseOne(t, "set strategy = 'shared'").(*SetStmt)
+	cs, ok := st.Value.(*expr.Const)
+	if st.Name != "strategy" || !ok || cs.Val.Kind != vector.Str || cs.Val.S != "shared" {
+		t.Errorf("set strategy pragma: %+v", st)
+	}
 }
 
 func TestParseMultipleStatements(t *testing.T) {

@@ -237,6 +237,48 @@ func New(t Type, n int) *Vector {
 	return v
 }
 
+// Fill returns a vector holding n copies of val. It is the bulk
+// materialisation primitive for constant expressions: one typed slice fill
+// instead of n boxed Value appends.
+func Fill(val Value, n int) *Vector {
+	v := &Vector{kind: val.Kind}
+	switch val.Kind {
+	case Int, Timestamp:
+		s := make([]int64, n)
+		if val.I != 0 {
+			for i := range s {
+				s[i] = val.I
+			}
+		}
+		v.ints = s
+	case Float:
+		s := make([]float64, n)
+		if val.F != 0 {
+			for i := range s {
+				s[i] = val.F
+			}
+		}
+		v.floats = s
+	case Bool:
+		s := make([]bool, n)
+		if val.B {
+			for i := range s {
+				s[i] = true
+			}
+		}
+		v.bools = s
+	case Str:
+		s := make([]string, n)
+		if val.S != "" {
+			for i := range s {
+				s[i] = val.S
+			}
+		}
+		v.strs = s
+	}
+	return v
+}
+
 // FromInts builds an Int vector that takes ownership of s.
 func FromInts(s []int64) *Vector { return &Vector{kind: Int, ints: s} }
 

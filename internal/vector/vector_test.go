@@ -301,3 +301,32 @@ func TestVectorString(t *testing.T) {
 		t.Error("empty String()")
 	}
 }
+
+func TestFill(t *testing.T) {
+	cases := []struct {
+		val  Value
+		n    int
+		want string
+	}{
+		{NewInt(7), 3, "7"},
+		{NewFloat(2.5), 2, "2.5"},
+		{NewBool(true), 4, "true"},
+		{NewStr("x"), 2, "x"},
+		{NewTimestampMicros(99), 1, "99"},
+		{NewInt(0), 5, "0"},
+	}
+	for _, tc := range cases {
+		v := Fill(tc.val, tc.n)
+		if v.Kind() != tc.val.Kind || v.Len() != tc.n {
+			t.Fatalf("Fill(%v, %d): kind %v len %d", tc.val, tc.n, v.Kind(), v.Len())
+		}
+		for i := 0; i < tc.n; i++ {
+			if got := v.Get(i).String(); got != tc.want {
+				t.Errorf("Fill(%v, %d)[%d] = %q, want %q", tc.val, tc.n, i, got, tc.want)
+			}
+		}
+	}
+	if v := Fill(NewStr("e"), 0); v.Len() != 0 {
+		t.Errorf("Fill with n=0 has length %d", v.Len())
+	}
+}
