@@ -260,11 +260,59 @@ func figScale(tuples int, seed int64, jsonOut bool) error {
 	return writeJSON(jsonOut, "scale", rows)
 }
 
+// kernel measures pure kernel activity and the firing path's allocation
+// profile: allocs/firing and bytes/firing cover one Append+fire+drain
+// round (including the amortised warm-up growth of the fresh baskets; the
+// steady-state firing itself is allocation free).
 func kernel(tuples int, seed int64, jsonOut bool) error {
-	rate, err := microbench.KernelThroughput(tuples, 20, seed)
+	const rounds = 20
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	rate, err := microbench.KernelThroughput(tuples, rounds, seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# Pure kernel activity (no communication): %.2fM events/s per factory\n", rate/1e6)
-	return writeJSON(jsonOut, "kernel", []map[string]float64{{"events_per_second": rate}})
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / rounds
+	bytes := float64(after.TotalAlloc-before.TotalAlloc) / rounds
+	fmt.Printf("# Pure kernel activity (no communication): %.2fM events/s per factory, %.1f allocs/firing, %.0f B/firing\n",
+		rate/1e6, allocs, bytes)
+	if !jsonOut {
+		return nil
+	}
+	return mergeKernelJSON(map[string]any{
+		"phase":             "this_pr",
+		"events_per_second": rate,
+		"allocs_per_firing": allocs,
+		"bytes_per_firing":  bytes,
+	})
+}
+
+// mergeKernelJSON updates BENCH_kernel.json in place: the file carries
+// the performance trajectory (baseline rows, go-test benchmark rows),
+// so only the tool's own current-measurement row is replaced — a
+// regeneration must never destroy the committed baseline record.
+func mergeKernelJSON(row map[string]any) error {
+	doc := map[string]any{}
+	if data, err := os.ReadFile("BENCH_kernel.json"); err == nil {
+		// A corrupt file starts the trajectory over rather than erroring.
+		_ = json.Unmarshal(data, &doc)
+	}
+	var rows []any
+	if prev, ok := doc["rows"].([]any); ok {
+		for _, r := range prev {
+			if m, ok := r.(map[string]any); ok && m["phase"] == "this_pr" && m["benchmark"] == nil {
+				continue // the row this measurement replaces
+			}
+			rows = append(rows, r)
+		}
+	}
+	doc["fig"] = "kernel"
+	doc["rows"] = append(rows, row)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_kernel.json", append(data, '\n'), 0o644)
 }

@@ -652,20 +652,35 @@ func (e *Engine) Subscribe(query string, fn func(t Table)) error {
 	return nil
 }
 
-// Append feeds rows into a stream basket.
+// ingestPool recycles the staging relations Append converts rows into;
+// the basket copies the tuples on ingest, so the staging can go straight
+// back to the pool.
+var ingestPool = sync.Pool{New: func() any { return &bat.Relation{} }}
+
+// Append feeds rows into a stream basket. Values are converted column
+// by column into a pooled staging relation — no per-row boxing — so a
+// steady-state Append costs a handful of allocations regardless of the
+// batch size.
 func (e *Engine) Append(streamName string, rows ...Row) error {
 	b := e.cat.Basket(streamName)
 	if b == nil {
 		return fmt.Errorf("datacell: unknown stream %q", streamName)
 	}
 	names, types := b.UserSchema()
-	rel := bat.NewEmptyRelation(names, types)
+	rel := ingestPool.Get().(*bat.Relation)
+	defer ingestPool.Put(rel)
+	rel.Reshape(names, types)
 	for _, r := range rows {
-		vals, err := valuesOf(r, types)
-		if err != nil {
-			return err
+		if len(r) != len(types) {
+			return fmt.Errorf("datacell: row has %d values, want %d", len(r), len(types))
 		}
-		rel.AppendRow(vals...)
+		for i, x := range r {
+			v, err := toValue(x, types[i])
+			if err != nil {
+				return fmt.Errorf("datacell: column %d: %w", i, err)
+			}
+			rel.Col(i).Append(v)
+		}
 	}
 	_, err := b.Append(rel)
 	return err
@@ -808,21 +823,6 @@ func goValue(v vector.Value) any {
 		return time.UnixMicro(v.I)
 	}
 	return nil
-}
-
-func valuesOf(r Row, types []vector.Type) ([]vector.Value, error) {
-	if len(r) != len(types) {
-		return nil, fmt.Errorf("datacell: row has %d values, want %d", len(r), len(types))
-	}
-	out := make([]vector.Value, len(r))
-	for i, x := range r {
-		v, err := toValue(x, types[i])
-		if err != nil {
-			return nil, fmt.Errorf("datacell: column %d: %w", i, err)
-		}
-		out[i] = v
-	}
-	return out, nil
 }
 
 func toValue(x any, t vector.Type) (vector.Value, error) {

@@ -1,0 +1,136 @@
+package basket
+
+import (
+	"testing"
+
+	"datacell/internal/bat"
+	"datacell/internal/vector"
+)
+
+func appendBatch(n int) *bat.Relation {
+	vs := make([]int64, n)
+	ws := make([]int64, n)
+	for i := range vs {
+		vs[i] = int64(i)
+		ws[i] = int64(i * 2)
+	}
+	return bat.NewRelation([]string{"v", "w"}, []*vector.Vector{
+		vector.FromInts(vs), vector.FromInts(ws),
+	})
+}
+
+func TestExchangeLocked(t *testing.T) {
+	b := New("ex", []string{"v", "w"}, []vector.Type{vector.Int, vector.Int})
+	if _, err := b.Append(appendBatch(5)); err != nil {
+		t.Fatal(err)
+	}
+	b.Lock()
+	full := b.ExchangeLocked(nil) // nil spare = TakeAllLocked
+	b.Unlock()
+	if full.Len() != 5 || b.Len() != 0 {
+		t.Fatalf("exchange: got %d tuples, %d left", full.Len(), b.Len())
+	}
+	if _, err := b.Append(appendBatch(3)); err != nil {
+		t.Fatal(err)
+	}
+	b.Lock()
+	next := b.ExchangeLocked(full) // ping-pong: full becomes the spare
+	b.Unlock()
+	if next.Len() != 3 || b.Len() != 0 {
+		t.Fatalf("second exchange: got %d tuples, %d left", next.Len(), b.Len())
+	}
+	if got := b.Stats(); got.Consumed != 8 {
+		t.Fatalf("consumed %d, want 8", got.Consumed)
+	}
+	// The basket reuses the old relation: appending within its warmed
+	// capacity must not allocate.
+	batch := appendBatch(3)
+	var spare *bat.Relation = next
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := b.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		b.Lock()
+		spare = b.ExchangeLocked(spare)
+		b.Unlock()
+	})
+	if allocs > 0 {
+		t.Fatalf("warmed append/exchange cycle allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestAppendAllocs is the allocation-regression guard of the ingest path:
+// a steady-state Basket.Append — warmed capacity, no constraints — must
+// not allocate at all (the documented constant is 0). Before the in-place
+// timestamp stamping it cost a Concat'd intermediate plus a second copy.
+func TestAppendAllocs(t *testing.T) {
+	b := New("alloc", []string{"v", "w"}, []vector.Type{vector.Int, vector.Int})
+	batch := appendBatch(1000)
+	var spare *bat.Relation
+	// Warm both ping-pong relations.
+	for i := 0; i < 3; i++ {
+		if _, err := b.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		b.Lock()
+		spare = b.ExchangeLocked(spare)
+		b.Unlock()
+	}
+	if _, err := b.Append(batch); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := b.Append(batch); err != nil {
+			t.Fatal(err)
+		}
+		b.Lock()
+		spare = b.ExchangeLocked(spare)
+		b.Unlock()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Append allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestAppendStampsAndFilters re-checks append semantics after the
+// in-place rewrite: timestamps are stamped for every accepted tuple and
+// constraints still silently filter.
+func TestAppendStampsAndFilters(t *testing.T) {
+	b := New("sem", []string{"v", "w"}, []vector.Type{vector.Int, vector.Int})
+	b.AddConstraint(Constraint{
+		Name: "v<3",
+		Check: func(rel *bat.Relation) []int32 {
+			var keep []int32
+			for i, x := range rel.ColByName("v").Ints() {
+				if x < 3 {
+					keep = append(keep, int32(i))
+				}
+			}
+			return keep
+		},
+	})
+	n, err := b.Append(appendBatch(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("accepted %d, want 3", n)
+	}
+	rel := b.TakeAll()
+	if rel.Len() != 3 || rel.NumCols() != 3 {
+		t.Fatalf("resident %d×%d, want 3×3", rel.Len(), rel.NumCols())
+	}
+	ts := rel.ColByName(TimestampCol)
+	if ts == nil || ts.Kind() != vector.Timestamp {
+		t.Fatalf("missing timestamp column")
+	}
+	for i := 0; i < 3; i++ {
+		if rel.Col(0).Ints()[i] != int64(i) || ts.Ints()[i] == 0 {
+			t.Fatalf("row %d: v=%d ts=%d", i, rel.Col(0).Ints()[i], ts.Ints()[i])
+		}
+	}
+	st := b.Stats()
+	if st.Appended != 3 || st.Dropped != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}

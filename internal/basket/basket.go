@@ -75,6 +75,10 @@ type Basket struct {
 	// positionally aligned with rel by the delete/take operations.
 	covers []int32
 
+	// gather is the reusable staging relation of constraint-filtered
+	// appends, lazily created and guarded by mu like rel.
+	gather *bat.Relation
+
 	appended int64
 	dropped  int64
 	consumed int64
@@ -267,7 +271,7 @@ func (b *Basket) appendLocked(rel *bat.Relation) (int, error) {
 	keep := []int32(nil)
 	full := rel.NumCols() == len(b.names)
 	view := rel
-	if !full {
+	if !full && len(b.constraints) > 0 {
 		// Present constraints with the basket's column names.
 		view = rel.Rename(b.names[:rel.NumCols()])
 	}
@@ -281,24 +285,26 @@ func (b *Basket) appendLocked(rel *bat.Relation) (int, error) {
 	}
 	in := rel
 	if keep != nil && len(keep) != rel.Len() {
-		in = rel.Gather(keep)
+		if b.gather == nil {
+			b.gather = &bat.Relation{}
+		}
+		in = rel.GatherInto(b.gather, keep)
 	}
 	accepted := in.Len()
 	dropped := rel.Len() - accepted
 	if accepted > 0 {
 		if full {
-			b.rel.AppendRelation(in.Rename(b.names))
+			// AppendRelation matches columns positionally, so no renamed
+			// intermediate is needed.
+			b.rel.AppendRelation(in)
 		} else {
-			ts := b.now().UnixMicro()
-			stamped := make([]int64, accepted)
-			for i := range stamped {
-				stamped[i] = ts
+			// Append the user columns straight into the resident relation and
+			// stamp the arrival timestamps in place — no Concat'd intermediate,
+			// no second copy.
+			for i := 0; i < in.NumCols(); i++ {
+				b.rel.Col(i).AppendVector(in.Col(i))
 			}
-			withTS := bat.Concat(in, bat.NewRelation(
-				[]string{TimestampCol},
-				[]*vector.Vector{vector.FromTimestamps(stamped)},
-			))
-			b.rel.AppendRelation(withTS.Rename(b.names))
+			b.rel.Col(in.NumCols()).AppendN(vector.NewTimestampMicros(b.now().UnixMicro()), accepted)
 		}
 		b.appended += int64(accepted)
 		if b.covers != nil {
@@ -354,14 +360,49 @@ func (b *Basket) TakeAllLocked() *bat.Relation {
 	return out
 }
 
+// ExchangeLocked removes and returns every resident tuple, installing
+// spare — a relation previously returned by this method (or TakeAllLocked)
+// on the same basket, cleared or not — as the new, emptied resident
+// relation. Factories ping-pong two relations through it so the basket's
+// column capacity is retained across firings instead of reallocated: the
+// allocation-free replacement for TakeAllLocked on the firing hot path.
+// A nil spare behaves exactly like TakeAllLocked.
+func (b *Basket) ExchangeLocked(spare *bat.Relation) *bat.Relation {
+	if spare == nil {
+		return b.TakeAllLocked()
+	}
+	if spare.NumCols() != b.rel.NumCols() {
+		panic(fmt.Sprintf("basket %s: exchange with %d cols, want %d", b.name, spare.NumCols(), b.rel.NumCols()))
+	}
+	out := b.rel
+	b.consumed += int64(out.Len())
+	b.seqbase += bat.OID(out.Len())
+	spare.Clear()
+	b.rel = spare
+	b.covers = b.covers[:0]
+	return out
+}
+
 // TakeLocked removes and returns the tuples at the given ascending
-// positions.
+// positions. The returned relation owns its columns.
 func (b *Basket) TakeLocked(sel []int32) *bat.Relation {
 	out := b.rel.Gather(sel)
 	b.rel.DeleteSorted(sel)
 	b.covers = deleteSortedCounts(b.covers, sel)
 	b.consumed += int64(len(sel))
 	return out
+}
+
+// TakeIntoLocked is TakeLocked gathering into dst (overwritten, capacity
+// retained) instead of a fresh relation: the allocation-free form for
+// factories that stage a window per firing and do not retain it. It
+// returns dst.
+func (b *Basket) TakeIntoLocked(dst *bat.Relation, sel []int32) *bat.Relation {
+	b.rel.GatherInto(dst, sel)
+	b.rel.DeleteSorted(sel)
+	b.covers = deleteSortedCounts(b.covers, sel)
+	b.consumed += int64(len(sel))
+	return dst
 }
 
 // DeleteLocked removes the tuples at the given ascending positions without

@@ -3,11 +3,18 @@ package basket
 import (
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 
 	"datacell/internal/bat"
 	"datacell/internal/vector"
 )
+
+// routePool recycles the per-partition gather staging relations of
+// PartitionedBasket appends; each Append borrows one, gathers a
+// partition's tuples into it (the partition copies them on ingest) and
+// returns it.
+var routePool = sync.Pool{New: func() any { return &bat.Relation{} }}
 
 // PartitionMode selects how a PartitionedBasket routes tuples.
 type PartitionMode uint8
@@ -136,12 +143,14 @@ func (pb *PartitionedBasket) Append(rel *bat.Relation) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	stage := routePool.Get().(*bat.Relation)
+	defer routePool.Put(stage)
 	total := 0
 	for k, sel := range sels {
 		if len(sel) == 0 {
 			continue
 		}
-		n, err := pb.parts[k].Append(rel.Gather(sel))
+		n, err := pb.parts[k].Append(rel.GatherInto(stage, sel))
 		total += n
 		if err != nil {
 			return total, err
@@ -159,12 +168,14 @@ func (pb *PartitionedBasket) AppendLocked(rel *bat.Relation) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	stage := routePool.Get().(*bat.Relation)
+	defer routePool.Put(stage)
 	total := 0
 	for k, sel := range sels {
 		if len(sel) == 0 {
 			continue
 		}
-		n, err := pb.parts[k].AppendLocked(rel.Gather(sel))
+		n, err := pb.parts[k].AppendLocked(rel.GatherInto(stage, sel))
 		total += n
 		if err != nil {
 			return total, err

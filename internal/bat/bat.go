@@ -176,6 +176,64 @@ func (r *Relation) Gather(sel []int32) *Relation {
 	return &Relation{names: append([]string(nil), r.names...), cols: cols}
 }
 
+// GatherInto overwrites dst with the tuples of r at the given positions,
+// adopting r's schema and retaining dst's column capacity. dst must not
+// share columns with r. It is the allocation-free form of Gather used by
+// execution arenas; a zero-value &Relation{} is a valid (empty) dst. It
+// returns dst.
+func (r *Relation) GatherInto(dst *Relation, sel []int32) *Relation {
+	dst.names = append(dst.names[:0], r.names...)
+	dst.cols = sizeCols(dst.cols, len(r.cols))
+	for i, c := range r.cols {
+		c.GatherInto(dst.cols[i], sel)
+	}
+	return dst
+}
+
+// CloneInto overwrites dst with a deep copy of r, retaining dst's column
+// capacity. dst must not share columns with r. It returns dst.
+func (r *Relation) CloneInto(dst *Relation) *Relation {
+	dst.names = append(dst.names[:0], r.names...)
+	dst.cols = sizeCols(dst.cols, len(r.cols))
+	for i, c := range r.cols {
+		c.SliceInto(dst.cols[i], 0, c.Len())
+	}
+	return dst
+}
+
+// ConcatInto overwrites dst with the columns of a followed by the columns
+// of b (same tuple count), sharing the column vectors with a and b exactly
+// like Concat, but reusing dst's header slices. It returns dst.
+func ConcatInto(dst, a, b *Relation) *Relation {
+	dst.names = append(append(dst.names[:0], a.names...), b.names...)
+	dst.cols = append(append(dst.cols[:0], a.cols...), b.cols...)
+	return dst
+}
+
+// Reshape re-schemas r in place to the given names and types, emptying all
+// columns while retaining as much backing capacity as possible. A
+// zero-value &Relation{} is a valid receiver; ingest pools use Reshape to
+// recycle staging relations across batches.
+func (r *Relation) Reshape(names []string, types []vector.Type) {
+	r.names = r.names[:0]
+	for _, n := range names {
+		r.names = append(r.names, strings.ToLower(n))
+	}
+	r.cols = sizeCols(r.cols, len(types))
+	for i, t := range types {
+		r.cols[i].Reset(t, 0)
+	}
+}
+
+// sizeCols grows or truncates a column slice to n entries, allocating
+// vectors only for newly added slots.
+func sizeCols(cols []*vector.Vector, n int) []*vector.Vector {
+	for len(cols) < n {
+		cols = append(cols, &vector.Vector{})
+	}
+	return cols[:n]
+}
+
 // AppendRelation appends all tuples of o (schema-compatible by position).
 func (r *Relation) AppendRelation(o *Relation) {
 	if o.NumCols() != r.NumCols() {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"datacell/internal/basket"
+	"datacell/internal/bat"
 )
 
 // NewPartitionSplitter builds the fan-out transition of partitioned stream
@@ -15,8 +16,10 @@ import (
 // strand.
 func NewPartitionSplitter(name string, in *basket.Basket, pb *basket.PartitionedBasket) (*Factory, error) {
 	parts := pb.Parts()
+	var spare *bat.Relation
 	f, err := NewFactory(name, []*basket.Basket{in}, parts, func(ctx *Context) error {
-		rel := ctx.In(0).TakeAllLocked()
+		rel := ctx.In(0).ExchangeLocked(spare)
+		spare = rel
 		if rel.Len() == 0 {
 			return nil
 		}
@@ -44,9 +47,11 @@ func NewPartitionSplitter(name string, in *basket.Basket, pb *basket.Partitioned
 // it fires as soon as any staging basket holds tuples and concatenates
 // everything present into the query's result basket, in partition order.
 func NewMergeEmitter(name string, staging []*basket.Basket, out *basket.Basket) (*Factory, error) {
+	spares := make([]*bat.Relation, len(staging))
 	f, err := NewFactory(name, staging, []*basket.Basket{out}, func(ctx *Context) error {
 		for i := 0; i < ctx.NumIn(); i++ {
-			rel := ctx.In(i).TakeAllLocked()
+			rel := ctx.In(i).ExchangeLocked(spares[i])
+			spares[i] = rel
 			if rel.Len() == 0 {
 				continue
 			}

@@ -3,11 +3,17 @@ package core
 import (
 	"fmt"
 	"slices"
+	"sync"
 
 	"datacell/internal/basket"
 	"datacell/internal/bat"
 	"datacell/internal/vector"
 )
+
+// stagePool recycles gather staging relations for firing bodies that are
+// shared across factories (partition clones invoke the same StreamQuery
+// Fire concurrently, so the staging cannot live in the closure).
+var stagePool = sync.Pool{New: func() any { return &bat.Relation{} }}
 
 // StreamQuery is one continuous query over a stream, in the form the
 // multi-query wiring strategies consume. It generalises the earlier
@@ -67,7 +73,10 @@ func (q ScanQuery) Bind(out *basket.Basket) StreamQuery {
 			rel := in.RelLocked()
 			matched, covered := scan(rel)
 			if len(matched) > 0 {
-				if _, err := out.AppendLocked(rel.Gather(matched)); err != nil {
+				stage := stagePool.Get().(*bat.Relation)
+				_, err := out.AppendLocked(rel.GatherInto(stage, matched))
+				stagePool.Put(stage)
+				if err != nil {
 					return err
 				}
 			}
@@ -93,10 +102,15 @@ func sortedPositions(sel []int32) []int32 {
 
 // NewReplicator builds the fan-out factory of the separate-baskets
 // strategy: every firing moves all tuples of in into each of the outs,
-// replicating the stream once per interested query.
+// replicating the stream once per interested query. Two relations
+// ping-pong through ExchangeLocked so the input basket's column capacity
+// is reused across firings (firings of one factory are serialised, so the
+// closure-held spare needs no locking beyond the firing's basket locks).
 func NewReplicator(name string, in *basket.Basket, outs []*basket.Basket) (*Factory, error) {
+	var spare *bat.Relation
 	return NewFactory(name, []*basket.Basket{in}, outs, func(ctx *Context) error {
-		rel := ctx.In(0).TakeAllLocked()
+		rel := ctx.In(0).ExchangeLocked(spare)
+		spare = rel
 		if rel.Len() == 0 {
 			return nil
 		}
@@ -162,11 +176,16 @@ var (
 	flagTypes = []vector.Type{vector.Bool}
 )
 
-func flagRow() *bat.Relation {
+// flagRel is the shared one-row token relation appended to go/done/idle
+// baskets. Appends copy out of it and nothing mutates it, so every firing
+// can reuse the same instance.
+var flagRel = func() *bat.Relation {
 	r := bat.NewEmptyRelation(flagNames, flagTypes)
 	r.AppendRow(vector.NewBool(true))
 	return r
-}
+}()
+
+func flagRow() *bat.Relation { return flagRel }
 
 // SharedBaskets wires the paper's second strategy (Figure 2b): all queries
 // share the stream basket. A locker factory L fires when the shared basket
@@ -195,10 +214,11 @@ func SharedBaskets(prefix string, shared *basket.Basket, queries []StreamQuery) 
 	// previous cycle, so residual (uncovered) tuples do not retrigger the
 	// whole group.
 	var lastGen int64
+	var idleSpare *bat.Relation
 	locker, err := NewFactory(prefix+".lock",
 		[]*basket.Basket{shared, idle}, goB,
 		func(ctx *Context) error {
-			ctx.In(1).TakeAllLocked() // consume idle token
+			idleSpare = ctx.In(1).ExchangeLocked(idleSpare) // consume idle token
 			lastGen = ctx.In(0).AppendedLocked()
 			ctx.In(0).SetEnabledLocked(false)
 			row := flagRow()
@@ -232,11 +252,13 @@ func SharedBaskets(prefix string, shared *basket.Basket, queries []StreamQuery) 
 	for i, q := range queries {
 		q := q
 		outs := append(q.outputs(), doneB[i])
+		var goSpare *bat.Relation
+		var covBuf []int32
 		reader, err := NewFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name),
 			[]*basket.Basket{shared, goB[i]}, outs,
 			func(ctx *Context) error {
-				ctx.In(1).TakeAllLocked() // consume go token
-				var covered []int32
+				goSpare = ctx.In(1).ExchangeLocked(goSpare) // consume go token
+				covered := covBuf[:0]
 				fireErr := q.Fire(ctx.In(0), q.Out, func(c []int32) {
 					covered = append(covered, c...)
 				})
@@ -245,7 +267,10 @@ func SharedBaskets(prefix string, shared *basket.Basket, queries []StreamQuery) 
 				// even when the query failed: a missing flag would wedge the
 				// whole group with the stream left blocked, turning one bad
 				// firing into a permanent stall.
-				ctx.In(0).CoverLocked(sortedPositions(covered))
+				slices.Sort(covered)
+				covered = slices.Compact(covered)
+				ctx.In(0).CoverLocked(covered)
+				covBuf = covered
 				if _, err := ctx.Out(ctx.NumOut() - 1).AppendLocked(flagRow()); err != nil {
 					return err
 				}
@@ -261,11 +286,12 @@ func SharedBaskets(prefix string, shared *basket.Basket, queries []StreamQuery) 
 	// query covered from the shared basket in one step and unblock the
 	// stream.
 	unlockIns := append([]*basket.Basket(nil), doneB...)
+	doneSpares := make([]*bat.Relation, len(doneB))
 	unlocker, err := NewFactory(prefix+".unlock",
 		unlockIns, []*basket.Basket{idle, shared},
 		func(ctx *Context) error {
 			for i := 0; i < ctx.NumIn(); i++ {
-				ctx.In(i).TakeAllLocked()
+				doneSpares[i] = ctx.In(i).ExchangeLocked(doneSpares[i])
 			}
 			ctx.Out(1).DeleteCoveredLocked(1)
 			ctx.Out(1).SetEnabledLocked(true)
@@ -298,6 +324,7 @@ func PartialDeletes(prefix string, in *basket.Basket, queries []StreamQuery) ([]
 			next = basket.New(fmt.Sprintf("%s.chain.%d", prefix, i+1), names, types)
 			outs = append(outs, next)
 		}
+		var spare *bat.Relation
 		f, err := NewFactory(fmt.Sprintf("%s.q.%s", prefix, q.Name),
 			[]*basket.Basket{chain}, outs,
 			func(ctx *Context) error {
@@ -309,7 +336,8 @@ func PartialDeletes(prefix string, in *basket.Basket, queries []StreamQuery) ([]
 				if err := q.Fire(ctx.In(0), q.Out, nil); err != nil {
 					return err
 				}
-				residue := ctx.In(0).TakeAllLocked()
+				residue := ctx.In(0).ExchangeLocked(spare)
+				spare = residue
 				if next != nil && residue.Len() > 0 {
 					if _, err := next.AppendLocked(residue); err != nil {
 						return err

@@ -18,7 +18,9 @@ import (
 // (partial deletes of the window).
 
 // WindowFunc processes one complete window of tuples and returns the
-// result to append to the output basket (nil or empty for none).
+// result to append to the output basket (nil or empty for none). The
+// window relation is staging storage owned by the factory and reused
+// across firings; it must not be retained after the call returns.
 type WindowFunc func(window *bat.Relation) (*bat.Relation, error)
 
 // NewTumblingCountWindow builds a factory that fires once `size` tuples
@@ -29,10 +31,13 @@ func NewTumblingCountWindow(name string, in, out *basket.Basket, size int, fn Wi
 	if size < 1 {
 		return nil, fmt.Errorf("core: window size %d", size)
 	}
+	stage := &bat.Relation{}
+	var selBuf []int32
 	f, err := NewFactory(name, []*basket.Basket{in}, []*basket.Basket{out},
 		func(ctx *Context) error {
 			for ctx.In(0).LenLocked() >= size {
-				window := ctx.In(0).TakeLocked(relop.CandAll(size))
+				selBuf = relop.CandAllInto(selBuf, size)
+				window := ctx.In(0).TakeIntoLocked(stage, selBuf)
 				res, err := fn(window)
 				if err != nil {
 					return err
@@ -61,6 +66,8 @@ func NewTumblingCountWindow(name string, in, out *basket.Basket, size int, fn Wi
 func NewTumblingTimeWindow(name string, in, out *basket.Basket, tsCol string, width time.Duration, fn WindowFunc) (*Factory, error) {
 	widthUnits := width.Microseconds()
 	var epoch int64 = -1 // start of the current open window
+	stage := &bat.Relation{}
+	var selBuf []int32
 	f, err := NewFactory(name, []*basket.Basket{in}, []*basket.Basket{out},
 		func(ctx *Context) error {
 			rel := ctx.In(0).RelLocked()
@@ -92,7 +99,7 @@ func NewTumblingTimeWindow(name string, in, out *basket.Basket, tsCol string, wi
 				}
 				closeAt := epoch + widthUnits
 				ready := false
-				var inWindow []int32
+				inWindow := selBuf[:0]
 				for i := 0; i < n; i++ {
 					v := ts.Get(i).AsInt()
 					if v >= closeAt {
@@ -101,10 +108,11 @@ func NewTumblingTimeWindow(name string, in, out *basket.Basket, tsCol string, wi
 						inWindow = append(inWindow, int32(i))
 					}
 				}
+				selBuf = inWindow
 				if !ready {
 					return nil
 				}
-				window := ctx.In(0).TakeLocked(inWindow)
+				window := ctx.In(0).TakeIntoLocked(stage, inWindow)
 				epoch = closeAt
 				res, err := fn(window)
 				if err != nil {

@@ -22,6 +22,14 @@ import (
 type Expr interface {
 	// Eval evaluates the expression against every tuple of rel.
 	Eval(rel *bat.Relation) (*vector.Vector, error)
+	// EvalInto evaluates like Eval but without allocating on the steady
+	// state: when the node computes a new vector it writes into dst (when
+	// non-nil) or a temporary drawn from s (when non-nil), and nodes that
+	// only reference existing data (column references) return the shared
+	// vector directly. dst must not alias any input column. With dst and s
+	// both nil, EvalInto behaves exactly like Eval. Results drawn from s
+	// are valid until s.Reset.
+	EvalInto(rel *bat.Relation, dst *vector.Vector, s *Scratch) (*vector.Vector, error)
 	// Type reports the result type given the input schema.
 	Type(rel *bat.Relation) (vector.Type, error)
 	// String renders the expression in SQL-ish syntax.
@@ -37,6 +45,14 @@ func NewConst(v vector.Value) *Const { return &Const{Val: v} }
 // Eval implements Expr.
 func (c *Const) Eval(rel *bat.Relation) (*vector.Vector, error) {
 	return vector.Fill(c.Val, rel.Len()), nil
+}
+
+// EvalInto implements Expr.
+func (c *Const) EvalInto(rel *bat.Relation, dst *vector.Vector, s *Scratch) (*vector.Vector, error) {
+	if dst == nil && s == nil {
+		return c.Eval(rel)
+	}
+	return vector.FillInto(output(dst, s), c.Val, rel.Len()), nil
 }
 
 // Type implements Expr.
@@ -62,6 +78,12 @@ func (c *Col) Eval(rel *bat.Relation) (*vector.Vector, error) {
 		return nil, fmt.Errorf("expr: unknown column %q (have %v)", c.Name, rel.Names())
 	}
 	return v, nil
+}
+
+// EvalInto implements Expr: a column reference returns the shared input
+// vector, never copying.
+func (c *Col) EvalInto(rel *bat.Relation, _ *vector.Vector, _ *Scratch) (*vector.Vector, error) {
+	return c.Eval(rel)
 }
 
 // Type implements Expr.
@@ -161,11 +183,16 @@ func (b *Bin) Type(rel *bat.Relation) (vector.Type, error) {
 
 // Eval implements Expr.
 func (b *Bin) Eval(rel *bat.Relation) (*vector.Vector, error) {
-	l, err := b.L.Eval(rel)
+	return b.EvalInto(rel, nil, nil)
+}
+
+// EvalInto implements Expr.
+func (b *Bin) EvalInto(rel *bat.Relation, dst *vector.Vector, s *Scratch) (*vector.Vector, error) {
+	l, err := b.L.EvalInto(rel, nil, s)
 	if err != nil {
 		return nil, err
 	}
-	r, err := b.R.Eval(rel)
+	r, err := b.R.EvalInto(rel, nil, s)
 	if err != nil {
 		return nil, err
 	}
@@ -173,9 +200,11 @@ func (b *Bin) Eval(rel *bat.Relation) (*vector.Vector, error) {
 	if r.Len() != n {
 		return nil, fmt.Errorf("expr: operand length mismatch %d vs %d", n, r.Len())
 	}
+	o := output(dst, s)
 	switch {
 	case b.Op == And || b.Op == Or:
-		out := make([]bool, n)
+		o.Reset(vector.Bool, n)
+		out := o.Bools()
 		lb, rb := l.Bools(), r.Bools()
 		if b.Op == And {
 			for i := range out {
@@ -186,16 +215,17 @@ func (b *Bin) Eval(rel *bat.Relation) (*vector.Vector, error) {
 				out[i] = lb[i] || rb[i]
 			}
 		}
-		return vector.FromBools(out), nil
+		return o, nil
 	case b.Op.IsCmp():
-		return evalCmp(b.Op, l, r, n)
+		return evalCmpInto(b.Op, l, r, n, o)
 	default:
-		return evalArith(b.Op, l, r, n)
+		return evalArithInto(b.Op, l, r, n, o)
 	}
 }
 
-func evalCmp(op BinOp, l, r *vector.Vector, n int) (*vector.Vector, error) {
-	out := make([]bool, n)
+func evalCmpInto(op BinOp, l, r *vector.Vector, n int, o *vector.Vector) (*vector.Vector, error) {
+	o.Reset(vector.Bool, n)
+	out := o.Bools()
 	c := op.CmpOp()
 	lk, rk := l.Kind(), r.Kind()
 	switch {
@@ -227,20 +257,21 @@ func evalCmp(op BinOp, l, r *vector.Vector, n int) (*vector.Vector, error) {
 			out[i] = floatCmpHolds(c, lf[i], rf[i])
 		}
 	}
-	return vector.FromBools(out), nil
+	return o, nil
 }
 
-func evalArith(op BinOp, l, r *vector.Vector, n int) (*vector.Vector, error) {
+func evalArithInto(op BinOp, l, r *vector.Vector, n int, o *vector.Vector) (*vector.Vector, error) {
 	lk, rk := l.Kind(), r.Kind()
 	if lk == vector.Str || rk == vector.Str {
 		if op != Add {
 			return nil, fmt.Errorf("expr: operator %s not defined on strings", op)
 		}
-		out := make([]string, n)
+		o.Reset(vector.Str, n)
+		out := o.Strs()
 		for i := range out {
 			out[i] = l.Get(i).String() + r.Get(i).String()
 		}
-		return vector.FromStrs(out), nil
+		return o, nil
 	}
 	if lk == vector.Float || rk == vector.Float {
 		lf, err := asFloats(l)
@@ -251,7 +282,8 @@ func evalArith(op BinOp, l, r *vector.Vector, n int) (*vector.Vector, error) {
 		if err != nil {
 			return nil, err
 		}
-		out := make([]float64, n)
+		o.Reset(vector.Float, n)
+		out := o.Floats()
 		switch op {
 		case Add:
 			for i := range out {
@@ -278,10 +310,15 @@ func evalArith(op BinOp, l, r *vector.Vector, n int) (*vector.Vector, error) {
 				out[i] = math.Mod(lf[i], rf[i])
 			}
 		}
-		return vector.FromFloats(out), nil
+		return o, nil
+	}
+	kind := vector.Int
+	if lk == vector.Timestamp || rk == vector.Timestamp {
+		kind = vector.Timestamp
 	}
 	ls, rs := l.Ints(), r.Ints()
-	out := make([]int64, n)
+	o.Reset(kind, n)
+	out := o.Ints()
 	switch op {
 	case Add:
 		for i := range out {
@@ -302,6 +339,8 @@ func evalArith(op BinOp, l, r *vector.Vector, n int) (*vector.Vector, error) {
 		for i := range out {
 			if rs[i] != 0 {
 				out[i] = ls[i] / rs[i]
+			} else {
+				out[i] = 0
 			}
 		}
 	case Mod:
@@ -313,10 +352,7 @@ func evalArith(op BinOp, l, r *vector.Vector, n int) (*vector.Vector, error) {
 			}
 		}
 	}
-	if lk == vector.Timestamp || rk == vector.Timestamp {
-		return vector.FromTimestamps(out), nil
-	}
-	return vector.FromInts(out), nil
+	return o, nil
 }
 
 func isIntKind(t vector.Type) bool { return t == vector.Int || t == vector.Timestamp }
@@ -415,16 +451,23 @@ func NewNot(e Expr) *Not { return &Not{E: e} }
 
 // Eval implements Expr.
 func (u *Not) Eval(rel *bat.Relation) (*vector.Vector, error) {
-	v, err := u.E.Eval(rel)
+	return u.EvalInto(rel, nil, nil)
+}
+
+// EvalInto implements Expr.
+func (u *Not) EvalInto(rel *bat.Relation, dst *vector.Vector, s *Scratch) (*vector.Vector, error) {
+	v, err := u.E.EvalInto(rel, nil, s)
 	if err != nil {
 		return nil, err
 	}
 	in := v.Bools()
-	out := make([]bool, len(in))
+	o := output(dst, s)
+	o.Reset(vector.Bool, len(in))
+	out := o.Bools()
 	for i, b := range in {
 		out[i] = !b
 	}
-	return vector.FromBools(out), nil
+	return o, nil
 }
 
 // Type implements Expr.
@@ -440,25 +483,33 @@ func NewNeg(e Expr) *Neg { return &Neg{E: e} }
 
 // Eval implements Expr.
 func (u *Neg) Eval(rel *bat.Relation) (*vector.Vector, error) {
-	v, err := u.E.Eval(rel)
+	return u.EvalInto(rel, nil, nil)
+}
+
+// EvalInto implements Expr.
+func (u *Neg) EvalInto(rel *bat.Relation, dst *vector.Vector, s *Scratch) (*vector.Vector, error) {
+	v, err := u.E.EvalInto(rel, nil, s)
 	if err != nil {
 		return nil, err
 	}
+	o := output(dst, s)
 	switch v.Kind() {
 	case vector.Int, vector.Timestamp:
 		in := v.Ints()
-		out := make([]int64, len(in))
+		o.Reset(vector.Int, len(in))
+		out := o.Ints()
 		for i, x := range in {
 			out[i] = -x
 		}
-		return vector.FromInts(out), nil
+		return o, nil
 	case vector.Float:
 		in := v.Floats()
-		out := make([]float64, len(in))
+		o.Reset(vector.Float, len(in))
+		out := o.Floats()
 		for i, x := range in {
 			out[i] = -x
 		}
-		return vector.FromFloats(out), nil
+		return o, nil
 	}
 	return nil, fmt.Errorf("expr: cannot negate %s", v.Kind())
 }
@@ -509,6 +560,11 @@ func (c *Call) Type(rel *bat.Relation) (vector.Type, error) {
 
 // Eval implements Expr.
 func (c *Call) Eval(rel *bat.Relation) (*vector.Vector, error) {
+	return c.EvalInto(rel, nil, nil)
+}
+
+// EvalInto implements Expr.
+func (c *Call) EvalInto(rel *bat.Relation, dst *vector.Vector, s *Scratch) (*vector.Vector, error) {
 	n := rel.Len()
 	switch c.Name {
 	case "now":
@@ -516,50 +572,46 @@ func (c *Call) Eval(rel *bat.Relation) (*vector.Vector, error) {
 		if nowFn == nil {
 			nowFn = time.Now
 		}
-		us := nowFn().UnixMicro()
-		out := make([]int64, n)
-		for i := range out {
-			out[i] = us
-		}
-		return vector.FromTimestamps(out), nil
+		return vector.FillInto(output(dst, s), vector.NewTimestampMicros(nowFn().UnixMicro()), n), nil
 	case "abs", "floor", "ceil", "round", "sqrt":
 		if len(c.Args) != 1 {
 			return nil, fmt.Errorf("expr: %s takes 1 argument", c.Name)
 		}
-		v, err := c.Args[0].Eval(rel)
+		v, err := c.Args[0].EvalInto(rel, nil, s)
 		if err != nil {
 			return nil, err
 		}
-		return evalUnaryMath(c.Name, v)
+		return evalUnaryMath(c.Name, v, output(dst, s))
 	case "mod", "least", "greatest":
 		if len(c.Args) != 2 {
 			return nil, fmt.Errorf("expr: %s takes 2 arguments", c.Name)
 		}
-		l, err := c.Args[0].Eval(rel)
+		l, err := c.Args[0].EvalInto(rel, nil, s)
 		if err != nil {
 			return nil, err
 		}
-		r, err := c.Args[1].Eval(rel)
+		r, err := c.Args[1].EvalInto(rel, nil, s)
 		if err != nil {
 			return nil, err
 		}
-		return evalBinaryMath(c.Name, l, r)
+		return evalBinaryMath(c.Name, l, r, output(dst, s))
 	}
 	return nil, fmt.Errorf("expr: unknown function %q", c.Name)
 }
 
-func evalUnaryMath(name string, v *vector.Vector) (*vector.Vector, error) {
+func evalUnaryMath(name string, v, o *vector.Vector) (*vector.Vector, error) {
 	if v.Kind() == vector.Int || v.Kind() == vector.Timestamp {
 		if name == "abs" {
 			in := v.Ints()
-			out := make([]int64, len(in))
+			o.Reset(vector.Int, len(in))
+			out := o.Ints()
 			for i, x := range in {
 				if x < 0 {
 					x = -x
 				}
 				out[i] = x
 			}
-			return vector.FromInts(out), nil
+			return o, nil
 		}
 		if name != "sqrt" {
 			return v, nil // floor/ceil/round of ints are identities
@@ -569,7 +621,8 @@ func evalUnaryMath(name string, v *vector.Vector) (*vector.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(fs))
+	o.Reset(vector.Float, len(fs))
+	out := o.Floats()
 	for i, x := range fs {
 		switch name {
 		case "abs":
@@ -584,18 +637,21 @@ func evalUnaryMath(name string, v *vector.Vector) (*vector.Vector, error) {
 			out[i] = math.Sqrt(x)
 		}
 	}
-	return vector.FromFloats(out), nil
+	return o, nil
 }
 
-func evalBinaryMath(name string, l, r *vector.Vector) (*vector.Vector, error) {
+func evalBinaryMath(name string, l, r, o *vector.Vector) (*vector.Vector, error) {
 	if isIntKind(l.Kind()) && isIntKind(r.Kind()) {
 		ls, rs := l.Ints(), r.Ints()
-		out := make([]int64, len(ls))
+		o.Reset(vector.Int, len(ls))
+		out := o.Ints()
 		for i := range out {
 			switch name {
 			case "mod":
 				if rs[i] != 0 {
 					out[i] = ls[i] % rs[i]
+				} else {
+					out[i] = 0
 				}
 			case "least":
 				out[i] = min(ls[i], rs[i])
@@ -603,7 +659,7 @@ func evalBinaryMath(name string, l, r *vector.Vector) (*vector.Vector, error) {
 				out[i] = max(ls[i], rs[i])
 			}
 		}
-		return vector.FromInts(out), nil
+		return o, nil
 	}
 	lf, err := asFloats(l)
 	if err != nil {
@@ -613,7 +669,8 @@ func evalBinaryMath(name string, l, r *vector.Vector) (*vector.Vector, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, len(lf))
+	o.Reset(vector.Float, len(lf))
+	out := o.Floats()
 	for i := range out {
 		switch name {
 		case "mod":
@@ -624,7 +681,7 @@ func evalBinaryMath(name string, l, r *vector.Vector) (*vector.Vector, error) {
 			out[i] = math.Max(lf[i], rf[i])
 		}
 	}
-	return vector.FromFloats(out), nil
+	return o, nil
 }
 
 // EvalSelect evaluates a boolean expression as a candidate-list selection
@@ -633,61 +690,105 @@ func evalBinaryMath(name string, l, r *vector.Vector) (*vector.Vector, error) {
 // kernel's selection primitives; anything else falls back to materialising
 // the boolean vector.
 func EvalSelect(e Expr, rel *bat.Relation, cand []int32) ([]int32, error) {
+	return EvalSelectInto(e, rel, cand, nil)
+}
+
+// EvalSelectInto is EvalSelect drawing every selection buffer and
+// expression temporary from s, so steady-state predicate evaluation
+// allocates nothing. The returned list is owned by s (valid until
+// s.Reset) unless it is cand itself. A nil s behaves exactly like
+// EvalSelect.
+func EvalSelectInto(e Expr, rel *bat.Relation, cand []int32, s *Scratch) ([]int32, error) {
 	switch n := e.(type) {
 	case *Bin:
 		switch {
 		case n.Op == And:
-			l, err := EvalSelect(n.L, rel, cand)
+			l, err := EvalSelectInto(n.L, rel, cand, s)
 			if err != nil {
 				return nil, err
 			}
-			return EvalSelect(n.R, rel, l)
+			return EvalSelectInto(n.R, rel, l, s)
 		case n.Op == Or:
-			l, err := EvalSelect(n.L, rel, cand)
+			l, err := EvalSelectInto(n.L, rel, cand, s)
 			if err != nil {
 				return nil, err
 			}
-			r, err := EvalSelect(n.R, rel, cand)
+			r, err := EvalSelectInto(n.R, rel, cand, s)
 			if err != nil {
 				return nil, err
 			}
-			return relop.CandOr(l, r), nil
+			if s == nil {
+				return relop.CandOr(l, r), nil
+			}
+			p := s.Sel()
+			*p = relop.CandOrInto(*p, l, r)
+			return *p, nil
 		case n.Op.IsCmp():
 			if col, konst, op, ok := colConstCmp(n, rel); ok {
-				return relop.SelectPred(col, op, konst, cand), nil
+				if s == nil {
+					return relop.SelectPred(col, op, konst, cand), nil
+				}
+				p := s.Sel()
+				*p = relop.SelectPredInto(*p, col, op, konst, cand)
+				return *p, nil
 			}
 		}
 	case *Not:
-		inner, err := EvalSelect(n.E, rel, cand)
+		inner, err := EvalSelectInto(n.E, rel, cand, s)
 		if err != nil {
 			return nil, err
 		}
 		if cand == nil {
-			return relop.CandNot(inner, rel.Len()), nil
+			if s == nil {
+				return relop.CandNot(inner, rel.Len()), nil
+			}
+			p := s.Sel()
+			*p = relop.CandNotInto(*p, inner, rel.Len())
+			return *p, nil
 		}
-		return candDiff(cand, inner), nil
+		if s == nil {
+			return candDiff(cand, inner), nil
+		}
+		p := s.Sel()
+		*p = candDiffInto(*p, cand, inner)
+		return *p, nil
 	case *Between:
-		if sel, ok := n.pushdown(rel, cand); ok {
+		if sel, ok := n.pushdownInto(rel, cand, s); ok {
 			return sel, nil
 		}
 	case *Const:
 		if n.Val.Kind == vector.Bool && n.Val.B {
 			if cand == nil {
-				return relop.CandAll(rel.Len()), nil
+				if s == nil {
+					return relop.CandAll(rel.Len()), nil
+				}
+				p := s.Sel()
+				*p = relop.CandAllInto(*p, rel.Len())
+				return *p, nil
 			}
 			return cand, nil
 		}
-		return nil, nil
+		// A false predicate selects nothing. The result must be a non-nil
+		// empty list: a nil candidate list means "unrestricted" to every
+		// consumer (the kernel selections, the AND chain above, the plan's
+		// late-materialisation paths), so returning nil here would turn
+		// "no rows" into "all rows".
+		return emptySel, nil
 	}
 	// General fallback: evaluate to a boolean vector then select.
-	v, err := e.Eval(rel)
+	v, err := e.EvalInto(rel, nil, s)
 	if err != nil {
 		return nil, err
 	}
 	if v.Kind() != vector.Bool {
 		return nil, fmt.Errorf("expr: predicate %s is %s, not bool", e, v.Kind())
 	}
-	return relop.SelectBool(v, cand), nil
+	if s == nil {
+		return relop.SelectBool(v, cand), nil
+	}
+	p := s.Sel()
+	*p = relop.SelectBoolInto(*p, v, cand)
+	return *p, nil
 }
 
 // colConstCmp recognises col-op-const and const-op-col comparisons so they
@@ -741,9 +842,19 @@ func constOf(e Expr) (vector.Value, bool) {
 	return vector.Value{}, false
 }
 
+// emptySel is the shared non-nil empty selection: "no rows", as opposed
+// to the nil list that means "no restriction". Read only.
+var emptySel = make([]int32, 0)
+
 // candDiff returns the entries of a not present in b (both ascending).
 func candDiff(a, b []int32) []int32 {
-	out := make([]int32, 0, len(a))
+	return candDiffInto(make([]int32, 0, len(a)), a, b)
+}
+
+// candDiffInto is candDiff appending into dst (overwritten from length 0);
+// dst must alias neither input.
+func candDiffInto(dst, a, b []int32) []int32 {
+	out := dst[:0]
 	j := 0
 	for _, x := range a {
 		for j < len(b) && b[j] < x {

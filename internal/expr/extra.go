@@ -87,6 +87,12 @@ func (n *InList) Eval(rel *bat.Relation) (*vector.Vector, error) {
 	return vector.FromBools(out), nil
 }
 
+// EvalInto implements Expr. IN-lists are set-probe bound, not copy bound,
+// so this defers to Eval (no buffer reuse).
+func (n *InList) EvalInto(rel *bat.Relation, _ *vector.Vector, _ *Scratch) (*vector.Vector, error) {
+	return n.Eval(rel)
+}
+
 // Between is `e BETWEEN lo AND hi` (inclusive both ends, SQL semantics).
 type Between struct {
 	E, Lo, Hi Expr
@@ -129,9 +135,16 @@ func (n *Between) Eval(rel *bat.Relation) (*vector.Vector, error) {
 	return v, nil
 }
 
-// pushdown lowers BETWEEN over a column with constant bounds into the
-// kernel's range selection. Used by EvalSelect.
-func (n *Between) pushdown(rel *bat.Relation, cand []int32) ([]int32, bool) {
+// EvalInto implements Expr. The hot form of BETWEEN is the candidate-list
+// pushdown below; materialised evaluation defers to Eval.
+func (n *Between) EvalInto(rel *bat.Relation, _ *vector.Vector, _ *Scratch) (*vector.Vector, error) {
+	return n.Eval(rel)
+}
+
+// pushdownInto lowers BETWEEN over a column with constant bounds into the
+// kernel's range selection, drawing the result buffer from s when given.
+// Used by EvalSelect.
+func (n *Between) pushdownInto(rel *bat.Relation, cand []int32, s *Scratch) ([]int32, bool) {
 	col, ok := n.E.(*Col)
 	if !ok || n.Negate {
 		return nil, false
@@ -145,7 +158,12 @@ func (n *Between) pushdown(rel *bat.Relation, cand []int32) ([]int32, bool) {
 	if v == nil {
 		return nil, false
 	}
-	return relop.SelectRange(v, lo, hi, true, true, cand), true
+	if s == nil {
+		return relop.SelectRange(v, lo, hi, true, true, cand), true
+	}
+	p := s.Sel()
+	*p = relop.SelectRangeInto(*p, v, lo, hi, true, true, cand)
+	return *p, true
 }
 
 // WhenClause is one WHEN…THEN arm of a Case.
@@ -220,6 +238,11 @@ func (n *Case) Eval(rel *bat.Relation) (*vector.Vector, error) {
 	return out, nil
 }
 
+// EvalInto implements Expr; CASE arms are cold, so this defers to Eval.
+func (n *Case) EvalInto(rel *bat.Relation, _ *vector.Vector, _ *Scratch) (*vector.Vector, error) {
+	return n.Eval(rel)
+}
+
 // Like is the SQL LIKE operator with % (any run) and _ (any one char).
 type Like struct {
 	E       Expr
@@ -257,6 +280,12 @@ func (n *Like) Eval(rel *bat.Relation) (*vector.Vector, error) {
 		out[i] = likeMatch(s, n.Pattern) != n.Negate
 	}
 	return vector.FromBools(out), nil
+}
+
+// EvalInto implements Expr; pattern matching is match bound, not copy
+// bound, so this defers to Eval.
+func (n *Like) EvalInto(rel *bat.Relation, _ *vector.Vector, _ *Scratch) (*vector.Vector, error) {
+	return n.Eval(rel)
 }
 
 // likeMatch implements SQL LIKE with an iterative two-pointer algorithm

@@ -1,0 +1,66 @@
+package expr
+
+import (
+	"datacell/internal/vector"
+)
+
+// Scratch is a reusable pool of evaluation temporaries: the vectors that
+// hold intermediate expression results and the []int32 selection buffers
+// produced by candidate-list evaluation. A Scratch is owned by exactly one
+// firing at a time (the per-factory execution arena of the plan layer
+// hands one out under the firing's basket locks), so no synchronisation is
+// needed. Reset recycles every temporary for the next firing; values
+// obtained from a Scratch must not be retained across Reset.
+type Scratch struct {
+	vecs []*vector.Vector
+	vi   int
+	sels [][]int32
+	si   int
+}
+
+// Vec returns a reusable vector, distinct from every vector returned
+// since the last Reset. The vector's kind and length are unspecified;
+// callers Reset or overwrite it.
+func (s *Scratch) Vec() *vector.Vector {
+	if s.vi == len(s.vecs) {
+		s.vecs = append(s.vecs, &vector.Vector{})
+	}
+	v := s.vecs[s.vi]
+	s.vi++
+	return v
+}
+
+// Sel returns a pointer to a reusable selection-buffer slot, distinct from
+// every slot returned since the last Reset. The slot is reset to length 0;
+// callers append through the pointer (or assign the grown slice back) so
+// the slot retains the grown capacity for future firings.
+func (s *Scratch) Sel() *[]int32 {
+	if s.si == len(s.sels) {
+		s.sels = append(s.sels, make([]int32, 0, 64))
+	}
+	p := &s.sels[s.si]
+	s.si++
+	*p = (*p)[:0]
+	return p
+}
+
+// Reset recycles every vector and selection buffer handed out so far.
+// Call only between firings: all values previously obtained from the
+// Scratch are invalidated.
+func (s *Scratch) Reset() {
+	s.vi = 0
+	s.si = 0
+}
+
+// output picks the destination vector of an expression node: the caller's
+// dst when given, a scratch temporary when evaluating under an arena, and
+// a freshly allocated vector otherwise (the classic Eval behaviour).
+func output(dst *vector.Vector, s *Scratch) *vector.Vector {
+	if dst != nil {
+		return dst
+	}
+	if s != nil {
+		return s.Vec()
+	}
+	return &vector.Vector{}
+}

@@ -60,11 +60,13 @@ func QueryChain(k int, scheduler *core.Scheduler) (in, out *basket.Basket, err e
 		baskets[i] = NewStreamBasket(fmt.Sprintf("chain%d", i))
 	}
 	for i := 0; i < k; i++ {
+		var spare *bat.Relation
 		f, ferr := core.NewFactory(fmt.Sprintf("chainq%d", i),
 			[]*basket.Basket{baskets[i]},
 			[]*basket.Basket{baskets[i+1]},
 			func(ctx *core.Context) error {
-				rel := ctx.In(0).TakeAllLocked()
+				rel := ctx.In(0).ExchangeLocked(spare)
+				spare = rel
 				if rel.Len() == 0 {
 					return nil
 				}
@@ -300,17 +302,25 @@ func RunStrategySweep(strategy Strategy, q, total int, seed int64) (StrategyResu
 // KernelThroughput measures pure kernel activity: tuples per second
 // through a single select factory fed from a pre-filled basket, no
 // communication in the loop (the §6.1 "pure kernel activity" number).
+// The firing body is the allocation-free idiom: two relations ping-pong
+// through ExchangeLocked so basket capacity is reused, the selection
+// writes into a per-factory buffer, and the matched tuples are gathered
+// into a per-factory staging relation.
 func KernelThroughput(tuples, rounds int, seed int64) (perSecond float64, err error) {
 	rng := rand.New(rand.NewSource(seed))
 	in := NewStreamBasket("kern.in")
 	out := NewStreamBasket("kern.out")
+	var spare, stage *bat.Relation
+	var selBuf []int32
+	stage = &bat.Relation{}
 	f, err := core.NewFactory("kern.q",
 		[]*basket.Basket{in}, []*basket.Basket{out},
 		func(ctx *core.Context) error {
-			rel := ctx.In(0).TakeAllLocked()
-			sel := relop.SelectRange(rel.ColByName("v"), vector.NewInt(0), vector.NewInt(10), true, false, nil)
-			if len(sel) > 0 {
-				if _, err := ctx.Out(0).AppendLocked(rel.Gather(sel)); err != nil {
+			rel := ctx.In(0).ExchangeLocked(spare)
+			spare = rel
+			selBuf = relop.SelectRangeInto(selBuf, rel.ColByName("v"), vector.NewInt(0), vector.NewInt(10), true, false, nil)
+			if len(selBuf) > 0 {
+				if _, err := ctx.Out(0).AppendLocked(rel.GatherInto(stage, selBuf)); err != nil {
 					return err
 				}
 			}
@@ -319,6 +329,7 @@ func KernelThroughput(tuples, rounds int, seed int64) (perSecond float64, err er
 	if err != nil {
 		return 0, err
 	}
+	var outSpare *bat.Relation
 	batch := MakeTuples(tuples, 10_000, rng, time.Now)
 	start := time.Now()
 	n := 0
@@ -329,7 +340,9 @@ func KernelThroughput(tuples, rounds int, seed int64) (perSecond float64, err er
 		if _, err := f.TryFire(); err != nil {
 			return 0, err
 		}
-		out.TakeAll()
+		out.Lock()
+		outSpare = out.ExchangeLocked(outSpare)
+		out.Unlock()
 		n += tuples
 	}
 	return float64(n) / time.Since(start).Seconds(), nil

@@ -153,7 +153,9 @@ func (a *Analysis) newStreamScan() *StreamScan {
 		PartCol:   col,
 		Run: func(in, out *basket.Basket, report func(covered []int32)) error {
 			e := newEnv(cat)
-			e.redirect = map[string]*basket.Basket{streamName: in}
+			e.redirectFrom, e.redirectTo = streamName, in
+			e.arena = getArena()
+			defer putArena(e.arena)
 			if report != nil {
 				e.onCovered = func(b *basket.Basket, covered []int32) bool {
 					if b != in {
@@ -189,7 +191,10 @@ func (a *Analysis) Wire() (*Compiled, error) {
 	lastGens := newGenTracker(a.Inputs)
 	f, err := core.NewFactory(a.Name, a.Inputs, outputs, func(ctx *core.Context) error {
 		lastGens.update()
-		rel, err := newEnv(cat).execSelect(sel)
+		e := newEnv(cat)
+		e.arena = getArena()
+		defer putArena(e.arena)
+		rel, err := e.execSelect(sel)
 		if err != nil {
 			return err
 		}

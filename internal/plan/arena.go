@@ -1,0 +1,57 @@
+package plan
+
+import (
+	"sync"
+
+	"datacell/internal/bat"
+	"datacell/internal/expr"
+)
+
+// execArena is the per-firing execution scratch of a compiled plan: an
+// expression Scratch (vectors and selection buffers) plus a pool of
+// relation headers for materialised intermediates. One arena is owned by
+// exactly one firing at a time — the firing holds all of its basket locks
+// for its whole duration, and the arena travels with the firing, so
+// nothing here needs locking. Between firings the arena keeps its grown
+// buffers, which is what makes the steady-state firing path allocation
+// free.
+//
+// Arena-backed vectors and relations are only ever handed to the firing's
+// own env; every value that leaves a firing (output baskets, emitters)
+// is copied on append, so recycling the arena cannot leak tuples across
+// firings or partitions.
+type execArena struct {
+	sc   expr.Scratch
+	rels []*bat.Relation
+	ri   int
+}
+
+// rel returns a reusable relation header, distinct from every header
+// returned since the last reset.
+func (a *execArena) rel() *bat.Relation {
+	if a.ri == len(a.rels) {
+		a.rels = append(a.rels, &bat.Relation{})
+	}
+	r := a.rels[a.ri]
+	a.ri++
+	return r
+}
+
+func (a *execArena) reset() {
+	a.sc.Reset()
+	a.ri = 0
+}
+
+// arenaPool recycles execution arenas across firings. Strategy wirings
+// share one Fire function between partition clones that may fire
+// concurrently, so the arena cannot live in a per-query closure; the pool
+// guarantees each concurrent firing gets its own arena while steady-state
+// firing still reuses warmed-up buffers.
+var arenaPool = sync.Pool{New: func() any { return &execArena{} }}
+
+func getArena() *execArena { return arenaPool.Get().(*execArena) }
+
+func putArena(a *execArena) {
+	a.reset()
+	arenaPool.Put(a)
+}

@@ -203,7 +203,7 @@ func compileWithBlock(cat *Catalog, w *sql.WithBlock, name string) (*Compiled, e
 		switch b := st.(type) {
 		case *sql.InsertStmt:
 			pe := protoEnv(cat)
-			pe.binds[w.Alias] = bindProto
+			pe.bind(w.Alias, bindProto)
 			qproto, err := pe.execSelect(b.Query)
 			if err != nil {
 				return nil, fmt.Errorf("plan: %s: %w", name, err)
@@ -237,11 +237,13 @@ func compileWithBlock(cat *Catalog, w *sql.WithBlock, name string) (*Compiled, e
 	f, err := core.NewFactory(name, inputs, outputs, func(ctx *core.Context) error {
 		lastGens.update()
 		e := newEnv(cat)
+		e.arena = getArena()
+		defer putArena(e.arena)
 		bound, err := e.execBasketScan(w.Basket)
 		if err != nil {
 			return err
 		}
-		e.binds[w.Alias] = bound
+		e.bind(w.Alias, bound)
 		// Statements run in declaration order, exactly once per binding
 		// (the compound block executes for each basket binding).
 		for _, st := range w.Body {

@@ -25,24 +25,68 @@ import (
 // covered positions instead of deleting them.
 type env struct {
 	cat   *Catalog
-	binds map[string]*bat.Relation
-	proto bool // schema-inference mode: empty inputs, no side effects
+	binds map[string]*bat.Relation // lazily created by bind
+	proto bool                     // schema-inference mode: empty inputs, no side effects
 
-	// redirect maps a stream's catalog name (lower-case) to the basket a
-	// basket expression should actually read. nil means no redirection.
-	redirect map[string]*basket.Basket
+	// redirectFrom/redirectTo substitute a physical basket for the stream
+	// of that catalog name (lower-case) inside basket expressions. An empty
+	// redirectFrom means no redirection. (A single pair, not a map: a
+	// shareable query consumes exactly one stream, and keeping it flat
+	// keeps firing setup allocation free.)
+	redirectFrom string
+	redirectTo   *basket.Basket
 	// onCovered, when non-nil, is offered the covered positions of each
 	// consuming source before deletion; returning true claims the
 	// consumption (the executor must not delete).
 	onCovered func(b *basket.Basket, covered []int32) bool
+
+	// arena, when non-nil, provides the firing's reusable scratch vectors,
+	// selection buffers and relation headers. Set only on firing paths
+	// (StreamScan.Run, compiled factory bodies), never on one-time queries
+	// whose results escape to the caller.
+	arena *execArena
 }
 
 func newEnv(cat *Catalog) *env {
-	return &env{cat: cat, binds: map[string]*bat.Relation{}}
+	return &env{cat: cat}
 }
 
 func protoEnv(cat *Catalog) *env {
-	return &env{cat: cat, binds: map[string]*bat.Relation{}, proto: true}
+	return &env{cat: cat, proto: true}
+}
+
+// bind registers a with-block binding.
+func (e *env) bind(name string, rel *bat.Relation) {
+	if e.binds == nil {
+		e.binds = map[string]*bat.Relation{}
+	}
+	e.binds[name] = rel
+}
+
+// scratch returns the arena's expression scratch, or nil outside firings.
+func (e *env) scratch() *expr.Scratch {
+	if e.arena == nil {
+		return nil
+	}
+	return &e.arena.sc
+}
+
+// arenaVec returns a reusable vector under an arena and a fresh one
+// otherwise.
+func (e *env) arenaVec() *vector.Vector {
+	if e.arena == nil {
+		return &vector.Vector{}
+	}
+	return e.arena.sc.Vec()
+}
+
+// arenaRel returns a reusable relation header under an arena and a fresh
+// one otherwise.
+func (e *env) arenaRel() *bat.Relation {
+	if e.arena == nil {
+		return &bat.Relation{}
+	}
+	return e.arena.rel()
 }
 
 // hiddenCol reports whether a (possibly qualified) column is one of the
@@ -63,7 +107,12 @@ func bareName(name string) string {
 
 // resolve rewrites an expression for evaluation against proto: session
 // variables become constants, scalar sub-queries are executed and folded,
-// and now() is bound to the engine clock.
+// and now() is bound to the engine clock. Resolution is identity
+// preserving: a node whose children resolve to themselves is returned
+// unchanged, so variable-free, subquery-free predicates — the firing hot
+// path — resolve without allocating. (Call nodes are the exception: the
+// clock injection must not mutate the shared AST, so they are always
+// copied.)
 func (e *env) resolve(x expr.Expr, proto *bat.Relation) (expr.Expr, error) {
 	switch n := x.(type) {
 	case nil:
@@ -87,17 +136,26 @@ func (e *env) resolve(x expr.Expr, proto *bat.Relation) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if l == n.L && r == n.R {
+			return n, nil
+		}
 		return expr.NewBin(n.Op, l, r), nil
 	case *expr.Not:
 		c, err := e.resolve(n.E, proto)
 		if err != nil {
 			return nil, err
 		}
+		if c == n.E {
+			return n, nil
+		}
 		return expr.NewNot(c), nil
 	case *expr.Neg:
 		c, err := e.resolve(n.E, proto)
 		if err != nil {
 			return nil, err
+		}
+		if c == n.E {
+			return n, nil
 		}
 		return expr.NewNeg(c), nil
 	case *expr.Call:
@@ -125,17 +183,26 @@ func (e *env) resolve(x expr.Expr, proto *bat.Relation) (expr.Expr, error) {
 		if err != nil {
 			return nil, err
 		}
+		if ex == n.E && lo == n.Lo && hi == n.Hi {
+			return n, nil
+		}
 		return expr.NewBetween(ex, lo, hi, n.Negate), nil
 	case *expr.InList:
 		ex, err := e.resolve(n.E, proto)
 		if err != nil {
 			return nil, err
 		}
+		if ex == n.E {
+			return n, nil
+		}
 		return expr.NewInList(ex, n.Vals, n.Negate), nil
 	case *expr.Like:
 		ex, err := e.resolve(n.E, proto)
 		if err != nil {
 			return nil, err
+		}
+		if ex == n.E {
+			return n, nil
 		}
 		return expr.NewLike(ex, n.Pattern, n.Negate), nil
 	case *expr.Case:
@@ -179,20 +246,28 @@ func scalarOf(rel *bat.Relation) vector.Value {
 	return rel.Col(0).Get(0)
 }
 
-// evalExpr resolves and evaluates a scalar expression over rel.
+// evalExpr resolves and evaluates a scalar expression over rel, drawing
+// temporaries from the firing arena when one is installed.
 func (e *env) evalExpr(x expr.Expr, rel *bat.Relation) (*vector.Vector, error) {
 	rx, err := e.resolve(x, rel)
 	if err != nil {
 		return nil, err
 	}
-	return rx.Eval(rel)
+	return rx.EvalInto(rel, nil, e.scratch())
 }
 
-// evalPred resolves a predicate and evaluates it as a candidate list.
+// evalPred resolves a predicate and evaluates it as a candidate list. The
+// result is always ascending and duplicate free; under an arena it is
+// owned by the firing scratch.
 func (e *env) evalPred(x expr.Expr, rel *bat.Relation, cand []int32) ([]int32, error) {
 	if x == nil {
 		if cand != nil {
 			return cand, nil
+		}
+		if s := e.scratch(); s != nil {
+			p := s.Sel()
+			*p = relop.CandAllInto(*p, rel.Len())
+			return *p, nil
 		}
 		return relop.CandAll(rel.Len()), nil
 	}
@@ -200,8 +275,18 @@ func (e *env) evalPred(x expr.Expr, rel *bat.Relation, cand []int32) ([]int32, e
 	if err != nil {
 		return nil, err
 	}
-	return expr.EvalSelect(rx, rel, cand)
+	sel, err := expr.EvalSelectInto(rx, rel, cand, e.scratch())
+	if sel == nil && err == nil {
+		// Normalise: downstream a nil list means "unrestricted", but an
+		// evaluated predicate that selected nothing must stay "no rows".
+		sel = emptySel
+	}
+	return sel, err
 }
+
+// emptySel is the shared non-nil empty selection ("no rows"); a nil list
+// means "no restriction" instead. Read only.
+var emptySel = make([]int32, 0)
 
 // source is one FROM-clause input after evaluation.
 type source struct {
@@ -212,8 +297,12 @@ type source struct {
 }
 
 // evalTableRef materialises one table reference. insideBasket selects the
-// consuming semantics for named baskets.
-func (e *env) evalTableRef(tr *sql.TableRef, idx int, insideBasket bool) (*source, error) {
+// consuming semantics for named baskets. skipPos suppresses the hidden
+// position column: the single-source fast path tracks positions through
+// its candidate list instead of a materialised column (late
+// materialisation), so the column — and its per-firing allocation — is
+// only needed for joins and ORDER BY/TOP windows.
+func (e *env) evalTableRef(tr *sql.TableRef, idx int, insideBasket, skipPos bool) (*source, error) {
 	s := &source{alias: tr.Alias}
 	switch {
 	case tr.Basket != nil:
@@ -238,10 +327,8 @@ func (e *env) evalTableRef(tr *sql.TableRef, idx int, insideBasket bool) (*sourc
 			return nil, fmt.Errorf("plan: unknown basket or table %q", tr.Name)
 		}
 		consuming := insideBasket && e.cat.KindOf(tr.Name) == KindBasket
-		if consuming && e.redirect != nil && !e.proto {
-			if rb, ok := e.redirect[strings.ToLower(tr.Name)]; ok {
-				b = rb
-			}
+		if consuming && e.redirectTo != nil && !e.proto && strings.EqualFold(tr.Name, e.redirectFrom) {
+			b = e.redirectTo
 		}
 		var rel *bat.Relation
 		if e.proto {
@@ -255,7 +342,7 @@ func (e *env) evalTableRef(tr *sql.TableRef, idx int, insideBasket bool) (*sourc
 			s.consume = b
 		}
 	}
-	if s.consume != nil {
+	if s.consume != nil && !skipPos {
 		// Attach the hidden position column used to trace covered tuples
 		// through joins and top-N restrictions.
 		n := s.rel.Len()
@@ -391,9 +478,12 @@ func (e *env) execBasketScan(be *sql.SelectStmt) (*bat.Relation, error) {
 	if len(be.From) == 0 {
 		return nil, fmt.Errorf("plan: basket expression needs a FROM clause")
 	}
+	if e.fastScanOK(be) {
+		return e.execSingleScan(be)
+	}
 	srcs := make([]*source, len(be.From))
 	for i := range be.From {
-		s, err := e.evalTableRef(&be.From[i], i, true)
+		s, err := e.evalTableRef(&be.From[i], i, true, false)
 		if err != nil {
 			return nil, err
 		}
@@ -464,6 +554,212 @@ func (e *env) execBasketScan(be *sql.SelectStmt) (*bat.Relation, error) {
 	return out, nil
 }
 
+// fastScanOK reports whether a basket expression qualifies for the
+// single-source late-materialisation path: one FROM source, no ORDER BY
+// (an ordered window must reorder its position trace), and no scalar
+// subqueries in the parts that run after consumption (the fast path
+// consumes after projecting, so a subquery re-reading the scanned basket
+// must keep the classic ordering).
+func (e *env) fastScanOK(be *sql.SelectStmt) bool {
+	if len(be.From) != 1 || len(be.OrderBy) > 0 || be.Union != nil {
+		return false
+	}
+	if exprHasSubquery(be.Having) {
+		return false
+	}
+	for _, g := range be.GroupBy {
+		if exprHasSubquery(g) {
+			return false
+		}
+	}
+	for _, it := range be.Items {
+		if exprHasSubquery(it.Expr) {
+			return false
+		}
+		if it.Agg != nil && exprHasSubquery(it.Agg.Arg) {
+			return false
+		}
+	}
+	return true
+}
+
+// execSingleScan is the basket-expression hot path: instead of gathering
+// every column of the selection at each stage, it carries the source
+// relation plus a candidate list between stages and materialises — one
+// gather per output column — only at the projection boundary. Covered
+// positions are the candidate list itself (the hidden position column of
+// the general path is the identity here), so a steady-state firing
+// allocates nothing beyond its arena.
+func (e *env) execSingleScan(be *sql.SelectStmt) (*bat.Relation, error) {
+	src, err := e.evalTableRef(&be.From[0], 0, true, true)
+	if err != nil {
+		return nil, err
+	}
+	sel, err := e.evalPred(be.Where, src.rel, nil)
+	if err != nil {
+		return nil, err
+	}
+	if be.Top >= 0 && be.Top < len(sel) {
+		sel = sel[:be.Top]
+	}
+	// Project before consuming: the projection reads the live source
+	// columns (copying into the arena), and only then does the delete
+	// shift them.
+	out, err := e.selectTailCand(be, src.rel, sel, src.consume != nil)
+	if err != nil {
+		return nil, err
+	}
+	if src.consume != nil && !e.proto {
+		// evalPred results are ascending and duplicate free — exactly the
+		// covered-positions form CoverLocked/DeleteLocked require.
+		if e.onCovered != nil && e.onCovered(src.consume, sel) {
+			return out, nil
+		}
+		if len(sel) > 0 {
+			src.consume.DeleteLocked(sel)
+		}
+	}
+	return out, nil
+}
+
+// restrictCol returns col restricted to cand. With cand == nil the column
+// is shared unless mustCopy is set (callers about to delete from the
+// source need their own copy).
+func (e *env) restrictCol(col *vector.Vector, cand []int32, mustCopy bool) *vector.Vector {
+	if cand == nil {
+		if !mustCopy {
+			return col
+		}
+		return col.SliceInto(e.arenaVec(), 0, col.Len())
+	}
+	return col.GatherInto(e.arenaVec(), cand)
+}
+
+// materializeCand returns rel restricted to cand as a materialised
+// relation. With cand == nil it shares rel unless mustCopy is set.
+func (e *env) materializeCand(rel *bat.Relation, cand []int32, mustCopy bool) *bat.Relation {
+	if cand == nil {
+		if !mustCopy {
+			return rel
+		}
+		return rel.CloneInto(e.arenaRel())
+	}
+	return rel.GatherInto(e.arenaRel(), cand)
+}
+
+// selectTailCand applies the select tail to rel restricted to cand with
+// late materialisation: plain column projections gather only the output
+// columns; anything needing whole-relation evaluation (aggregation,
+// distinct, having, computed expressions) materialises the restriction
+// once into the arena and reuses the classic tail. mustCopy marks rel as
+// live basket storage that the caller will mutate after projection.
+func (e *env) selectTailCand(sel *sql.SelectStmt, rel *bat.Relation, cand []int32, mustCopy bool) (*bat.Relation, error) {
+	aggregated := len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		if it.Agg != nil {
+			aggregated = true
+		}
+	}
+	if aggregated || sel.Distinct || sel.Having != nil {
+		return e.selectTail(sel, e.materializeCand(rel, cand, mustCopy))
+	}
+	return e.projectItems(sel, rel, cand, mustCopy)
+}
+
+// projectItems evaluates a non-aggregated select list over rel restricted
+// to cand (nil = all rows). It is the single projection implementation:
+// the classic tail passes an already-materialised relation with cand nil;
+// the late-materialisation paths pass the source relation plus the
+// candidate list, so each output column is gathered exactly once.
+func (e *env) projectItems(sel *sql.SelectStmt, rel *bat.Relation, cand []int32, mustCopy bool) (*bat.Relation, error) {
+	names := make([]string, 0, len(sel.Items))
+	cols := make([]*vector.Vector, 0, len(sel.Items))
+	taken := map[string]bool{}
+	var mat *bat.Relation // lazily materialised restriction for computed items
+	for i, it := range sel.Items {
+		if it.Star {
+			for c := 0; c < rel.NumCols(); c++ {
+				qn := rel.Names()[c]
+				if hiddenCol(qn) {
+					continue
+				}
+				if it.StarAlias != "" && !strings.HasPrefix(qn, it.StarAlias+".") {
+					continue
+				}
+				name := bareName(qn)
+				if taken[name] {
+					name = qn // keep the qualifier on conflicts
+				}
+				taken[name] = true
+				names = append(names, name)
+				cols = append(cols, e.restrictCol(rel.Col(c), cand, mustCopy))
+			}
+			continue
+		}
+		rx, err := e.resolve(it.Expr, rel)
+		if err != nil {
+			return nil, err
+		}
+		var v *vector.Vector
+		if c, ok := rx.(*expr.Col); ok {
+			src := rel.ColByName(c.Name)
+			if src == nil {
+				return nil, fmt.Errorf("expr: unknown column %q (have %v)", c.Name, rel.Names())
+			}
+			v = e.restrictCol(src, cand, mustCopy)
+		} else {
+			if mat == nil {
+				mat = e.materializeCand(rel, cand, mustCopy)
+			}
+			v, err = rx.EvalInto(mat, nil, e.scratch())
+			if err != nil {
+				return nil, err
+			}
+		}
+		name := it.ItemName(i)
+		taken[name] = true
+		names = append(names, name)
+		cols = append(cols, v)
+	}
+	return bat.NewRelation(names, cols), nil
+}
+
+// exprHasSubquery reports whether an expression tree contains a scalar
+// subquery, without allocating.
+func exprHasSubquery(x expr.Expr) bool {
+	switch n := x.(type) {
+	case nil:
+	case *sql.SubqueryExpr:
+		return true
+	case *expr.Bin:
+		return exprHasSubquery(n.L) || exprHasSubquery(n.R)
+	case *expr.Not:
+		return exprHasSubquery(n.E)
+	case *expr.Neg:
+		return exprHasSubquery(n.E)
+	case *expr.Call:
+		for _, a := range n.Args {
+			if exprHasSubquery(a) {
+				return true
+			}
+		}
+	case *expr.Between:
+		return exprHasSubquery(n.E) || exprHasSubquery(n.Lo) || exprHasSubquery(n.Hi)
+	case *expr.InList:
+		return exprHasSubquery(n.E)
+	case *expr.Like:
+		return exprHasSubquery(n.E)
+	case *expr.Case:
+		for _, w := range n.Whens {
+			if exprHasSubquery(w.Cond) || exprHasSubquery(w.Then) {
+				return true
+			}
+		}
+		return exprHasSubquery(n.Else)
+	}
+	return false
+}
+
 // execSelect evaluates a full select statement (outer query semantics: no
 // consumption except via nested basket expressions).
 func (e *env) execSelect(sel *sql.SelectStmt) (*bat.Relation, error) {
@@ -472,12 +768,20 @@ func (e *env) execSelect(sel *sql.SelectStmt) (*bat.Relation, error) {
 	}
 	srcs := make([]*source, len(sel.From))
 	for i := range sel.From {
-		s, err := e.evalTableRef(&sel.From[i], i, false)
+		s, err := e.evalTableRef(&sel.From[i], i, false, false)
 		if err != nil {
 			return nil, err
 		}
 		srcs[i] = s
 	}
+
+	aggregated := len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		if it.Agg != nil {
+			aggregated = true
+		}
+	}
+
 	var j *bat.Relation
 	var err error
 	if len(srcs) == 1 {
@@ -485,18 +789,27 @@ func (e *env) execSelect(sel *sql.SelectStmt) (*bat.Relation, error) {
 		if perr != nil {
 			return nil, perr
 		}
+		if sel.Union == nil && len(sel.OrderBy) == 0 {
+			// Late materialisation: skip the whole-relation gather and
+			// project straight off (rel, selv). Top over a plain projection
+			// truncates the candidate list before any column is copied.
+			if sel.Top >= 0 && !aggregated && !sel.Distinct && sel.Top < len(selv) {
+				selv = selv[:sel.Top]
+			}
+			result, terr := e.selectTailCand(sel, srcs[0].rel, selv, false)
+			if terr != nil {
+				return nil, terr
+			}
+			if sel.Top >= 0 && sel.Top < result.Len() {
+				result = result.Gather(relop.CandAll(sel.Top))
+			}
+			return result, nil
+		}
 		j = srcs[0].rel.Gather(selv)
 	} else {
 		j, err = e.joinSources(srcs, sel.Where)
 		if err != nil {
 			return nil, err
-		}
-	}
-
-	aggregated := len(sel.GroupBy) > 0
-	for _, it := range sel.Items {
-		if it.Agg != nil {
-			aggregated = true
 		}
 	}
 
@@ -641,41 +954,13 @@ func (e *env) selectTail(sel *sql.SelectStmt, j *bat.Relation) (*bat.Relation, e
 			result = result.Gather(hsel)
 		}
 	} else {
-		names := make([]string, 0, len(sel.Items))
-		cols := make([]*vector.Vector, 0, len(sel.Items))
-		taken := map[string]bool{}
-		for i, it := range sel.Items {
-			if it.Star {
-				for c := 0; c < j.NumCols(); c++ {
-					qn := j.Names()[c]
-					if hiddenCol(qn) {
-						continue
-					}
-					if it.StarAlias != "" && !strings.HasPrefix(qn, it.StarAlias+".") {
-						continue
-					}
-					name := bareName(qn)
-					if taken[name] {
-						name = qn // keep the qualifier on conflicts
-					}
-					taken[name] = true
-					names = append(names, name)
-					cols = append(cols, j.Col(c))
-				}
-				continue
-			}
-			v, err := e.evalExpr(it.Expr, j)
-			if err != nil {
-				return nil, err
-			}
-			name := it.ItemName(i)
-			taken[name] = true
-			names = append(names, name)
-			cols = append(cols, v)
-		}
-		result = bat.NewRelation(names, cols)
 		if sel.Having != nil {
 			return nil, fmt.Errorf("plan: HAVING requires GROUP BY or aggregates")
+		}
+		var err error
+		result, err = e.projectItems(sel, j, nil, false)
+		if err != nil {
+			return nil, err
 		}
 	}
 	if sel.Distinct {

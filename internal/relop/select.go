@@ -83,7 +83,14 @@ func cmpHolds(op CmpOp, c int) bool {
 // SelectPred returns the positions in v (restricted to cand when non-nil)
 // whose value compares to val under op. The result is sorted ascending.
 func SelectPred(v *vector.Vector, op CmpOp, val vector.Value, cand []int32) []int32 {
-	out := make([]int32, 0, 64)
+	return SelectPredInto(make([]int32, 0, 64), v, op, val, cand)
+}
+
+// SelectPredInto is SelectPred appending into dst (overwritten from
+// length 0, capacity retained); it returns the possibly grown dst. dst
+// must not alias cand.
+func SelectPredInto(dst []int32, v *vector.Vector, op CmpOp, val vector.Value, cand []int32) []int32 {
+	out := dst[:0]
 	switch v.Kind() {
 	case vector.Int, vector.Timestamp:
 		x := val.AsInt()
@@ -211,7 +218,14 @@ func cmpStr(a, b string) int {
 // loIncl/hiIncl control bound inclusivity. This is the MonetDB
 // select(b, lo, hi) primitive used by the paper's example factory.
 func SelectRange(v *vector.Vector, lo, hi vector.Value, loIncl, hiIncl bool, cand []int32) []int32 {
-	out := make([]int32, 0, 64)
+	return SelectRangeInto(make([]int32, 0, 64), v, lo, hi, loIncl, hiIncl, cand)
+}
+
+// SelectRangeInto is SelectRange appending into dst (overwritten from
+// length 0, capacity retained); it returns the possibly grown dst. dst
+// must not alias cand.
+func SelectRangeInto(dst []int32, v *vector.Vector, lo, hi vector.Value, loIncl, hiIncl bool, cand []int32) []int32 {
+	out := dst[:0]
 	switch v.Kind() {
 	case vector.Int, vector.Timestamp:
 		l, h := lo.AsInt(), hi.AsInt()
@@ -296,7 +310,14 @@ func SelectRange(v *vector.Vector, lo, hi vector.Value, loIncl, hiIncl bool, can
 
 // SelectBool returns the positions where the bool vector is true.
 func SelectBool(v *vector.Vector, cand []int32) []int32 {
-	out := make([]int32, 0, 64)
+	return SelectBoolInto(make([]int32, 0, 64), v, cand)
+}
+
+// SelectBoolInto is SelectBool appending into dst (overwritten from
+// length 0, capacity retained); it returns the possibly grown dst. dst
+// must not alias cand.
+func SelectBoolInto(dst []int32, v *vector.Vector, cand []int32) []int32 {
+	out := dst[:0]
 	s := v.Bools()
 	if cand == nil {
 		for i, b := range s {
@@ -316,9 +337,52 @@ func SelectBool(v *vector.Vector, cand []int32) []int32 {
 
 // CandAll returns the full candidate list [0, n).
 func CandAll(n int) []int32 {
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(i)
+	return CandAllInto(make([]int32, 0, n), n)
+}
+
+// CandAllInto is CandAll writing into dst (overwritten from length 0,
+// capacity retained); it returns the possibly grown dst.
+func CandAllInto(dst []int32, n int) []int32 {
+	out := dst[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+// CandOrInto is CandOr appending into dst (overwritten from length 0,
+// capacity retained); dst must alias neither input.
+func CandOrInto(dst, a, b []int32) []int32 {
+	out := dst[:0]
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// CandNotInto is CandNot appending into dst (overwritten from length 0,
+// capacity retained); dst must not alias a.
+func CandNotInto(dst, a []int32, n int) []int32 {
+	out := dst[:0]
+	j := 0
+	for i := int32(0); i < int32(n); i++ {
+		if j < len(a) && a[j] == i {
+			j++
+			continue
+		}
+		out = append(out, i)
 	}
 	return out
 }
@@ -344,36 +408,11 @@ func CandAnd(a, b []int32) []int32 {
 
 // CandOr unions two ascending candidate lists.
 func CandOr(a, b []int32) []int32 {
-	out := make([]int32, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) || j < len(b) {
-		switch {
-		case j >= len(b) || (i < len(a) && a[i] < b[j]):
-			out = append(out, a[i])
-			i++
-		case i >= len(a) || b[j] < a[i]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
+	return CandOrInto(make([]int32, 0, len(a)+len(b)), a, b)
 }
 
 // CandNot complements an ascending candidate list with respect to domain
 // [0, n).
 func CandNot(a []int32, n int) []int32 {
-	out := make([]int32, 0, n-len(a))
-	j := 0
-	for i := int32(0); i < int32(n); i++ {
-		if j < len(a) && a[j] == i {
-			j++
-			continue
-		}
-		out = append(out, i)
-	}
-	return out
+	return CandNotInto(make([]int32, 0, n-len(a)), a, n)
 }

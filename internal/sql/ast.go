@@ -154,6 +154,11 @@ func (s *SubqueryExpr) Eval(*bat.Relation) (*vector.Vector, error) {
 	return nil, fmt.Errorf("sql: unplanned scalar subquery")
 }
 
+// EvalInto implements expr.Expr; like Eval, it must never be reached.
+func (s *SubqueryExpr) EvalInto(*bat.Relation, *vector.Vector, *expr.Scratch) (*vector.Vector, error) {
+	return nil, fmt.Errorf("sql: unplanned scalar subquery")
+}
+
 // Type implements expr.Expr.
 func (s *SubqueryExpr) Type(*bat.Relation) (vector.Type, error) {
 	if len(s.Sel.Items) == 1 && s.Sel.Items[0].Agg != nil {

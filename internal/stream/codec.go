@@ -30,23 +30,65 @@ func EncodeRow(vals []vector.Value) string {
 
 // DecodeRow parses one textual tuple according to the given types.
 func DecodeRow(line string, types []vector.Type) ([]vector.Value, error) {
+	vals := make([]vector.Value, len(types))
+	if err := decodeFields(line, types, vals); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// decodeFields parses the pipe-separated fields of line into vals
+// (len(vals) == len(types)) without allocating: fields are substrings of
+// line and every value is validated before any is considered accepted.
+func decodeFields(line string, types []vector.Type, vals []vector.Value) error {
 	line = strings.TrimRight(line, "\r\n")
 	if line == "" {
-		return nil, fmt.Errorf("stream: empty tuple")
+		return fmt.Errorf("stream: empty tuple")
 	}
-	parts := strings.Split(line, FieldSep)
-	if len(parts) != len(types) {
-		return nil, fmt.Errorf("stream: tuple has %d fields, want %d", len(parts), len(types))
-	}
-	vals := make([]vector.Value, len(parts))
-	for i, p := range parts {
-		v, err := vector.ParseValue(types[i], p)
+	rest := line
+	for i := range types {
+		var field string
+		k := strings.IndexByte(rest, FieldSep[0])
+		switch {
+		case k < 0 && i == len(types)-1:
+			field = rest
+			rest = ""
+		case k < 0:
+			return fmt.Errorf("stream: tuple has %d fields, want %d", i+1, len(types))
+		case i == len(types)-1:
+			return fmt.Errorf("stream: tuple has more than %d fields", len(types))
+		default:
+			field, rest = rest[:k], rest[k+1:]
+		}
+		v, err := vector.ParseValue(types[i], field)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		vals[i] = v
 	}
-	return vals, nil
+	return nil
+}
+
+// DecodeRowInto parses one textual tuple straight into the columns of rel
+// (whose schema must match types), appending one row with typed column
+// appends — no per-row slice and no boxing that outlives the call. The
+// row is validated in full before anything is appended, so a malformed
+// line leaves rel untouched.
+func DecodeRowInto(line string, types []vector.Type, rel *bat.Relation) error {
+	var buf [16]vector.Value
+	vals := buf[:]
+	if len(types) > len(vals) {
+		vals = make([]vector.Value, len(types))
+	} else {
+		vals = vals[:len(types)]
+	}
+	if err := decodeFields(line, types, vals); err != nil {
+		return err
+	}
+	for i, v := range vals {
+		rel.Col(i).Append(v)
+	}
+	return nil
 }
 
 // EncodeRelation renders every tuple of rel, one line each, restricted to

@@ -49,13 +49,16 @@ func (r *Receptor) Invalid() int64 { return r.invalid.Load() }
 // thread.
 func (r *Receptor) Listen(rd io.Reader) error {
 	names, types := r.b.UserSchema()
+	// One decode batch for the whole connection: the basket copies the
+	// tuples on Append, so the batch is Clear()ed and refilled instead of
+	// reallocated per flush.
 	batch := bat.NewEmptyRelation(names, types)
 	flush := func() error {
 		if batch.Len() == 0 {
 			return nil
 		}
 		_, err := r.b.Append(batch)
-		batch = bat.NewEmptyRelation(names, types)
+		batch.Clear()
 		return err
 	}
 	sc := bufio.NewScanner(rd)
@@ -65,12 +68,10 @@ func (r *Receptor) Listen(rd io.Reader) error {
 		if line == "" {
 			continue
 		}
-		vals, err := DecodeRow(line, types)
-		if err != nil {
+		if err := DecodeRowInto(line, types, batch); err != nil {
 			r.invalid.Add(1)
 			continue
 		}
-		batch.AppendRow(vals...)
 		r.received.Add(1)
 		if batch.Len() >= r.BatchSize {
 			if err := flush(); err != nil {

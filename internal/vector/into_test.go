@@ -1,0 +1,119 @@
+package vector
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestGatherIntoMatchesGather(t *testing.T) {
+	vs := []*Vector{
+		FromInts([]int64{10, 20, 30, 40, 50}),
+		FromFloats([]float64{1.5, 2.5, 3.5, 4.5, 5.5}),
+		FromBools([]bool{true, false, true, false, true}),
+		FromStrs([]string{"a", "b", "c", "d", "e"}),
+		FromTimestamps([]int64{1, 2, 3, 4, 5}),
+	}
+	sels := [][]int32{{}, {0}, {4, 2, 0}, {1, 1, 3}, {0, 1, 2, 3, 4}}
+	for _, v := range vs {
+		dst := &Vector{}
+		for _, sel := range sels {
+			want := v.Gather(sel)
+			got := v.GatherInto(dst, sel)
+			if got != dst {
+				t.Fatalf("GatherInto did not return dst")
+			}
+			if got.Kind() != want.Kind() || got.Len() != want.Len() {
+				t.Fatalf("kind/len mismatch: %v vs %v", got, want)
+			}
+			for i := 0; i < want.Len(); i++ {
+				if !got.Get(i).Equal(want.Get(i)) {
+					t.Fatalf("GatherInto(%v, %v) = %v, want %v", v, sel, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGatherIntoReusesCapacity(t *testing.T) {
+	v := FromInts([]int64{1, 2, 3, 4, 5, 6, 7, 8})
+	sel := []int32{0, 2, 4, 6}
+	dst := &Vector{}
+	v.GatherInto(dst, sel) // warm up
+	allocs := testing.AllocsPerRun(100, func() {
+		v.GatherInto(dst, sel)
+	})
+	if allocs != 0 {
+		t.Fatalf("warmed GatherInto allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestSliceIntoMatchesSlice(t *testing.T) {
+	v := FromStrs([]string{"p", "q", "r", "s"})
+	dst := &Vector{}
+	got := v.SliceInto(dst, 1, 3)
+	want := v.Slice(1, 3)
+	if !reflect.DeepEqual(got.Strs(), want.Strs()) {
+		t.Fatalf("SliceInto = %v, want %v", got, want)
+	}
+}
+
+func TestResetRetypesAndRetainsCapacity(t *testing.T) {
+	v := &Vector{}
+	v.Reset(Float, 3)
+	if v.Kind() != Float || v.Len() != 3 {
+		t.Fatalf("Reset(Float, 3): kind %v len %d", v.Kind(), v.Len())
+	}
+	v.Floats()[0], v.Floats()[1], v.Floats()[2] = 1, 2, 3
+	v.Reset(Int, 2)
+	if v.Kind() != Int || v.Len() != 2 {
+		t.Fatalf("Reset(Int, 2): kind %v len %d", v.Kind(), v.Len())
+	}
+	// Shrinking within capacity must not allocate.
+	v.Reset(Int, 8)
+	allocs := testing.AllocsPerRun(100, func() { v.Reset(Int, 4) })
+	if allocs != 0 {
+		t.Fatalf("within-capacity Reset allocates %.1f per run", allocs)
+	}
+	// The active slice is non-nil even at zero length (one-time queries
+	// compare results with reflect.DeepEqual).
+	z := &Vector{}
+	z.Reset(Int, 0)
+	if z.Ints() == nil {
+		t.Fatalf("Reset left a nil backing slice")
+	}
+}
+
+func TestAppendNMatchesRepeatedAppend(t *testing.T) {
+	a := New(Timestamp, 0)
+	b := New(Timestamp, 0)
+	a.AppendInt(7)
+	b.AppendInt(7)
+	a.AppendN(NewTimestampMicros(42), 3)
+	for i := 0; i < 3; i++ {
+		b.Append(NewTimestampMicros(42))
+	}
+	if !reflect.DeepEqual(a.Ints(), b.Ints()) {
+		t.Fatalf("AppendN = %v, want %v", a.Ints(), b.Ints())
+	}
+	s := New(Str, 0)
+	s.AppendN(NewStr("x"), 2)
+	if !reflect.DeepEqual(s.Strs(), []string{"x", "x"}) {
+		t.Fatalf("AppendN strs = %v", s.Strs())
+	}
+}
+
+func TestFillIntoMatchesFill(t *testing.T) {
+	dst := &Vector{}
+	for _, val := range []Value{NewInt(3), NewFloat(1.25), NewBool(true), NewStr("k"), NewTimestampMicros(9)} {
+		got := FillInto(dst, val, 4)
+		want := Fill(val, 4)
+		if got.Kind() != want.Kind() || got.Len() != want.Len() {
+			t.Fatalf("FillInto(%v) kind/len mismatch", val)
+		}
+		for i := 0; i < 4; i++ {
+			if !got.Get(i).Equal(want.Get(i)) {
+				t.Fatalf("FillInto(%v) = %v, want %v", val, got, want)
+			}
+		}
+	}
+}

@@ -10,6 +10,7 @@ package vector
 
 import (
 	"fmt"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -279,6 +280,32 @@ func Fill(val Value, n int) *Vector {
 	return v
 }
 
+// FillInto overwrites dst with n copies of val, adopting val's kind and
+// retaining dst's backing capacity. It is the reuse form of Fill for
+// execution arenas. It returns dst.
+func FillInto(dst *Vector, val Value, n int) *Vector {
+	dst.Reset(val.Kind, n)
+	switch val.Kind {
+	case Int, Timestamp:
+		for i := range dst.ints {
+			dst.ints[i] = val.I
+		}
+	case Float:
+		for i := range dst.floats {
+			dst.floats[i] = val.F
+		}
+	case Bool:
+		for i := range dst.bools {
+			dst.bools[i] = val.B
+		}
+	case Str:
+		for i := range dst.strs {
+			dst.strs[i] = val.S
+		}
+	}
+	return dst
+}
+
 // FromInts builds an Int vector that takes ownership of s.
 func FromInts(s []int64) *Vector { return &Vector{kind: Int, ints: s} }
 
@@ -403,6 +430,69 @@ func (v *Vector) AppendVector(o *Vector) {
 
 func numeric(t Type) bool { return t == Int || t == Timestamp }
 
+// Reset re-types v to t and resizes it to n elements, retaining whatever
+// backing capacity the vector already owns. The elements are unspecified
+// (stale) until the caller overwrites them; Reset exists so execution
+// arenas can recycle one vector across firings without reallocating.
+func (v *Vector) Reset(t Type, n int) {
+	v.kind = t
+	v.ints, v.floats, v.bools, v.strs = v.ints[:0], v.floats[:0], v.bools[:0], v.strs[:0]
+	// The active backing slice is kept non-nil (a zero-size make costs no
+	// allocation) so Reset-built vectors are indistinguishable from
+	// New-built ones.
+	switch t {
+	case Int, Timestamp:
+		if cap(v.ints) < n || v.ints == nil {
+			v.ints = make([]int64, n)
+		} else {
+			v.ints = v.ints[:n]
+		}
+	case Float:
+		if cap(v.floats) < n || v.floats == nil {
+			v.floats = make([]float64, n)
+		} else {
+			v.floats = v.floats[:n]
+		}
+	case Bool:
+		if cap(v.bools) < n || v.bools == nil {
+			v.bools = make([]bool, n)
+		} else {
+			v.bools = v.bools[:n]
+		}
+	case Str:
+		if cap(v.strs) < n || v.strs == nil {
+			v.strs = make([]string, n)
+		} else {
+			v.strs = v.strs[:n]
+		}
+	}
+}
+
+// AppendN appends n copies of val (val.Kind must be assignable to v's
+// kind). One grow plus one fill instead of n boxed appends; the basket
+// uses it to stamp a batch's arrival timestamps in place.
+func (v *Vector) AppendN(val Value, n int) {
+	switch v.kind {
+	case Int, Timestamp:
+		v.ints = appendFill(v.ints, val.AsInt(), n)
+	case Float:
+		v.floats = appendFill(v.floats, val.AsFloat(), n)
+	case Bool:
+		v.bools = appendFill(v.bools, val.B, n)
+	case Str:
+		v.strs = appendFill(v.strs, val.S, n)
+	}
+}
+
+func appendFill[T any](s []T, x T, n int) []T {
+	s = slices.Grow(s, n)[:len(s)+n]
+	fill := s[len(s)-n:]
+	for i := range fill {
+		fill[i] = x
+	}
+	return s
+}
+
 // Gather returns a new vector with the elements at the given positions, in
 // order. It is the positional tuple-reconstruction primitive of the engine.
 func (v *Vector) Gather(sel []int32) *Vector {
@@ -426,6 +516,55 @@ func (v *Vector) Gather(sel []int32) *Vector {
 		}
 	}
 	return out
+}
+
+// GatherInto overwrites dst with the elements of v at the given positions,
+// in order, adopting v's kind and retaining dst's backing capacity. dst
+// must not alias v. It is the allocation-free form of Gather used on the
+// firing hot path. It returns dst.
+func (v *Vector) GatherInto(dst *Vector, sel []int32) *Vector {
+	dst.Reset(v.kind, len(sel))
+	switch v.kind {
+	case Int, Timestamp:
+		d := dst.ints
+		for k, i := range sel {
+			d[k] = v.ints[i]
+		}
+	case Float:
+		d := dst.floats
+		for k, i := range sel {
+			d[k] = v.floats[i]
+		}
+	case Bool:
+		d := dst.bools
+		for k, i := range sel {
+			d[k] = v.bools[i]
+		}
+	case Str:
+		d := dst.strs
+		for k, i := range sel {
+			d[k] = v.strs[i]
+		}
+	}
+	return dst
+}
+
+// SliceInto overwrites dst with elements [i, j) of v, adopting v's kind
+// and retaining dst's backing capacity. dst must not alias v. It returns
+// dst.
+func (v *Vector) SliceInto(dst *Vector, i, j int) *Vector {
+	dst.Reset(v.kind, 0)
+	switch v.kind {
+	case Int, Timestamp:
+		dst.ints = append(dst.ints, v.ints[i:j]...)
+	case Float:
+		dst.floats = append(dst.floats, v.floats[i:j]...)
+	case Bool:
+		dst.bools = append(dst.bools, v.bools[i:j]...)
+	case Str:
+		dst.strs = append(dst.strs, v.strs[i:j]...)
+	}
+	return dst
 }
 
 // Slice returns a new vector holding elements [i, j). The result shares no
