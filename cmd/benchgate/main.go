@@ -1,0 +1,197 @@
+// Command benchgate is the CI benchmark-regression gate. It compares the
+// allocation profile of the current build against the committed baseline
+// in BENCH_kernel.json and exits non-zero when the hot path regressed.
+//
+// Allocation counts are the gated metric because they are stable on
+// shared CI runners; ns/op and events/s are reported by the same files
+// but vary with the machine, so they are never gated here (the committed
+// trajectory in BENCH_kernel.json is measured on a fixed box).
+//
+// Usage, as wired in .github/workflows/ci.yml:
+//
+//	cp BENCH_kernel.json /tmp/BENCH_kernel.committed.json
+//	go test -run xxx -bench '…' -benchmem -benchtime 100x . | tee bench-smoke.txt
+//	go run ./cmd/microbench -fig kernel -json          # rewrites the this_pr row
+//	go run ./cmd/benchgate -baseline /tmp/BENCH_kernel.committed.json \
+//	    -current BENCH_kernel.json -bench bench-smoke.txt
+//
+// A measurement fails the gate when it exceeds committed*(1+slack)+abs;
+// the slack absorbs run-to-run jitter (sync.Pool refills after a GC),
+// the absolute headroom keeps tiny baselines from gating on ±1 alloc.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// kernelDoc mirrors the BENCH_kernel.json layout.
+type kernelDoc struct {
+	Rows []kernelRow `json:"rows"`
+}
+
+// kernelRow is one trajectory entry: either the microbench kernel figure
+// (no Benchmark field) or a go-test benchmark row.
+type kernelRow struct {
+	Phase           string   `json:"phase"`
+	Benchmark       string   `json:"benchmark"`
+	AllocsPerFiring *float64 `json:"allocs_per_firing"`
+	AllocsPerOp     *float64 `json:"allocs_per_op"`
+}
+
+// measurement is one gated metric: a name, the committed budget and the
+// current value.
+type measurement struct {
+	name      string
+	committed float64
+	current   float64
+}
+
+// regressed reports whether the measurement exceeds its budget under the
+// gate's slack policy.
+func (m measurement) regressed(slack, abs float64) bool {
+	return m.current > m.committed*(1+slack)+abs
+}
+
+func loadKernel(path string) (kernelDoc, error) {
+	var doc kernelDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// latestAllocs extracts the trajectory's current-build alloc metrics from
+// one file: the kernel figure's allocs/firing and each benchmark row's
+// allocs/op, keyed by metric name. Only "this_pr" rows qualify — baseline
+// rows record history, not the build under test.
+func latestAllocs(doc kernelDoc) map[string]float64 {
+	out := map[string]float64{}
+	for _, r := range doc.Rows {
+		if r.Phase != "this_pr" {
+			continue
+		}
+		switch {
+		case r.Benchmark == "" && r.AllocsPerFiring != nil:
+			out["kernel allocs/firing"] = *r.AllocsPerFiring
+		case r.Benchmark != "" && r.AllocsPerOp != nil:
+			out[r.Benchmark+" allocs/op"] = *r.AllocsPerOp
+		}
+	}
+	return out
+}
+
+// benchLine matches `go test -bench -benchmem` output rows, e.g.
+// "BenchmarkSQLQueryFiring-8  100  723510 ns/op  18720 B/op  45 allocs/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op(?:\s+[\d.]+ [A-Za-z]+/s)?\s+[\d.]+ B/op\s+([\d.]+) allocs/op`)
+
+// parseBenchAllocs extracts allocs/op per benchmark from go-test bench
+// output. Sub-benchmarks keep their full slash name.
+func parseBenchAllocs(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]float64{}
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]+" allocs/op"] = v
+	}
+	return out, sc.Err()
+}
+
+// gate compares current metrics against committed budgets, returning the
+// comparisons made and the subset that regressed. Metrics missing on
+// either side are skipped: the gate guards committed budgets, it does not
+// demand new ones.
+func gate(committed, current map[string]float64, slack, abs float64) (checked, bad []measurement) {
+	for name, base := range committed {
+		cur, ok := current[name]
+		if !ok {
+			continue
+		}
+		m := measurement{name: name, committed: base, current: cur}
+		checked = append(checked, m)
+		if m.regressed(slack, abs) {
+			bad = append(bad, m)
+		}
+	}
+	return checked, bad
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed BENCH_kernel.json (the budget)")
+	current := flag.String("current", "BENCH_kernel.json", "regenerated BENCH_kernel.json (the build under test)")
+	bench := flag.String("bench", "", "go test -bench -benchmem output to gate as well (optional)")
+	slack := flag.Float64("slack", 0.5, "relative headroom before a regression trips")
+	abs := flag.Float64("abs", 8, "absolute alloc headroom on top of the slack")
+	flag.Parse()
+	if *baseline == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
+		os.Exit(2)
+	}
+	base, err := loadKernel(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	committed := latestAllocs(base)
+	if len(committed) == 0 {
+		fmt.Println("benchgate: baseline carries no alloc budgets; nothing to gate")
+		return
+	}
+	cur, err := loadKernel(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	measured := latestAllocs(cur)
+	if *bench != "" {
+		fromBench, err := parseBenchAllocs(*bench)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		// Fresh go-test numbers win over whatever the JSON carries.
+		for k, v := range fromBench {
+			measured[k] = v
+		}
+	}
+	checked, bad := gate(committed, measured, *slack, *abs)
+	if len(checked) == 0 {
+		fmt.Println("benchgate: no committed metric was measured; nothing gated")
+		return
+	}
+	for _, m := range checked {
+		status := "ok"
+		if m.regressed(*slack, *abs) {
+			status = "REGRESSED"
+		}
+		fmt.Printf("benchgate: %-40s committed %.1f, current %.1f  [%s]\n", m.name, m.committed, m.current, status)
+	}
+	if len(bad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d allocation budget(s) regressed past committed*(1+%.2f)+%.0f\n",
+			len(bad), *slack, *abs)
+		os.Exit(1)
+	}
+	fmt.Printf("benchgate: %d allocation budget(s) within committed limits\n", len(checked))
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestLatestAllocsSelectsThisPRRows(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kernel.json")
+	doc := `{
+	  "fig": "kernel",
+	  "rows": [
+	    {"phase": "pre_pr_baseline", "allocs_per_firing": 51.3},
+	    {"phase": "this_pr", "allocs_per_firing": 7.5},
+	    {"phase": "pre_pr_baseline", "benchmark": "BenchmarkSQLQueryFiring", "allocs_per_op": 10246},
+	    {"phase": "this_pr", "benchmark": "BenchmarkSQLQueryFiring", "allocs_per_op": 45},
+	    {"phase": "this_pr", "benchmark": "BenchmarkSingleQueryFiring", "allocs_per_op": 34}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadKernel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := latestAllocs(loaded)
+	want := map[string]float64{
+		"kernel allocs/firing":                 7.5,
+		"BenchmarkSQLQueryFiring allocs/op":    45,
+		"BenchmarkSingleQueryFiring allocs/op": 34,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("latestAllocs = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("latestAllocs[%q] = %g, want %g", k, got[k], v)
+		}
+	}
+}
+
+func TestParseBenchAllocs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.txt")
+	out := `goos: linux
+goarch: amd64
+pkg: datacell
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkSingleQueryFiring-8   	     100	     57329 ns/op	     776 B/op	      34 allocs/op
+BenchmarkSQLQueryFiring-8      	     100	    723510 ns/op	   18720 B/op	      45 allocs/op
+BenchmarkKernelThroughput/q=1-8	     100	    1200.5 ns/op	 345.67 MB/s	     128 B/op	       2 allocs/op
+PASS
+ok  	datacell	2.153s
+`
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := parseBenchAllocs(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSingleQueryFiring allocs/op":    34,
+		"BenchmarkSQLQueryFiring allocs/op":       45,
+		"BenchmarkKernelThroughput/q=1 allocs/op": 2,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parseBenchAllocs = %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("parseBenchAllocs[%q] = %g, want %g", k, got[k], v)
+		}
+	}
+}
+
+func TestGatePolicy(t *testing.T) {
+	committed := map[string]float64{
+		"kernel allocs/firing":              7.5,
+		"BenchmarkSQLQueryFiring allocs/op": 45,
+		"only-in-baseline allocs/op":        10,
+	}
+	current := map[string]float64{
+		"kernel allocs/firing":              18,  // 7.5*1.5+8 = 19.25: inside
+		"BenchmarkSQLQueryFiring allocs/op": 90,  // 45*1.5+8 = 75.5: regressed
+		"only-in-current allocs/op":         999, // unbudgeted: ignored
+	}
+	checked, bad := gate(committed, current, 0.5, 8)
+	if len(checked) != 2 {
+		t.Fatalf("checked %d metrics, want 2: %v", len(checked), checked)
+	}
+	if len(bad) != 1 || bad[0].name != "BenchmarkSQLQueryFiring allocs/op" {
+		t.Fatalf("regressions = %v, want exactly the SQL firing budget", bad)
+	}
+	// Dropping below budget is never a failure.
+	if _, bad := gate(committed, map[string]float64{"kernel allocs/firing": 0}, 0.5, 8); len(bad) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", bad)
+	}
+}

@@ -7,6 +7,7 @@
 //	microbench -fig 5b      strategy comparison vs #queries (kernel-wired)
 //	microbench -fig 5be     strategy comparison vs #queries (public engine)
 //	microbench -fig scale   throughput vs parallelism, per strategy
+//	microbench -fig prune   per-clone tuple counts vs selectivity × parallelism
 //	microbench -fig kernel  pure kernel events/second
 //	microbench -fig all     everything
 //
@@ -40,7 +41,7 @@ func writeJSON(enabled bool, fig string, rows any) error {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, scale, kernel, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, scale, prune, kernel, all")
 	tuples := flag.Int("tuples", 100_000, "tuples per run (paper: 1e5)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonOut := flag.Bool("json", false, "also write each figure's data to BENCH_<fig>.json")
@@ -61,9 +62,10 @@ func main() {
 	run("5b", func() error { return fig5b(*tuples, *seed, *jsonOut) })
 	run("5be", func() error { return fig5bEngine(*tuples, *seed, *jsonOut) })
 	run("scale", func() error { return figScale(*tuples, *seed, *jsonOut) })
+	run("prune", func() error { return figPrune(*tuples, *seed, *jsonOut) })
 	run("kernel", func() error { return kernel(*tuples, *seed, *jsonOut) })
 	switch *fig {
-	case "4a", "4b", "5a", "5b", "5be", "scale", "kernel", "all":
+	case "4a", "4b", "5a", "5b", "5be", "scale", "prune", "kernel", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -258,6 +260,54 @@ func figScale(tuples int, seed int64, jsonOut bool) error {
 		fmt.Println()
 	}
 	return writeJSON(jsonOut, "scale", rows)
+}
+
+// figPrune sweeps selectivity × parallelism over a sargable range-query
+// workload and reports the tuples each partition clone actually receives.
+// Under blind round-robin a clone sees tuples/P regardless of the
+// predicate (placement); under range routing it sees ≈ selectivity ×
+// tuples/P, with the rest short-circuited to the catch-all (pruning) —
+// per-clone input shrinks with P *and* with selectivity.
+func figPrune(tuples int, seed int64, jsonOut bool) error {
+	type row struct {
+		Strategy          string  `json:"strategy"`
+		Selectivity       float64 `json:"selectivity"`
+		Parallelism       int     `json:"parallelism"`
+		Partitions        int     `json:"partitions"`
+		Routing           string  `json:"routing"`
+		PerClone          float64 `json:"per_clone_tuples"`
+		PlacementPerClone float64 `json:"placement_per_clone_tuples"`
+		Pruned            int64   `json:"pruned_tuples"`
+		Results           int     `json:"results"`
+		Seconds           float64 `json:"seconds"`
+		ThroughputK       float64 `json:"throughput_ktps"`
+	}
+	const q = 8
+	batch := tuples / 20
+	fmt.Printf("# Prune: avg tuples per clone vs selectivity and parallelism; %d range queries, batches of %d, GOMAXPROCS=%d\n",
+		q, batch, runtime.GOMAXPROCS(0))
+	fmt.Println("strategy\tselectivity\tP\trouting\tper_clone\tplacement_per_clone\tpruned\tresults")
+	var rows []row
+	for _, s := range []datacell.Strategy{datacell.StrategySeparate, datacell.StrategyShared} {
+		for _, sel := range []float64{0.1, 0.5, 1.0} {
+			for _, p := range []int{1, 2, 4, 8} {
+				res, err := datacell.RunPrune(s, p, q, tuples, sel, batch, seed)
+				if err != nil {
+					return err
+				}
+				rows = append(rows, row{
+					Strategy: string(s), Selectivity: sel,
+					Parallelism: p, Partitions: res.Partitions, Routing: res.Routing,
+					PerClone: res.PerClone, PlacementPerClone: res.PlacementPerClone,
+					Pruned: res.Pruned, Results: res.Results,
+					Seconds: res.Elapsed.Seconds(), ThroughputK: res.Throughput / 1000,
+				})
+				fmt.Printf("%s\t%.2f\t%d\t%s\t%.0f\t%.0f\t%d\t%d\n",
+					s, sel, p, res.Routing, res.PerClone, res.PlacementPerClone, res.Pruned, res.Results)
+			}
+		}
+	}
+	return writeJSON(jsonOut, "prune", rows)
 }
 
 // kernel measures pure kernel activity and the firing path's allocation

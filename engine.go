@@ -445,7 +445,7 @@ func (e *Engine) Explain(src string) (string, error) {
 	var b strings.Builder
 	b.WriteString(base)
 	if streamName, ok := plan.ShareableStream(e.cat, s); ok {
-		mode, col, _ := plan.Partitionability(e.cat, s)
+		verdict, _ := plan.Partitionability(e.cat, s)
 		e.mu.Lock()
 		strat := e.strategy
 		par := e.parallelism
@@ -455,20 +455,13 @@ func (e *Engine) Explain(src string) (string, error) {
 		if g := e.groups[streamName]; g != nil {
 			members = len(g.scans)
 			forced = len(g.taps) > 0
-			if strat != StrategySeparate && !forced && mode != plan.PartNone {
+			if strat != StrategySeparate && !forced && verdict.Mode != plan.PartNone && members > 0 {
 				// The shared and partial wirings split the stream once for
 				// the whole group, so the installed members constrain the
-				// partitioning this query would actually receive.
-				switch gmode, gcol := g.partitioning(); {
-				case gmode == plan.PartNone:
-					mode, col = plan.PartNone, ""
-					pinned = true
-				case gmode == plan.PartHash && mode == plan.PartHash && col != gcol:
-					mode, col = plan.PartNone, ""
-					pinned = true
-				case gmode == plan.PartHash:
-					mode, col = plan.PartHash, gcol
-				}
+				// routing this query would actually receive.
+				combined := plan.CombineVerdicts(g.partitioning(), verdict)
+				pinned = combined.Mode == plan.PartNone
+				verdict = combined
 			}
 		}
 		e.mu.Unlock()
@@ -480,27 +473,23 @@ func (e *Engine) Explain(src string) (string, error) {
 		switch {
 		case pinned:
 			b.WriteString("wiring: partitioning none (group members pin the stream to one partition)\n")
-		case mode == plan.PartNone:
+		case verdict.Mode == plan.PartNone:
 			b.WriteString("wiring: partitioning none (plan must see the whole stream)\n")
 		case par <= 1:
 			fmt.Fprintf(&b, "wiring: partitioning %s available (parallelism 1, single partition)\n",
-				describePartitioning(mode, col))
+				verdict.Describe())
 		default:
 			fmt.Fprintf(&b, "wiring: partitioning %s across %d partitions (splitter, %d clones, merge emitter)\n",
-				describePartitioning(mode, col), par, par)
+				verdict.Describe(), par, par)
+			if verdict.Mode == plan.PartRange {
+				fmt.Fprintf(&b, "wiring: catch-all partition prunes tuples outside %s from every clone\n",
+					verdict.Set())
+			}
 		}
 	} else {
 		b.WriteString("wiring: standalone factory over private stream replicas (not shareable)\n")
 	}
 	return b.String(), nil
-}
-
-// describePartitioning renders a partitioning verdict for explain output.
-func describePartitioning(mode plan.PartMode, col string) string {
-	if mode == plan.PartHash {
-		return fmt.Sprintf("hash(%s)", col)
-	}
-	return mode.String()
 }
 
 // QueryStats reports the activity counters of one registered continuous

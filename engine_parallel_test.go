@@ -181,7 +181,8 @@ func TestExplainShowsPartitioning(t *testing.T) {
 		sql  string
 		want string
 	}{
-		{`select t.v from [select * from s where v < 10] t`, "partitioning round-robin across 4 partitions"},
+		{`select t.v from [select * from s where v < 10] t`, "partitioning range(v) across 4 partitions"},
+		{`select t.v from [select * from s where v % 2 = 0] t`, "partitioning round-robin across 4 partitions"},
 		{`select t.k, count(*) as n from [select * from s] t group by t.k`, "partitioning hash(k) across 4 partitions"},
 		{`select t.v from [select top 5 * from s] t`, "partitioning none"},
 	} {

@@ -1,0 +1,309 @@
+package datacell
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// pruneWorkload feeds a randomized stream through a sargable-heavy query
+// mix at the given strategy and parallelism and returns each query's
+// output as a sorted row multiset. The mix exercises every sargable shape
+// the router understands — half-open ranges, BETWEEN, IN-sets, OR-unions,
+// point equality — plus a row-local but non-sargable member, and the feed
+// includes values outside every predicate so the catch-all actually
+// receives residuals.
+func pruneWorkload(t *testing.T, strategy Strategy, parallelism int, seed int64) map[string][]string {
+	t.Helper()
+	eng := New()
+	defer eng.Stop()
+	if err := eng.SetStrategy(strategy); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetParallelism(parallelism); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(`create basket s (k int, v int)`); err != nil {
+		t.Fatal(err)
+	}
+	queries := []NamedQuery{
+		{Name: "range", SQL: `select t.v from [select * from s where v >= 100 and v < 400] t`},
+		{Name: "between", SQL: `select t.k, t.v from [select * from s where v between 250 and 600] t where t.v % 2 = 0`},
+		{Name: "inset", SQL: `select t.v from [select * from s where v in (7, 99, 512)] t`},
+		{Name: "orunion", SQL: `select t.v from [select * from s where v < 50 or v >= 900 and v < 950] t`},
+		{Name: "point", SQL: `select t.k from [select * from s where v = 333] t`},
+	}
+	if strategy == StrategySeparate {
+		// A row-local member without a sargable predicate: under separate
+		// wiring it coexists (own round-robin split); under shared/partial
+		// it would downgrade the whole group to round-robin and defeat
+		// the pruning differential, so it joins only here.
+		queries = append(queries, NamedQuery{
+			Name: "nonsarg", SQL: `select t.v from [select * from s where v % 3 = 0] t`,
+		})
+	}
+	if err := eng.RegisterQueries(queries); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for batch := 0; batch < 10; batch++ {
+		n := 30 + rng.Intn(50)
+		rows := make([]Row, n)
+		for i := range rows {
+			// Values beyond every predicate (up to 2000) guarantee
+			// residuals for the catch-all.
+			rows[i] = Row{rng.Int63n(16), rng.Int63n(2000)}
+		}
+		if err := eng.Append("s", rows...); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.RunSync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := map[string][]string{}
+	for _, q := range queries {
+		out, err := eng.Out(q.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl := tableOf(out.Snapshot())
+		rows := make([]string, 0, len(tbl.Rows))
+		for _, r := range tbl.Rows {
+			parts := make([]string, len(r))
+			for i, c := range r {
+				parts[i] = fmt.Sprint(c)
+			}
+			rows = append(rows, strings.Join(parts, "|"))
+		}
+		sort.Strings(rows)
+		got[q.Name] = rows
+	}
+	return got
+}
+
+// TestPrunedRoutingDifferential asserts that range-routed (pruned)
+// execution is byte-identical to single-partition execution: for every
+// sharing strategy and P ∈ {2, 4}, the same randomized stream through the
+// same sargable query mix yields identical output multisets to P=1.
+func TestPrunedRoutingDifferential(t *testing.T) {
+	for _, strategy := range []Strategy{StrategySeparate, StrategyShared, StrategyPartial} {
+		t.Run(string(strategy), func(t *testing.T) {
+			base := pruneWorkload(t, strategy, 1, 99)
+			for _, p := range []int{2, 4} {
+				part := pruneWorkload(t, strategy, p, 99)
+				for name, want := range base {
+					gotRows := part[name]
+					if len(gotRows) != len(want) {
+						t.Errorf("P=%d %s: %d rows, P=1 produced %d", p, name, len(gotRows), len(want))
+						continue
+					}
+					for i := range want {
+						if gotRows[i] != want[i] {
+							t.Errorf("P=%d %s: row %d differs: %q vs %q", p, name, i, gotRows[i], want[i])
+							break
+						}
+					}
+					if len(want) == 0 && name != "point" && name != "inset" {
+						t.Errorf("%s: workload produced no rows; differential is vacuous", name)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCatchAllReceivesResiduals pins the pruning mechanics: tuples no
+// query can match are counted as pruned (they sit in the catch-all, which
+// no clone scans), matching tuples are routed into scanned partitions,
+// and the query's output is exactly the matching set.
+func TestCatchAllReceivesResiduals(t *testing.T) {
+	eng := New()
+	defer eng.Stop()
+	if err := eng.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(`create basket s (v int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterQuery("q", `select t.v from [select * from s where v >= 0 and v < 100] t`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 0, 300)
+	for i := int64(0); i < 300; i++ {
+		rows = append(rows, Row{i}) // 0..99 match, 100..299 cannot
+	}
+	if err := eng.Append("s", rows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSync(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Out("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 100 {
+		t.Fatalf("query emitted %d rows, want 100", out.Len())
+	}
+	gs := eng.Groups()
+	if len(gs) != 1 {
+		t.Fatalf("groups = %+v", gs)
+	}
+	g := gs[0]
+	if g.Routing != "range(v)" {
+		t.Fatalf("routing = %q, want range(v)", g.Routing)
+	}
+	if g.Pruned != 200 {
+		t.Fatalf("pruned = %d, want the 200 tuples outside [0,100)", g.Pruned)
+	}
+	if g.RoutedParts != 100 {
+		t.Fatalf("routed into scanned partitions = %d, want 100", g.RoutedParts)
+	}
+	if g.Partitions != 4 || g.Wirings != 1 {
+		t.Fatalf("partitions/wirings = %d/%d, want 4/1", g.Partitions, g.Wirings)
+	}
+}
+
+// TestNonSargableStaysRoundRobin asserts the fallback: a row-local
+// predicate the sargable analysis cannot bound keeps blind round-robin
+// routing — nothing is pruned, every tuple reaches a scanned partition.
+func TestNonSargableStaysRoundRobin(t *testing.T) {
+	eng := New()
+	defer eng.Stop()
+	if err := eng.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(`create basket s (v int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterQuery("q", `select t.v from [select * from s where v % 2 = 0] t`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 0, 100)
+	for i := int64(0); i < 100; i++ {
+		rows = append(rows, Row{i})
+	}
+	if err := eng.Append("s", rows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSync(); err != nil {
+		t.Fatal(err)
+	}
+	g := eng.Groups()[0]
+	if g.Routing != "round-robin" {
+		t.Fatalf("routing = %q, want round-robin", g.Routing)
+	}
+	if g.Pruned != 0 || g.RoutedParts != 100 {
+		t.Fatalf("pruned/routed = %d/%d, want 0/100", g.Pruned, g.RoutedParts)
+	}
+	out, err := eng.Out("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 50 {
+		t.Fatalf("query emitted %d rows, want 50", out.Len())
+	}
+}
+
+// TestGroupRangeUnionUnderShared asserts the group-wide verdict: under
+// shared wiring two sargable members route on the union of their
+// intervals — a tuple matching either query reaches the partitions, a
+// tuple matching neither is pruned — and both queries stay correct.
+func TestGroupRangeUnionUnderShared(t *testing.T) {
+	eng := New()
+	defer eng.Stop()
+	if err := eng.SetStrategy(StrategyShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetParallelism(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(`create basket s (v int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterQueries([]NamedQuery{
+		{Name: "low", SQL: `select t.v from [select * from s where v >= 0 and v < 100] t`},
+		{Name: "high", SQL: `select t.v from [select * from s where v >= 200 and v < 300] t`},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 0, 400)
+	for i := int64(0); i < 400; i++ {
+		rows = append(rows, Row{i})
+	}
+	if err := eng.Append("s", rows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSync(); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int{"low": 100, "high": 100} {
+		out, err := eng.Out(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != want {
+			t.Fatalf("%s emitted %d rows, want %d", name, out.Len(), want)
+		}
+	}
+	g := eng.Groups()[0]
+	if g.Routing != "range(v)" {
+		t.Fatalf("routing = %q, want range(v)", g.Routing)
+	}
+	// [100,200) and [300,400) match neither member: 200 pruned.
+	if g.Pruned != 200 || g.RoutedParts != 200 {
+		t.Fatalf("pruned/routed = %d/%d, want 200/200", g.Pruned, g.RoutedParts)
+	}
+}
+
+// TestPruneRewireMigratesCatchAll asserts live rewires never lose
+// residuals: tuples parked in the catch-all at P=4 return to the stream
+// when parallelism drops to 1, and a late query that *does* match them
+// still sees them.
+func TestPruneRewireMigratesCatchAll(t *testing.T) {
+	eng := New()
+	defer eng.Stop()
+	if err := eng.SetStrategy(StrategyShared); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SetParallelism(4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Exec(`create basket s (v int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterQuery("low", `select t.v from [select * from s where v < 100] t`); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]Row, 0, 200)
+	for i := int64(0); i < 200; i++ {
+		rows = append(rows, Row{i})
+	}
+	if err := eng.Append("s", rows...); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSync(); err != nil {
+		t.Fatal(err)
+	}
+	if g := eng.Groups()[0]; g.Pruned != 100 {
+		t.Fatalf("pruned = %d, want 100", g.Pruned)
+	}
+	// A new member that matches the parked residuals: the rewire must
+	// bring them back into scanned territory.
+	if err := eng.RegisterQuery("high", `select t.v from [select * from s where v >= 100] t`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RunSync(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := eng.Out("high")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 100 {
+		t.Fatalf("late query saw %d residual rows, want 100", out.Len())
+	}
+}

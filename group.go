@@ -9,6 +9,7 @@ import (
 	"datacell/internal/basket"
 	"datacell/internal/core"
 	"datacell/internal/plan"
+	"datacell/internal/vector"
 )
 
 // Strategy selects the paper's multi-query processing scheme (§4.2,
@@ -70,14 +71,18 @@ type queryGroup struct {
 	gen       int
 
 	// Partitioned-wiring teardown state. parts are the stream partitions
-	// of a shared/partial wiring (their residue returns to the stream);
-	// memberParts are the per-member partitions of a separate wiring
-	// (their residue is per-query window state and returns to the member's
-	// private replica); staging pairs flush computed-but-unmerged results
-	// to their query's result basket.
+	// of a shared/partial wiring, including any range-routing catch-all
+	// (their residue returns to the stream); memberParts are the
+	// per-member partitions of a separate wiring, again including
+	// catch-alls (their residue is per-query window state and returns to
+	// the member's private replica); staging pairs flush
+	// computed-but-unmerged results to their query's result basket; pbs
+	// are the partitioned baskets the wiring routes through, kept for
+	// monitoring (per-partition routed counts, pruning counters).
 	parts       []*basket.Basket
 	memberParts map[*groupMember][]*basket.Basket
 	staging     []stagedOut
+	pbs         []*basket.PartitionedBasket
 }
 
 // stagedOut pairs the staging baskets of one partitioned query with its
@@ -192,7 +197,7 @@ func (e *Engine) rewireLocked(g *queryGroup) error {
 	g.drainPartitioned()
 	g.drainAux()
 	g.wired = nil
-	g.parts, g.memberParts, g.staging = nil, nil, nil
+	g.parts, g.memberParts, g.staging, g.pbs = nil, nil, nil, nil
 	g.parallel = 1
 	for _, m := range g.scans {
 		m.factories = nil
@@ -281,7 +286,7 @@ func (e *Engine) wireSeparateLocked(g *queryGroup, prefix string) ([]*core.Facto
 func (e *Engine) wireMemberLocked(g *queryGroup, prefix string, m *groupMember) ([]*core.Factory, error) {
 	sq := m.scan.StreamQuery()
 	p := e.parallelism
-	if p <= 1 || m.scan.Part == plan.PartNone {
+	if p <= 1 || m.scan.Part.Mode == plan.PartNone {
 		f, err := core.NewStreamQueryFactory(prefix+".q."+m.name, m.priv, sq)
 		if err != nil {
 			return nil, err
@@ -290,11 +295,7 @@ func (e *Engine) wireMemberLocked(g *queryGroup, prefix string, m *groupMember) 
 		return []*core.Factory{f}, nil
 	}
 	names, types := g.stream.UserSchema()
-	bmode := basket.PartitionRoundRobin
-	if m.scan.Part == plan.PartHash {
-		bmode = basket.PartitionHash
-	}
-	pb, err := basket.NewPartitioned(prefix+".part."+m.name, names, types, p, bmode, m.scan.PartCol)
+	pb, err := newPartitionedBasket(prefix+".part."+m.name, names, types, p, m.scan.Part)
 	if err != nil {
 		return nil, err
 	}
@@ -306,10 +307,24 @@ func (e *Engine) wireMemberLocked(g *queryGroup, prefix string, m *groupMember) 
 	if g.memberParts == nil {
 		g.memberParts = map[*groupMember][]*basket.Basket{}
 	}
-	g.memberParts[m] = pw.Parts
+	g.memberParts[m] = pb.Destinations()
 	g.staging = append(g.staging, stagedOut{staging: pw.Staging[0], out: sq.Out})
+	g.pbs = append(g.pbs, pb)
 	g.parallel = p
 	return pw.Factories, nil
+}
+
+// newPartitionedBasket builds the partitioned basket a routing verdict
+// calls for: range-routed with a catch-all for sargable plans, hash for
+// grouped plans, round-robin otherwise.
+func newPartitionedBasket(name string, names []string, types []vector.Type, p int, v plan.Verdict) (*basket.PartitionedBasket, error) {
+	switch v.Mode {
+	case plan.PartRange:
+		return basket.NewPartitionedRange(name, names, types, p, v.Col, v.Set())
+	case plan.PartHash:
+		return basket.NewPartitioned(name, names, types, p, basket.PartitionHash, v.Col)
+	}
+	return basket.NewPartitioned(name, names, types, p, basket.PartitionRoundRobin, "")
 }
 
 // wireSharedChainLocked builds the shared-baskets or partial-deletes
@@ -318,14 +333,10 @@ func (e *Engine) wireMemberLocked(g *queryGroup, prefix string, m *groupMember) 
 // the same split, otherwise the group stays at one partition.
 func (e *Engine) wireSharedChainLocked(g *queryGroup, prefix string) ([]*core.Factory, error) {
 	p := e.parallelism
-	mode, col := g.partitioning()
-	if p > 1 && mode != plan.PartNone {
+	verdict := g.partitioning()
+	if p > 1 && verdict.Mode != plan.PartNone {
 		names, types := g.stream.UserSchema()
-		bmode := basket.PartitionRoundRobin
-		if mode == plan.PartHash {
-			bmode = basket.PartitionHash
-		}
-		pb, err := basket.NewPartitioned(prefix+".part", names, types, p, bmode, col)
+		pb, err := newPartitionedBasket(prefix+".part", names, types, p, verdict)
 		if err != nil {
 			return nil, err
 		}
@@ -342,7 +353,8 @@ func (e *Engine) wireSharedChainLocked(g *queryGroup, prefix string) ([]*core.Fa
 			m.factories = pw.QueryFs[i]
 			g.staging = append(g.staging, stagedOut{staging: pw.Staging[i], out: m.scan.Out})
 		}
-		g.parts = pw.Parts
+		g.parts = pb.Destinations()
+		g.pbs = append(g.pbs, pb)
 		g.parallel = p
 		return pw.Factories, nil
 	}
@@ -368,23 +380,16 @@ func (e *Engine) wireSharedChainLocked(g *queryGroup, prefix string) ([]*core.Fa
 
 // partitioning computes the group-wide partitioning verdict used by the
 // shared and partial wirings: row-local members accept any split, grouped
-// members need their hash column, and any non-partitionable member — or
-// two grouped members hashing different columns — pins the group to one
-// partition.
-func (g *queryGroup) partitioning() (plan.PartMode, string) {
-	mode, col := plan.PartRoundRobin, ""
-	for _, m := range g.scans {
-		switch m.scan.Part {
-		case plan.PartNone:
-			return plan.PartNone, ""
-		case plan.PartHash:
-			if col != "" && col != m.scan.PartCol {
-				return plan.PartNone, ""
-			}
-			mode, col = plan.PartHash, m.scan.PartCol
-		}
+// members need their hash column, all-sargable members route by range on
+// a column they all constrain (with the union of their sets feeding the
+// catch-all test), and any non-partitionable member — or two grouped
+// members hashing different columns — pins the group to one partition.
+func (g *queryGroup) partitioning() plan.Verdict {
+	vs := make([]plan.Verdict, len(g.scans))
+	for i, m := range g.scans {
+		vs[i] = m.scan.Part
 	}
-	return mode, col
+	return plan.CombineVerdicts(vs...)
 }
 
 // drainPartitioned returns the tuples held by a torn-down partitioned
@@ -537,6 +542,22 @@ type GroupInfo struct {
 	// over the group's lifetime: 0 under shared/partial wiring, about
 	// members×ingested under separate wiring.
 	ReplicaAppended int64
+	// Routing describes how the current partitioned wiring routes tuples
+	// ("round-robin", "hash(k)", "range(v)"; several comma-joined when
+	// separate-strategy members carry different verdicts; "" when
+	// unpartitioned). The counters below reset on every rewire: they
+	// describe the installed wiring, not the group's lifetime.
+	Routing string
+	// Wirings is the number of partitioned baskets installed (one per
+	// partitioned member under separate wiring, one group-wide under
+	// shared/partial; 0 when unpartitioned).
+	Wirings int
+	// RoutedParts counts tuples routed into scanned partitions across all
+	// wirings — the work the query clones actually see.
+	RoutedParts int64
+	// Pruned counts tuples the range router short-circuited into
+	// catch-all baskets: work no clone ever does.
+	Pruned int64
 }
 
 // Groups reports the current multi-query wiring of every stream that has
@@ -565,6 +586,20 @@ func (e *Engine) Groups() []GroupInfo {
 		for _, t := range g.taps {
 			gi.ReplicaAppended += t.Stats().Appended
 		}
+		var descs []string
+		for _, pb := range g.pbs {
+			gi.Wirings++
+			for _, p := range pb.Parts() {
+				gi.RoutedParts += p.Stats().Appended
+			}
+			if ca := pb.CatchAll(); ca != nil {
+				gi.Pruned += ca.Stats().Appended
+			}
+			if d := pb.Describe(); !slices.Contains(descs, d) {
+				descs = append(descs, d)
+			}
+		}
+		gi.Routing = strings.Join(descs, ",")
 		out = append(out, gi)
 	}
 	return out

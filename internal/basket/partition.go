@@ -3,10 +3,12 @@ package basket
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"datacell/internal/bat"
+	"datacell/internal/interval"
 	"datacell/internal/vector"
 )
 
@@ -29,6 +31,14 @@ const (
 	// with equal keys always land in the same partition. Required by
 	// grouped plans: a group never straddles two partitions.
 	PartitionHash
+	// PartitionRange routes each tuple by where one column's value falls
+	// in the plan's sargable interval set: matching tuples spread over
+	// the partitions by range slice (or by hash when the set has no
+	// sliceable measure), and tuples outside the set — which no query of
+	// the wiring can ever match — short-circuit to a catch-all basket
+	// that no clone scans. This is partition pruning: the P-way split
+	// stops being mere placement and becomes work reduction.
+	PartitionRange
 )
 
 // String names the mode.
@@ -38,6 +48,8 @@ func (m PartitionMode) String() string {
 		return "round-robin"
 	case PartitionHash:
 		return "hash"
+	case PartitionRange:
+		return "range"
 	}
 	return "?"
 }
@@ -53,8 +65,21 @@ type PartitionedBasket struct {
 	name  string
 	parts []*Basket
 	mode  PartitionMode
-	col   string // hash column (user-schema name) when mode is PartitionHash
+	col   string // routing column (user-schema name) under hash and range modes
 	rr    atomic.Int64
+
+	// Range-routing state (mode PartitionRange). set is the matching
+	// value domain; cuts are the p-1 ascending numeric cut points slicing
+	// it into equal-measure partition ranges (nil when the set has no
+	// sliceable measure, in which case matching tuples place by hash);
+	// rest is the catch-all basket receiving tuples outside set.
+	set  interval.Set
+	cuts []float64
+	rest *Basket
+
+	// dests caches parts + rest so the per-firing append path never
+	// re-slices.
+	dests []*Basket
 }
 
 // NewPartitioned creates a partitioned basket of p partitions with the
@@ -80,14 +105,76 @@ func NewPartitioned(name string, names []string, types []vector.Type, p int, mod
 	for i := 0; i < p; i++ {
 		pb.parts = append(pb.parts, New(fmt.Sprintf("%s.p%d", name, i), names, types))
 	}
+	pb.dests = pb.parts
+	return pb, nil
+}
+
+// NewPartitionedRange creates a range-routed partitioned basket of p
+// partitions plus a catch-all: tuples whose col value lies in set spread
+// over the partitions (by equal-measure range slices when the set is
+// numeric and bounded, by hash otherwise), tuples outside set go to the
+// catch-all. col must be one of the declared attributes and set must not
+// cover every value (that would just be round-robin with extra steps).
+func NewPartitionedRange(name string, names []string, types []vector.Type, p int, col string, set interval.Set) (*PartitionedBasket, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("basket: partitioned %s: need at least 1 partition, got %d", name, p)
+	}
+	found := false
+	for _, n := range names {
+		if n == col {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("basket: partitioned %s: range column %q not in schema %v", name, col, names)
+	}
+	if set.All() {
+		return nil, fmt.Errorf("basket: partitioned %s: range set on %q covers every value; use round-robin", name, col)
+	}
+	pb := &PartitionedBasket{name: name, mode: PartitionRange, col: col, set: set}
+	pb.cuts, _ = set.Cuts(p)
+	for i := 0; i < p; i++ {
+		pb.parts = append(pb.parts, New(fmt.Sprintf("%s.p%d", name, i), names, types))
+	}
+	pb.rest = New(name+".rest", names, types)
+	pb.dests = append(append([]*Basket(nil), pb.parts...), pb.rest)
 	return pb, nil
 }
 
 // Name returns the partitioned basket's name.
 func (pb *PartitionedBasket) Name() string { return pb.name }
 
-// Parts returns the partition baskets in partition order.
+// Parts returns the partition baskets scanned by query clones, in
+// partition order. The catch-all is not among them.
 func (pb *PartitionedBasket) Parts() []*Basket { return pb.parts }
+
+// CatchAll returns the catch-all basket of range routing — the resting
+// place of tuples no query of the wiring can match — or nil for the
+// other modes.
+func (pb *PartitionedBasket) CatchAll() *Basket { return pb.rest }
+
+// Destinations returns every basket a tuple can be routed to: the
+// partitions in order, then the catch-all when range routing is active.
+// Split's result is indexed the same way. Callers must not mutate the
+// returned slice.
+func (pb *PartitionedBasket) Destinations() []*Basket { return pb.dests }
+
+// RangeSet returns the matching value domain of range routing (the zero
+// Set otherwise).
+func (pb *PartitionedBasket) RangeSet() interval.Set { return pb.set }
+
+// Describe renders the routing for explain/monitoring output:
+// "round-robin", "hash(k)", "range(v)".
+func (pb *PartitionedBasket) Describe() string {
+	switch pb.mode {
+	case PartitionHash:
+		return fmt.Sprintf("hash(%s)", pb.col)
+	case PartitionRange:
+		return fmt.Sprintf("range(%s)", pb.col)
+	}
+	return pb.mode.String()
+}
 
 // NumPartitions returns the partition count P.
 func (pb *PartitionedBasket) NumPartitions() int { return len(pb.parts) }
@@ -98,18 +185,23 @@ func (pb *PartitionedBasket) Mode() PartitionMode { return pb.mode }
 // HashCol returns the hash routing column ("" under round-robin).
 func (pb *PartitionedBasket) HashCol() string { return pb.col }
 
-// Split computes the partition assignment of rel's tuples, returning one
-// ascending position list per partition (nil for partitions that receive
-// nothing). It advances the round-robin cursor but does not touch the
-// partition baskets.
+// Split computes the routing assignment of rel's tuples, returning one
+// ascending position list per destination basket (see Destinations; nil
+// for destinations that receive nothing). Under range routing the final
+// entry is the catch-all's. It advances the round-robin cursor but does
+// not touch the partition baskets.
 func (pb *PartitionedBasket) Split(rel *bat.Relation) ([][]int32, error) {
 	p := len(pb.parts)
-	sels := make([][]int32, p)
+	nd := p
+	if pb.rest != nil {
+		nd++
+	}
+	sels := make([][]int32, nd)
 	n := rel.Len()
 	if n == 0 {
 		return sels, nil
 	}
-	if p == 1 {
+	if p == 1 && pb.mode != PartitionRange {
 		sels[0] = allPositions(n)
 		return sels, nil
 	}
@@ -129,20 +221,53 @@ func (pb *PartitionedBasket) Split(rel *bat.Relation) ([][]int32, error) {
 			k := int(hashValue(v, i) % uint64(p))
 			sels[k] = append(sels[k], int32(i))
 		}
+	case PartitionRange:
+		v := rel.ColByName(pb.col)
+		if v == nil {
+			return nil, fmt.Errorf("basket: partitioned %s: relation has no column %q", pb.name, pb.col)
+		}
+		for i := 0; i < n; i++ {
+			val := v.Get(i)
+			k := p // catch-all: no query of this wiring can match the tuple
+			if pb.set.Contains(val) {
+				switch {
+				case p == 1:
+					k = 0
+				case pb.cuts != nil:
+					// Partition j owns the j-th equal-measure half-open
+					// slice of the matching domain (boundary values go
+					// right, mirroring the `lo <= v and v < hi` window
+					// idiom). Placement within the matching set never
+					// affects correctness, only balance.
+					x := val.AsFloat()
+					k = sort.Search(len(pb.cuts), func(i int) bool { return pb.cuts[i] > x })
+					if k >= p {
+						k = p - 1
+					}
+				default:
+					// No sliceable measure (IN-sets, unbounded or
+					// non-numeric ranges): place matchers by hash.
+					k = int(hashValue(v, i) % uint64(p))
+				}
+			}
+			sels[k] = append(sels[k], int32(i))
+		}
 	default:
 		return nil, fmt.Errorf("basket: partitioned %s: unknown mode %d", pb.name, pb.mode)
 	}
 	return sels, nil
 }
 
-// Append shards rel across the partitions through the public Basket ingest
-// API (locking, integrity constraints, arrival stamping and scheduler
-// wake-ups per partition). It returns the number of tuples accepted.
+// Append shards rel across the destinations through the public Basket
+// ingest API (locking, integrity constraints, arrival stamping and
+// scheduler wake-ups per destination). It returns the number of tuples
+// accepted.
 func (pb *PartitionedBasket) Append(rel *bat.Relation) (int, error) {
 	sels, err := pb.Split(rel)
 	if err != nil {
 		return 0, err
 	}
+	dests := pb.Destinations()
 	stage := routePool.Get().(*bat.Relation)
 	defer routePool.Put(stage)
 	total := 0
@@ -150,7 +275,7 @@ func (pb *PartitionedBasket) Append(rel *bat.Relation) (int, error) {
 		if len(sel) == 0 {
 			continue
 		}
-		n, err := pb.parts[k].Append(rel.GatherInto(stage, sel))
+		n, err := dests[k].Append(rel.GatherInto(stage, sel))
 		total += n
 		if err != nil {
 			return total, err
@@ -159,15 +284,16 @@ func (pb *PartitionedBasket) Append(rel *bat.Relation) (int, error) {
 	return total, nil
 }
 
-// AppendLocked is Append for callers that already hold every partition's
-// lock (the partition-splitter factory, whose output set is the
-// partitions). Scheduler hooks are not fired; the caller's firing cycle
-// handles wake-ups.
+// AppendLocked is Append for callers that already hold every
+// destination's lock (the partition-splitter factory, whose output set is
+// the destinations). Scheduler hooks are not fired; the caller's firing
+// cycle handles wake-ups.
 func (pb *PartitionedBasket) AppendLocked(rel *bat.Relation) (int, error) {
 	sels, err := pb.Split(rel)
 	if err != nil {
 		return 0, err
 	}
+	dests := pb.Destinations()
 	stage := routePool.Get().(*bat.Relation)
 	defer routePool.Put(stage)
 	total := 0
@@ -175,7 +301,7 @@ func (pb *PartitionedBasket) AppendLocked(rel *bat.Relation) (int, error) {
 		if len(sel) == 0 {
 			continue
 		}
-		n, err := pb.parts[k].AppendLocked(rel.GatherInto(stage, sel))
+		n, err := dests[k].AppendLocked(rel.GatherInto(stage, sel))
 		total += n
 		if err != nil {
 			return total, err

@@ -9,15 +9,16 @@ import (
 
 // NewPartitionSplitter builds the fan-out transition of partitioned stream
 // execution: every firing moves all tuples of `in` into the partitions of
-// pb (round-robin or hash routing). A guard defers the firing while any
-// partition is disabled — a shared-baskets cycle is mid-flight on it and
-// appending would let that cycle's readers see different snapshots — and
-// re-enabling a partition pings the splitter, so deferred tuples never
-// strand.
+// pb (round-robin, hash or range routing; range routing additionally
+// diverts tuples no query can match into pb's catch-all basket, which no
+// clone scans). A guard defers the firing while any partition is disabled
+// — a shared-baskets cycle is mid-flight on it and appending would let
+// that cycle's readers see different snapshots — and re-enabling a
+// partition pings the splitter, so deferred tuples never strand.
 func NewPartitionSplitter(name string, in *basket.Basket, pb *basket.PartitionedBasket) (*Factory, error) {
 	parts := pb.Parts()
 	var spare *bat.Relation
-	f, err := NewFactory(name, []*basket.Basket{in}, parts, func(ctx *Context) error {
+	f, err := NewFactory(name, []*basket.Basket{in}, pb.Destinations(), func(ctx *Context) error {
 		rel := ctx.In(0).ExchangeLocked(spare)
 		spare = rel
 		if rel.Len() == 0 {
@@ -74,6 +75,10 @@ func NewMergeEmitter(name string, staging []*basket.Basket, out *basket.Basket) 
 type Partitioned struct {
 	Splitter *Factory
 	Parts    []*basket.Basket
+	// CatchAll is the range-routing residual basket (nil otherwise): the
+	// splitter parks tuples no query of the wiring can match there, and
+	// no clone ever scans it.
+	CatchAll *basket.Basket
 	// Staging and QueryFs are indexed [query][partition]: the staging
 	// result basket and the clone factory executing that query on that
 	// partition.
@@ -130,6 +135,7 @@ func partitioned(prefix string, in *basket.Basket, pb *basket.PartitionedBasket,
 	pw := &Partitioned{
 		Splitter:  split,
 		Parts:     parts,
+		CatchAll:  pb.CatchAll(),
 		Staging:   make([][]*basket.Basket, len(queries)),
 		QueryFs:   make([][]*Factory, len(queries)),
 		Factories: []*Factory{split},

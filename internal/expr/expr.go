@@ -823,6 +823,11 @@ func colConstCmp(b *Bin, rel *bat.Relation) (*vector.Vector, vector.Value, relop
 	return nil, vector.Value{}, 0, false
 }
 
+// ConstValue reports the constant an expression folds to (literals and
+// negated numeric literals). The planner's sargable-predicate analysis
+// uses it to recognise col-op-constant comparisons.
+func ConstValue(e Expr) (vector.Value, bool) { return constOf(e) }
+
 func constOf(e Expr) (vector.Value, bool) {
 	switch n := e.(type) {
 	case *Const:

@@ -47,13 +47,15 @@ type StreamScan struct {
 	Out       *basket.Basket
 	LockOnly  []*basket.Basket
 	Threshold int
-	// Part is the plan's partitionability verdict: round-robin for
-	// row-local predicate-window selects (any disjoint split of the stream
-	// yields the same results), hash for grouped plans (PartCol names the
-	// stream column whose equal values must co-locate), none when the plan
-	// must see the whole stream and stays at one partition.
-	Part    PartMode
-	PartCol string
+	// Part is the plan's partitionability verdict: range for row-local
+	// predicate-window selects with a sargable predicate (Part.Col names
+	// the routing column, Part.Ranges the per-column necessary-condition
+	// sets — tuples outside Part.Set() prune to the catch-all),
+	// round-robin for other row-local selects (any disjoint split of the
+	// stream yields the same results), hash for grouped plans (Part.Col
+	// names the stream column whose equal values must co-locate), none
+	// when the plan must see the whole stream and stays at one partition.
+	Part Verdict
 	// Run executes the query once with `in` substituted for the stream,
 	// appending results to `out` (the query's result basket, or a
 	// partition staging basket with the same schema). With report == nil
@@ -141,7 +143,6 @@ func (a *Analysis) newStreamScan() *StreamScan {
 	// (non-consuming) scan of the stream itself must be locked too when
 	// the factory's firing input is a substituted basket.
 	lockOnly := lockOnlyBaskets(cat, sel, nil)
-	mode, col := partitionVerdict(cat, sel, streamName)
 	return &StreamScan{
 		Query:     a.Name,
 		Stream:    streamName,
@@ -149,8 +150,7 @@ func (a *Analysis) newStreamScan() *StreamScan {
 		Out:       a.Out,
 		LockOnly:  lockOnly,
 		Threshold: a.Thresholds[0],
-		Part:      mode,
-		PartCol:   col,
+		Part:      partitionVerdict(cat, sel, streamName),
 		Run: func(in, out *basket.Basket, report func(covered []int32)) error {
 			e := newEnv(cat)
 			e.redirectFrom, e.redirectTo = streamName, in

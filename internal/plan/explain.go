@@ -73,11 +73,14 @@ func explainFiring(b *strings.Builder, cat *Catalog, s *sql.SelectStmt) {
 	}
 	if len(inputs) == 1 {
 		fmt.Fprintf(b, "  stream-scan artifact: single consumed stream %s (eligible for basket sharing)\n", inputs[0].Name())
-		switch mode, col := partitionVerdict(cat, s, inputs[0].Name()); mode {
+		switch v := partitionVerdict(cat, s, inputs[0].Name()); v.Mode {
 		case PartRoundRobin:
 			b.WriteString("  partitionable: round-robin (row-local predicate window)\n")
 		case PartHash:
-			fmt.Fprintf(b, "  partitionable: hash(%s) (grouped plan, keys co-locate)\n", col)
+			fmt.Fprintf(b, "  partitionable: hash(%s) (grouped plan, keys co-locate)\n", v.Col)
+		case PartRange:
+			fmt.Fprintf(b, "  partitionable: range(%s in %s) (sargable predicate; non-matching tuples prune to the catch-all)\n",
+				v.Col, v.Set())
 		default:
 			b.WriteString("  partitionable: no (plan must see the whole stream)\n")
 		}

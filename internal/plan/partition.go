@@ -1,11 +1,14 @@
 package plan
 
 import (
+	"fmt"
 	"slices"
 	"strings"
 
 	"datacell/internal/expr"
+	"datacell/internal/interval"
 	"datacell/internal/sql"
+	"datacell/internal/vector"
 )
 
 // PartMode classifies how a stream scan may be partitioned for parallel
@@ -23,6 +26,13 @@ const (
 	// PartHash: a grouped plan that is correct under any split co-locating
 	// tuples with equal grouping keys — hashing one grouping column.
 	PartHash
+	// PartRange: a row-local plan with a sargable predicate. A necessary
+	// condition on one stream column restricts the values a matching
+	// tuple can carry, so the splitter routes tuples inside the set
+	// across the partitions by range (or hash, when the set has no
+	// sliceable measure) and prunes tuples outside it to a catch-all
+	// partition no clone scans.
+	PartRange
 )
 
 // String names the verdict.
@@ -34,18 +44,109 @@ func (m PartMode) String() string {
 		return "round-robin"
 	case PartHash:
 		return "hash"
+	case PartRange:
+		return "range"
 	}
 	return "?"
 }
 
-// Partitionability reports the partitioning verdict a continuous statement
-// would receive from Analyze — the mode and, for hash partitioning, the
-// stream column to route on. ok is false when the statement is not a
-// shareable single-stream scan at all. Nothing is created.
-func Partitionability(cat *Catalog, stmt sql.Statement) (PartMode, string, bool) {
+// Verdict is the full partitioning verdict of one continuous plan: the
+// mode, the routing column (hash and range modes), and — for range mode —
+// the per-column necessary-condition sets the sargable analysis derived
+// (Ranges[Col] is the set routed on; the other entries let a query group
+// find a column every member constrains).
+type Verdict struct {
+	Mode   PartMode
+	Col    string
+	Ranges map[string]interval.Set
+}
+
+// Set returns the routing column's interval set (range mode).
+func (v Verdict) Set() interval.Set { return v.Ranges[v.Col] }
+
+// Describe renders the verdict for explain output and group info:
+// "none", "round-robin", "hash(k)", "range(v)".
+func (v Verdict) Describe() string {
+	switch v.Mode {
+	case PartHash:
+		return fmt.Sprintf("hash(%s)", v.Col)
+	case PartRange:
+		return fmt.Sprintf("range(%s)", v.Col)
+	}
+	return v.Mode.String()
+}
+
+// CombineVerdicts folds the verdicts of all queries sharing one stream
+// split (the shared and partial wirings partition the stream once for
+// the whole group) into the group-wide routing verdict:
+//
+//   - any non-partitionable member pins the group to one partition;
+//   - hash members force hash routing on their column (row-local members
+//     accept any disjoint split), and two hash members on different
+//     columns pin the group;
+//   - all-range members route by range on a column every member
+//     constrains, with the union of their sets — a tuple outside the
+//     union can match no member, so the catch-all stays safe;
+//   - otherwise the group falls back to round-robin (an unconstrained
+//     row-local member may match any tuple, so nothing can be pruned).
+func CombineVerdicts(vs ...Verdict) Verdict {
+	allRange := len(vs) > 0
+	var hash *Verdict
+	for i := range vs {
+		switch vs[i].Mode {
+		case PartNone:
+			return Verdict{Mode: PartNone}
+		case PartHash:
+			if hash != nil && hash.Col != vs[i].Col {
+				return Verdict{Mode: PartNone}
+			}
+			hash = &vs[i]
+			allRange = false
+		case PartRoundRobin:
+			allRange = false
+		}
+	}
+	if hash != nil {
+		return Verdict{Mode: PartHash, Col: hash.Col}
+	}
+	if !allRange {
+		return Verdict{Mode: PartRoundRobin}
+	}
+	// Intersect the constrained column sets across members, unioning the
+	// value sets per column.
+	union := map[string]interval.Set{}
+	for col, s := range vs[0].Ranges {
+		union[col] = s
+	}
+	for _, v := range vs[1:] {
+		for col, s := range union {
+			o, ok := v.Ranges[col]
+			if !ok {
+				delete(union, col)
+				continue
+			}
+			u := s.Union(o)
+			if u.All() {
+				delete(union, col)
+				continue
+			}
+			union[col] = u
+		}
+	}
+	col, ok := bestRangeCol(union)
+	if !ok {
+		return Verdict{Mode: PartRoundRobin}
+	}
+	return Verdict{Mode: PartRange, Col: col, Ranges: union}
+}
+
+// Partitionability reports the partitioning verdict a continuous
+// statement would receive from Analyze. ok is false when the statement is
+// not a shareable single-stream scan at all. Nothing is created.
+func Partitionability(cat *Catalog, stmt sql.Statement) (Verdict, bool) {
 	streamName, ok := ShareableStream(cat, stmt)
 	if !ok {
-		return PartNone, "", false
+		return Verdict{Mode: PartNone}, false
 	}
 	var sel *sql.SelectStmt
 	switch s := stmt.(type) {
@@ -54,21 +155,23 @@ func Partitionability(cat *Catalog, stmt sql.Statement) (PartMode, string, bool)
 	case *sql.InsertStmt:
 		sel = s.Query
 	}
-	mode, col := partitionVerdict(cat, sel, streamName)
-	return mode, col, true
+	return partitionVerdict(cat, sel, streamName), true
 }
 
 // partitionVerdict decides how a single-stream continuous select may be
 // partitioned. The analysis is deliberately conservative: predicate-window
 // selects (row-local basket expression and row-local outer filters and
-// projections) are round-robin-safe; grouped plans whose first grouping
-// key is a plain stream column hash-partition on that column; everything
-// else — tuple-count windows (TOP), ORDER BY, DISTINCT, UNION, joins,
-// global aggregates, scalar sub-queries, session variables, now() — must
-// see the whole stream and falls back to one partition.
-func partitionVerdict(cat *Catalog, sel *sql.SelectStmt, streamName string) (PartMode, string) {
+// projections) partition by range when their predicate is sargable (the
+// necessary condition prunes non-matching tuples to a catch-all) and
+// round-robin otherwise; grouped plans whose first grouping key is a
+// plain stream column hash-partition on that column; everything else —
+// tuple-count windows (TOP), ORDER BY, DISTINCT, UNION, joins, global
+// aggregates, scalar sub-queries, session variables, now() — must see the
+// whole stream and falls back to one partition.
+func partitionVerdict(cat *Catalog, sel *sql.SelectStmt, streamName string) Verdict {
+	none := Verdict{Mode: PartNone}
 	if sel.Union != nil || sel.Distinct || len(sel.OrderBy) > 0 || sel.Top >= 0 || len(sel.From) != 1 {
-		return PartNone, ""
+		return none
 	}
 	// The basket expression must be a plain predicate window over the
 	// stream: one named source, a bare * select list, no window or set
@@ -76,67 +179,83 @@ func partitionVerdict(cat *Catalog, sel *sql.SelectStmt, streamName string) (Par
 	// columns are exactly the stream's columns.
 	be := sel.From[0].Basket
 	if be == nil {
-		return PartNone, ""
+		return none
 	}
 	if len(be.From) != 1 || be.From[0].Name == "" || !strings.EqualFold(be.From[0].Name, streamName) {
-		return PartNone, ""
+		return none
 	}
 	if be.Union != nil || be.Distinct || len(be.OrderBy) > 0 || be.Top >= 0 ||
 		len(be.GroupBy) > 0 || be.Having != nil {
-		return PartNone, ""
+		return none
 	}
 	if len(be.Items) != 1 || !be.Items[0].Star {
-		return PartNone, ""
+		return none
 	}
 	rowLocal := func(x expr.Expr) bool { return rowLocalExpr(cat, x) }
 	if !rowLocal(be.Where) || !rowLocal(sel.Where) || !rowLocal(sel.Having) {
-		return PartNone, ""
+		return none
 	}
 	aggregated := len(sel.GroupBy) > 0
 	for _, it := range sel.Items {
 		if it.Agg != nil {
 			aggregated = true
 			if !rowLocal(it.Agg.Arg) {
-				return PartNone, ""
+				return none
 			}
 			continue
 		}
 		if !it.Star && !rowLocal(it.Expr) {
-			return PartNone, ""
+			return none
 		}
 	}
+	b := cat.Basket(streamName)
+	if b == nil {
+		return none
+	}
+	names, types := b.UserSchema()
 	if !aggregated {
-		return PartRoundRobin, ""
+		// Sargable analysis over the conjunction of the window predicate
+		// and the outer filter. Any constrained column upgrades the
+		// verdict from round-robin to range routing with pruning.
+		colTypes := make(map[string]vector.Type, len(names))
+		for i, n := range names {
+			colTypes[n] = types[i]
+		}
+		sets := andSets(sargableSets(be.Where, colTypes), sargableSets(sel.Where, colTypes))
+		for col, s := range sets {
+			if s.All() {
+				delete(sets, col)
+			}
+		}
+		if col, ok := bestRangeCol(sets); ok {
+			return Verdict{Mode: PartRange, Col: col, Ranges: sets}
+		}
+		return Verdict{Mode: PartRoundRobin}
 	}
 	if len(sel.GroupBy) == 0 {
 		// A global aggregate would yield one row per partition instead of
 		// one row total.
-		return PartNone, ""
+		return none
 	}
 	for _, g := range sel.GroupBy {
 		if !rowLocal(g) {
-			return PartNone, ""
+			return none
 		}
 	}
 	// Hashing any one grouping column co-locates equal full keys: equal
 	// full key implies equal first key implies same partition.
 	col, ok := sel.GroupBy[0].(*expr.Col)
 	if !ok {
-		return PartNone, ""
+		return none
 	}
 	key := col.Name
 	if k := strings.LastIndexByte(key, '.'); k >= 0 {
 		key = key[k+1:]
 	}
-	b := cat.Basket(streamName)
-	if b == nil {
-		return PartNone, ""
-	}
-	names, _ := b.UserSchema()
 	if !slices.Contains(names, key) {
-		return PartNone, ""
+		return none
 	}
-	return PartHash, key
+	return Verdict{Mode: PartHash, Col: key}
 }
 
 // rowLocalExpr reports whether evaluating x over a subset of the stream's

@@ -14,11 +14,11 @@ func verdictOf(t *testing.T, cat *Catalog, src string) (PartMode, string) {
 	if err != nil {
 		t.Fatalf("parse %q: %v", src, err)
 	}
-	mode, col, ok := Partitionability(cat, s)
+	v, ok := Partitionability(cat, s)
 	if !ok {
 		t.Fatalf("%q is not a shareable stream scan", src)
 	}
-	return mode, col
+	return v.Mode, v.Col
 }
 
 func TestPartitionVerdicts(t *testing.T) {
@@ -30,10 +30,19 @@ func TestPartitionVerdicts(t *testing.T) {
 		mode PartMode
 		col  string
 	}{
-		// Row-local predicate windows: round-robin.
+		// Row-local predicate windows without a sargable predicate:
+		// round-robin.
 		{`select t.v from [select * from s] t`, PartRoundRobin, ""},
-		{`select t.v from [select * from s where v < 10] t where t.v % 2 = 0`, PartRoundRobin, ""},
-		{`select t.k + t.v as kv from [select * from s where v between 2 and 8] t`, PartRoundRobin, ""},
+		{`select t.v from [select * from s where v * v < 100] t`, PartRoundRobin, ""},
+		{`select t.v from [select * from s where v <> 3] t`, PartRoundRobin, ""},
+		// Sargable predicate windows: range routing with pruning.
+		{`select t.v from [select * from s where v < 10] t where t.v % 2 = 0`, PartRange, "v"},
+		{`select t.k + t.v as kv from [select * from s where v between 2 and 8] t`, PartRange, "v"},
+		{`select t.v from [select * from s where v in (1, 5, 9)] t`, PartRange, "v"},
+		{`select t.v from [select * from s where v >= 0 and v < 100 or v >= 500 and v < 600] t`, PartRange, "v"},
+		// The outer filter narrows the window predicate's column choice:
+		// k is bounded, v is not, so routing prefers k.
+		{`select t.v from [select * from s where v > 7] t where t.k between 0 and 9`, PartRange, "k"},
 		// Grouped plans: hash on the (first) grouping key.
 		{`select t.k, count(*) as n from [select * from s] t group by t.k`, PartHash, "k"},
 		{`select t.k, t.v, sum(t.v) as sv from [select * from s] t group by t.k, t.v`, PartHash, "k"},
@@ -69,15 +78,15 @@ func TestPartitionVerdictReachesStreamScan(t *testing.T) {
 	if a.Scan == nil {
 		t.Fatal("no stream-scan artifact")
 	}
-	if a.Scan.Part != PartHash || a.Scan.PartCol != "k" {
-		t.Errorf("StreamScan verdict = (%s, %q), want (hash, k)", a.Scan.Part, a.Scan.PartCol)
+	if a.Scan.Part.Mode != PartHash || a.Scan.Part.Col != "k" {
+		t.Errorf("StreamScan verdict = (%s, %q), want (hash, k)", a.Scan.Part.Mode, a.Scan.Part.Col)
 	}
 }
 
 func TestExplainIncludesVerdict(t *testing.T) {
 	h := newHarness(t)
 	h.exec(`create basket s (k int, v int)`)
-	s, err := sql.ParseOne(`select t.v from [select * from s where v < 3] t`)
+	s, err := sql.ParseOne(`select t.v from [select * from s where v % 2 = 0] t`)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,6 +95,17 @@ func TestExplainIncludesVerdict(t *testing.T) {
 		t.Fatal(err)
 	}
 	if want := "partitionable: round-robin"; !strings.Contains(out, want) {
+		t.Errorf("explain missing %q:\n%s", want, out)
+	}
+	s, err = sql.ParseOne(`select t.v from [select * from s where v < 3] t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err = Explain(h.cat, s, "rng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "partitionable: range(v in (-inf,3))"; !strings.Contains(out, want) {
 		t.Errorf("explain missing %q:\n%s", want, out)
 	}
 }
