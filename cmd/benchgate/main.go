@@ -4,8 +4,13 @@
 //
 // Allocation counts are the gated metric because they are stable on
 // shared CI runners; ns/op and events/s are reported by the same files
-// but vary with the machine, so they are never gated here (the committed
-// trajectory in BENCH_kernel.json is measured on a fixed box).
+// but vary with the machine, so they are mostly not gated here (the
+// committed trajectory in BENCH_kernel.json is measured on a fixed box).
+// The one throughput gate is the ingest figure: with -ingest-baseline,
+// every (protocol, shards, batch) row of the regenerated
+// BENCH_ingest.json must reach at least committed/1.5 events/s — a
+// floor generous enough for runner variance but tight enough to catch
+// an accidentally serialized decode path or a backpressure stall storm.
 //
 // Usage, as wired in .github/workflows/ci.yml:
 //
@@ -59,6 +64,12 @@ func (m measurement) regressed(slack, abs float64) bool {
 	return m.current > m.committed*(1+slack)+abs
 }
 
+// belowFloor reports whether the measurement fell under its committed
+// throughput floor (committed/div) — the ingest events/s policy.
+func (m measurement) belowFloor(div float64) bool {
+	return m.current < m.committed/div
+}
+
 func loadKernel(path string) (kernelDoc, error) {
 	var doc kernelDoc
 	data, err := os.ReadFile(path)
@@ -89,6 +100,58 @@ func latestAllocs(doc kernelDoc) map[string]float64 {
 		}
 	}
 	return out
+}
+
+// ingestDoc mirrors the BENCH_ingest.json layout.
+type ingestDoc struct {
+	Rows []ingestRow `json:"rows"`
+}
+
+// ingestRow is one ingest sweep point, keyed by (protocol, shards,
+// batch).
+type ingestRow struct {
+	Protocol     string  `json:"protocol"`
+	Shards       int     `json:"shards"`
+	Batch        int     `json:"batch"`
+	EventsPerSec float64 `json:"events_per_second"`
+}
+
+func (r ingestRow) key() string {
+	return fmt.Sprintf("ingest %s shards=%d batch=%d events/s", r.Protocol, r.Shards, r.Batch)
+}
+
+func loadIngest(path string) (map[string]float64, error) {
+	var doc ingestDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for _, r := range doc.Rows {
+		out[r.key()] = r.EventsPerSec
+	}
+	return out, nil
+}
+
+// gateIngest compares current ingest throughput against committed
+// floors: a row regresses when it falls below committed/div. Rows
+// missing on either side are skipped.
+func gateIngest(committed, current map[string]float64, div float64) (checked, bad []measurement) {
+	for name, base := range committed {
+		cur, ok := current[name]
+		if !ok {
+			continue
+		}
+		m := measurement{name: name, committed: base, current: cur}
+		checked = append(checked, m)
+		if m.belowFloor(div) {
+			bad = append(bad, m)
+		}
+	}
+	return checked, bad
 }
 
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
@@ -144,6 +207,9 @@ func main() {
 	bench := flag.String("bench", "", "go test -bench -benchmem output to gate as well (optional)")
 	slack := flag.Float64("slack", 0.5, "relative headroom before a regression trips")
 	abs := flag.Float64("abs", 8, "absolute alloc headroom on top of the slack")
+	ingestBase := flag.String("ingest-baseline", "", "committed BENCH_ingest.json (events/s floors; optional)")
+	ingestCur := flag.String("ingest-current", "BENCH_ingest.json", "regenerated BENCH_ingest.json")
+	ingestDiv := flag.Float64("ingest-div", 1.5, "ingest floor divisor: current must reach committed/div")
 	flag.Parse()
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
@@ -177,10 +243,6 @@ func main() {
 		}
 	}
 	checked, bad := gate(committed, measured, *slack, *abs)
-	if len(checked) == 0 {
-		fmt.Println("benchgate: no committed metric was measured; nothing gated")
-		return
-	}
 	for _, m := range checked {
 		status := "ok"
 		if m.regressed(*slack, *abs) {
@@ -188,10 +250,50 @@ func main() {
 		}
 		fmt.Printf("benchgate: %-40s committed %.1f, current %.1f  [%s]\n", m.name, m.committed, m.current, status)
 	}
+	if len(checked) == 0 {
+		fmt.Println("benchgate: no committed alloc metric was measured; nothing gated")
+	} else {
+		fmt.Printf("benchgate: %d allocation budget(s) checked\n", len(checked))
+	}
+
+	var ingestBad []measurement
+	if *ingestBase != "" {
+		base, err := loadIngest(*ingestBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadIngest(*ingestCur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		var ingestChecked []measurement
+		ingestChecked, ingestBad = gateIngest(base, cur, *ingestDiv)
+		for _, m := range ingestChecked {
+			status := "ok"
+			if m.belowFloor(*ingestDiv) {
+				status = "REGRESSED"
+			}
+			fmt.Printf("benchgate: %-40s committed %.0f, current %.0f, floor %.0f  [%s]\n",
+				m.name, m.committed, m.current, m.committed / *ingestDiv, status)
+		}
+		if len(ingestChecked) == 0 {
+			fmt.Println("benchgate: no committed ingest row was measured; ingest not gated")
+		} else {
+			fmt.Printf("benchgate: %d ingest floor(s) checked\n", len(ingestChecked))
+		}
+	}
+
 	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d allocation budget(s) regressed past committed*(1+%.2f)+%.0f\n",
 			len(bad), *slack, *abs)
+	}
+	if len(ingestBad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d ingest floor(s) fell below committed/%.2f\n",
+			len(ingestBad), *ingestDiv)
+	}
+	if len(bad) > 0 || len(ingestBad) > 0 {
 		os.Exit(1)
 	}
-	fmt.Printf("benchgate: %d allocation budget(s) within committed limits\n", len(checked))
 }

@@ -100,3 +100,46 @@ func TestGatePolicy(t *testing.T) {
 		t.Fatalf("improvement flagged as regression: %v", bad)
 	}
 }
+
+func TestIngestFloorPolicy(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, doc string) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	basePath := write("base.json", `{
+	  "fig": "ingest",
+	  "rows": [
+	    {"protocol": "binary", "shards": 4, "batch": 1024, "events_per_second": 6000000},
+	    {"protocol": "text", "shards": 1, "batch": 1024, "events_per_second": 3000000},
+	    {"protocol": "text", "shards": 4, "batch": 64, "events_per_second": 2500000}
+	  ]
+	}`)
+	curPath := write("cur.json", `{
+	  "fig": "ingest",
+	  "rows": [
+	    {"protocol": "binary", "shards": 4, "batch": 1024, "events_per_second": 4100000},
+	    {"protocol": "text", "shards": 1, "batch": 1024, "events_per_second": 1900000}
+	  ]
+	}`)
+	base, err := loadIngest(basePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := loadIngest(curPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked, bad := gateIngest(base, cur, 1.5)
+	// The text shards=4 row is missing from current: skipped, not failed.
+	if len(checked) != 2 {
+		t.Fatalf("checked %d rows, want 2: %v", len(checked), checked)
+	}
+	// binary: 4.1M >= 6M/1.5 = 4M, ok. text: 1.9M < 3M/1.5 = 2M, regressed.
+	if len(bad) != 1 || bad[0].name != "ingest text shards=1 batch=1024 events/s" {
+		t.Fatalf("regressions = %v, want exactly the textual single-socket floor", bad)
+	}
+}

@@ -3,11 +3,14 @@ package main
 import (
 	"bufio"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	"datacell"
+	"datacell/internal/bat"
+	"datacell/internal/ingest"
 )
 
 const drainTimeout = 10 * time.Second
@@ -37,4 +40,42 @@ func feedStdin(eng *datacell.Engine, stream string) error {
 	}
 	fmt.Fprintf(os.Stderr, "datacell: fed %d tuples into %s\n", n, stream)
 	return sc.Err()
+}
+
+// feedStdinBinary decodes binary batch frames from stdin into the named
+// stream until EOF — the pipe-mode sibling of the TCP receptors' binary
+// path.
+func feedStdinBinary(eng *datacell.Engine, stream string) error {
+	b := eng.Catalog().Basket(stream)
+	if b == nil {
+		return fmt.Errorf("datacell: unknown stream %q", stream)
+	}
+	names, types := b.UserSchema()
+	fr := ingest.NewFrameReader(bufio.NewReaderSize(os.Stdin, 64*1024), types)
+	batch := bat.NewEmptyRelation(names, types)
+	n := 0
+	for {
+		_, err := fr.DecodeFrameInto(batch)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("datacell: stdin frame: %w", err)
+		}
+		if batch.Len() >= 1024 {
+			if _, err := b.Append(batch); err != nil {
+				return err
+			}
+			n += batch.Len()
+			batch.Clear()
+		}
+	}
+	if batch.Len() > 0 {
+		if _, err := b.Append(batch); err != nil {
+			return err
+		}
+		n += batch.Len()
+	}
+	fmt.Fprintf(os.Stderr, "datacell: fed %d tuples into %s\n", n, stream)
+	return nil
 }

@@ -4,12 +4,21 @@
 //
 //	datacell -script app.sql
 //	datacell -script app.sql -listen trades=:9000 -serve big=:9001
+//	datacell -script app.sql -listen trades=:9000 -shards 4
 //	echo 'ACME|250.0' | datacell -script app.sql -feed trades -print big
+//	lrgen ... | datacell -script lr.sql -feed input -binary
 //
 // The script is standard DataCell SQL: create basket/table, declare/set,
 // continuous queries with [basket expressions], and with…begin…end splits.
 // Continuous select statements are registered under q1, q2, … in script
 // order.
+//
+// TCP receptors auto-detect the wire protocol per connection: the binary
+// columnar batch format and the textual pipe-separated format coexist on
+// the same socket. -shards runs several receptor shards per -listen
+// (parallel sockets on a wildcard port, parallel accept loops on a fixed
+// one); -binary reads binary frames instead of text lines from stdin in
+// -feed mode.
 package main
 
 import (
@@ -30,10 +39,12 @@ func (l *listFlag) Set(s string) error { *l = append(*l, s); return nil }
 
 func main() {
 	script := flag.String("script", "", "SQL script to execute (required)")
-	feed := flag.String("feed", "", "stream to feed with pipe-separated tuples from stdin")
+	feed := flag.String("feed", "", "stream to feed with tuples from stdin")
+	binary := flag.Bool("binary", false, "stdin carries binary batch frames instead of text lines (with -feed)")
+	shards := flag.Int("shards", 1, "receptor shards per -listen address")
 	print := flag.String("print", "", "query whose results are printed to stdout")
 	var listens, serves listFlag
-	flag.Var(&listens, "listen", "stream=addr: attach a TCP receptor (repeatable)")
+	flag.Var(&listens, "listen", "stream=addr: attach a TCP receptor group (repeatable)")
 	flag.Var(&serves, "serve", "query=addr: serve a query's results over TCP (repeatable)")
 	flag.Parse()
 
@@ -61,11 +72,11 @@ func main() {
 		if !ok {
 			fatal(fmt.Errorf("bad -listen %q, want stream=addr", spec))
 		}
-		bound, err := eng.ListenTCP(name, addr)
+		l, err := eng.ListenIngest(name, addr, datacell.IngestOptions{Shards: *shards})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "stream %s listening on %s\n", name, bound)
+		fmt.Fprintf(os.Stderr, "stream %s listening on %s\n", name, strings.Join(l.Addrs(), ", "))
 	}
 	for _, spec := range serves {
 		name, addr, ok := strings.Cut(spec, "=")
@@ -100,7 +111,11 @@ func main() {
 
 	if *feed != "" {
 		// Feed stdin through an in-process receptor and exit when it ends.
-		if err := feedStdin(eng, *feed); err != nil {
+		feeder := feedStdin
+		if *binary {
+			feeder = feedStdinBinary
+		}
+		if err := feeder(eng, *feed); err != nil {
 			fatal(err)
 		}
 		eng.Drain(drainTimeout)

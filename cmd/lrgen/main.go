@@ -5,9 +5,14 @@
 //	lrgen -sf 0.5 -duration 600 > trace.txt
 //	datacell -script lr.sql -listen input=:9999 &
 //	lrgen -replay trace.txt -target localhost:9999 -speedup 60
+//	lrgen -replay trace.txt -target localhost:9999 -binary -shards 4
 //
 // In replay mode, tuples are paced by their benchmark-time column (field
 // 2) divided by the speedup factor — a sensor tool for live experiments.
+// With -binary the replay ships columnar batch frames over the engine's
+// binary wire protocol instead of text lines, and -shards fans the trace
+// out round-robin over several parallel connections, exercising the
+// sharded ingest periphery end to end.
 package main
 
 import (
@@ -26,10 +31,13 @@ func main() {
 	replay := flag.String("replay", "", "replay a recorded trace file instead of generating")
 	target := flag.String("target", "", "TCP address to replay into (with -replay)")
 	speedup := flag.Float64("speedup", 1, "replay speedup factor")
+	binary := flag.Bool("binary", false, "replay over the binary batch wire protocol instead of text lines")
+	shards := flag.Int("shards", 1, "parallel replay connections (round-robin fan-out)")
+	batch := flag.Int("batch", 256, "tuples per binary frame (with -binary)")
 	flag.Parse()
 
 	if *replay != "" {
-		if err := replayTrace(*replay, *target, *speedup); err != nil {
+		if _, err := replayTrace(*replay, *target, *speedup, *binary, *shards, *batch); err != nil {
 			fmt.Fprintf(os.Stderr, "lrgen: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,37 +1,103 @@
 package main
 
 import (
+	"bufio"
 	"fmt"
+	"io"
 	"net"
 	"os"
 
+	"datacell/internal/ingest"
 	"datacell/internal/stream"
+	"datacell/internal/vector"
 )
 
-// replayTrace paces a recorded trace into a TCP receptor (or stdout when
-// no target is given), using the Linear Road benchmark-time column.
-func replayTrace(path, target string, speedup float64) error {
+// lrTimeCol is the Linear Road benchmark-time column (field 1).
+const lrTimeCol = 1
+
+// lrTypes is the wire schema of a Linear Road trace tuple: eleven
+// integer fields (typ, time, vid, spd, xway, lane, dir, seg, pos, qid,
+// day).
+var lrTypes = []vector.Type{
+	vector.Int, vector.Int, vector.Int, vector.Int, vector.Int, vector.Int,
+	vector.Int, vector.Int, vector.Int, vector.Int, vector.Int,
+}
+
+var lrNames = []string{"typ", "time", "vid", "spd", "xway", "lane", "dir", "seg", "pos", "qid", "day"}
+
+// replayTrace paces a recorded trace into TCP receptors (or stdout when
+// no target is given) through stream.Replayer, using the Linear Road
+// benchmark-time column. With -shards, the tuples fan out round-robin
+// over that many parallel connections; with -binary, each connection
+// ships columnar batch frames of -batch tuples instead of text lines —
+// the sensor side of the engine's sharded ingest periphery.
+func replayTrace(path, target string, speedup float64, binary bool, shards, batch int) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return 0, err
 	}
 	defer f.Close()
 
-	var dst = os.Stdout
-	var conn net.Conn
-	if target != "" {
-		conn, err = net.Dial("tcp", target)
-		if err != nil {
+	if shards < 1 {
+		shards = 1
+	}
+	if target == "" {
+		shards = 1 // stdout is one channel
+	}
+	writers := make([]*bufio.Writer, shards)
+	for i := range writers {
+		var w io.Writer = os.Stdout
+		if target != "" {
+			conn, err := net.Dial("tcp", target)
+			if err != nil {
+				return 0, err
+			}
+			defer conn.Close()
+			w = conn
+		}
+		writers[i] = bufio.NewWriterSize(w, 64*1024)
+	}
+	var encoders []*ingest.BatchWriter
+	if binary {
+		encoders = make([]*ingest.BatchWriter, shards)
+		for i := range encoders {
+			encoders[i] = ingest.NewBatchWriter(writers[i], lrNames, lrTypes, batch)
+		}
+	}
+
+	rp := stream.NewReplayer(lrTimeCol, speedup)
+	next := 0
+	emit := func(line string) error {
+		k := next % shards
+		next++
+		if binary {
+			vals, err := stream.DecodeRow(line, lrTypes)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lrgen: skipping malformed tuple %q: %v\n", line, err)
+				return nil
+			}
+			return encoders[k].WriteRow(vals...)
+		}
+		if _, err := writers[k].WriteString(line); err != nil {
 			return err
 		}
-		defer conn.Close()
+		return writers[k].WriteByte('\n')
 	}
-	rp := stream.NewReplayer(1, speedup) // field 1 is the LR time column
-	if conn != nil {
-		err = rp.Replay(f, conn)
-	} else {
-		err = rp.Replay(f, dst)
+	flush := func() error {
+		for i := range writers {
+			if binary {
+				if err := encoders[i].Flush(); err != nil {
+					return err
+				}
+			}
+			if err := writers[i].Flush(); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	fmt.Fprintf(os.Stderr, "lrgen: replayed %d tuples (paused %v)\n", rp.Lines, rp.Paused)
-	return err
+	err = rp.ReplayFunc(f, emit, flush)
+	fmt.Fprintf(os.Stderr, "lrgen: replayed %d tuples over %d connection(s) (paused %v)\n",
+		rp.Lines, shards, rp.Paused)
+	return rp.Lines, err
 }

@@ -8,6 +8,7 @@
 //	microbench -fig 5be     strategy comparison vs #queries (public engine)
 //	microbench -fig scale   throughput vs parallelism, per strategy
 //	microbench -fig prune   per-clone tuple counts vs selectivity × parallelism
+//	microbench -fig ingest  loopback ingest events/s: protocol × batch × shards
 //	microbench -fig kernel  pure kernel events/second
 //	microbench -fig all     everything
 //
@@ -41,7 +42,7 @@ func writeJSON(enabled bool, fig string, rows any) error {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, scale, prune, kernel, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, scale, prune, ingest, kernel, all")
 	tuples := flag.Int("tuples", 100_000, "tuples per run (paper: 1e5)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonOut := flag.Bool("json", false, "also write each figure's data to BENCH_<fig>.json")
@@ -63,9 +64,10 @@ func main() {
 	run("5be", func() error { return fig5bEngine(*tuples, *seed, *jsonOut) })
 	run("scale", func() error { return figScale(*tuples, *seed, *jsonOut) })
 	run("prune", func() error { return figPrune(*tuples, *seed, *jsonOut) })
+	run("ingest", func() error { return figIngest(*tuples, *jsonOut) })
 	run("kernel", func() error { return kernel(*tuples, *seed, *jsonOut) })
 	switch *fig {
-	case "4a", "4b", "5a", "5b", "5be", "scale", "prune", "kernel", "all":
+	case "4a", "4b", "5a", "5b", "5be", "scale", "prune", "ingest", "kernel", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -308,6 +310,59 @@ func figPrune(tuples int, seed int64, jsonOut bool) error {
 		}
 	}
 	return writeJSON(jsonOut, "prune", rows)
+}
+
+// figIngest sweeps the ingest periphery over loopback TCP: textual vs
+// binary wire protocol × batch size × receptor shard count, reporting
+// end-to-end events/second (first dial to kernel quiescence). It is the
+// Figure 4 experiment with the communication pipeline itself as the
+// swept variable; the headline ratio — binary sharded vs textual
+// single-socket — is what the CI gate guards in BENCH_ingest.json.
+func figIngest(tuples int, jsonOut bool) error {
+	type row struct {
+		Protocol     string  `json:"protocol"`
+		Shards       int     `json:"shards"`
+		Batch        int     `json:"batch"`
+		Tuples       int     `json:"tuples"`
+		EventsPerSec float64 `json:"events_per_second"`
+		Frames       int64   `json:"frames"`
+		Stalls       int64   `json:"stalls"`
+	}
+	fmt.Printf("# Ingest: events/s (10^6) over loopback TCP; protocol × batch × shards, GOMAXPROCS=%d\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Println("protocol\tbatch\tshards\tevents_per_sec")
+	var rows []row
+	baseline := 0.0 // textual single-socket at the largest batch
+	best := 0.0     // best binary sharded setting
+	for _, binary := range []bool{false, true} {
+		for _, batch := range []int{64, 1024} {
+			for _, shards := range []int{1, 4} {
+				res, err := datacell.RunIngest(binary, shards, batch, tuples)
+				if err != nil {
+					return err
+				}
+				proto := "text"
+				if binary {
+					proto = "binary"
+				}
+				rows = append(rows, row{
+					Protocol: proto, Shards: shards, Batch: batch, Tuples: tuples,
+					EventsPerSec: res.EventsPerSec, Frames: res.Frames, Stalls: res.Stalls,
+				})
+				fmt.Printf("%s\t%d\t%d\t%.2fM\n", proto, batch, shards, res.EventsPerSec/1e6)
+				if !binary && shards == 1 && res.EventsPerSec > baseline {
+					baseline = res.EventsPerSec
+				}
+				if binary && shards > 1 && res.EventsPerSec > best {
+					best = res.EventsPerSec
+				}
+			}
+		}
+	}
+	if baseline > 0 {
+		fmt.Printf("# binary sharded vs textual single-socket: %.2fx\n", best/baseline)
+	}
+	return writeJSON(jsonOut, "ingest", rows)
 }
 
 // kernel measures pure kernel activity and the firing path's allocation

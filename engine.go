@@ -31,6 +31,7 @@ import (
 	"datacell/internal/bat"
 	"datacell/internal/core"
 	"datacell/internal/expr"
+	"datacell/internal/ingest"
 	"datacell/internal/plan"
 	"datacell/internal/sql"
 	"datacell/internal/stream"
@@ -78,7 +79,6 @@ type Engine struct {
 	queries     map[string]*queryRec
 	groups      map[string]*queryGroup // stream name -> sharing group
 	emitters    []*stream.Emitter
-	tcpIn       []*stream.TCPReceptor
 	tcpOut      []*stream.TCPEmitter
 	started     bool
 	qctr        int
@@ -452,9 +452,17 @@ func (e *Engine) Explain(src string) (string, error) {
 		members := 0
 		forced := false
 		pinned := false
+		ingestShards := 0
+		ingestPath := ""
 		if g := e.groups[streamName]; g != nil {
 			members = len(g.scans)
 			forced = len(g.taps) > 0
+			for _, l := range g.listeners {
+				ingestShards += len(l.Addrs())
+			}
+			if ingestShards > 0 {
+				ingestPath = g.target().Peek().Describe()
+			}
 			if strat != StrategySeparate && !forced && verdict.Mode != plan.PartNone && members > 0 {
 				// The shared and partial wirings split the stream once for
 				// the whole group, so the installed members constrain the
@@ -485,6 +493,9 @@ func (e *Engine) Explain(src string) (string, error) {
 				fmt.Fprintf(&b, "wiring: catch-all partition prunes tuples outside %s from every clone\n",
 					verdict.Set())
 			}
+		}
+		if ingestShards > 0 {
+			fmt.Fprintf(&b, "ingest: %d receptor shard(s), delivering to %s\n", ingestShards, ingestPath)
 		}
 	} else {
 		b.WriteString("wiring: standalone factory over private stream replicas (not shareable)\n")
@@ -675,22 +686,160 @@ func (e *Engine) Append(streamName string, rows ...Row) error {
 	return err
 }
 
-// ListenTCP attaches a TCP receptor to a stream: every line received on
-// the address is parsed as a pipe-separated tuple and appended. It
-// returns the bound address.
-func (e *Engine) ListenTCP(streamName, addr string) (string, error) {
+// IngestOptions tunes a sharded ingest listener group (ListenIngest).
+// The zero value means one shard, 256-tuple decode batches and default
+// backpressure watermarks.
+type IngestOptions struct {
+	// Shards is the number of listener shards. With a wildcard port every
+	// shard binds its own socket; with a fixed port the shards share the
+	// first socket as parallel accept loops.
+	Shards int
+	// BatchSize bounds how many decoded tuples accumulate before one
+	// append into the destination baskets while more input is already
+	// buffered on the connection; a sender pause delivers the pending
+	// batch immediately.
+	BatchSize int
+	// HighWater is the destination occupancy (resident tuples) at which a
+	// receptor stops reading its socket until the factories drain below
+	// LowWater. 0 means 65536; negative disables backpressure.
+	HighWater int
+	// LowWater is the occupancy below which a stalled receptor resumes
+	// (default HighWater/2).
+	LowWater int
+	// SplitterPath forces deliveries through the stream basket and the
+	// splitter transition even when the stream's wiring is partitioned —
+	// the legacy ingest path, kept as an escape hatch and as the baseline
+	// of differential tests.
+	SplitterPath bool
+}
+
+// IngestStats is one receptor shard's activity snapshot.
+type IngestStats struct {
+	Addr      string        // listen address of the shard
+	Path      string        // where this shard's listener delivers ("route-at-ingest …" or "stream basket")
+	Conns     int64         // connections accepted over the shard's lifetime
+	Active    int64         // connections currently open
+	TextConns int64         // connections that sniffed as textual
+	Frames    int64         // binary frames decoded
+	Tuples    int64         // tuples delivered into the kernel
+	Invalid   int64         // malformed lines / rejected frames
+	Stalls    int64         // backpressure stalls
+	StallTime time.Duration // total time spent stalled
+}
+
+// IngestListener is a running sharded ingest group attached to one
+// stream by ListenIngest.
+type IngestListener struct {
+	eng    *Engine
+	stream string
+	g      *ingest.Group
+	tgt    *ingest.SwitchTarget // the target this listener delivers through
+}
+
+// Stream returns the stream the listener feeds.
+func (l *IngestListener) Stream() string { return l.stream }
+
+// Addrs returns the bound address of every shard.
+func (l *IngestListener) Addrs() []string { return l.g.Addrs() }
+
+// Addr returns the first shard's bound address.
+func (l *IngestListener) Addr() string { return l.g.Addrs()[0] }
+
+// Path describes where this listener's batches currently land. A
+// SplitterPath listener reports the stream basket even when the
+// group-routed listeners deliver straight to partitions.
+func (l *IngestListener) Path() string { return l.tgt.Peek().Describe() }
+
+// Stats snapshots every shard's ingest counters.
+func (l *IngestListener) Stats() []IngestStats {
+	src := l.g.Stats()
+	path := l.Path()
+	out := make([]IngestStats, len(src))
+	for i, s := range src {
+		out[i] = IngestStats{
+			Addr:      s.Addr,
+			Path:      path,
+			Conns:     s.Conns,
+			Active:    s.Active,
+			TextConns: s.TextConns,
+			Frames:    s.Frames,
+			Tuples:    s.Tuples,
+			Invalid:   s.Invalid,
+			Stalls:    s.Stalls,
+			StallTime: s.StallTime,
+		}
+	}
+	return out
+}
+
+// Close stops the listener's shards and connections and detaches it
+// from the stream's group, so Groups()/Explain stop reporting it.
+// Idempotent.
+func (l *IngestListener) Close() {
+	l.eng.mu.Lock()
+	if g := l.eng.groups[l.stream]; g != nil {
+		for i, o := range g.listeners {
+			if o == l {
+				g.listeners = append(g.listeners[:i], g.listeners[i+1:]...)
+				break
+			}
+		}
+	}
+	l.eng.mu.Unlock()
+	l.g.Close()
+}
+
+// ListenIngest attaches a sharded ingest group to a stream: every
+// accepted connection is sniffed for the binary batch wire protocol
+// (falling back to pipe-separated textual tuples) and decoded
+// independently, and decoded batches are routed by the stream's current
+// wiring — straight into partition baskets when the wiring is
+// partitioned group-wide, into the stream basket otherwise. Receptors
+// push back on their sockets when destination occupancy passes the
+// high-water mark.
+func (e *Engine) ListenIngest(streamName, addr string, o IngestOptions) (*IngestListener, error) {
 	b := e.cat.Basket(streamName)
 	if b == nil {
-		return "", fmt.Errorf("datacell: unknown stream %q", streamName)
+		return nil, fmt.Errorf("datacell: unknown stream %q", streamName)
 	}
-	tr, err := stream.ListenTCP(addr, stream.NewReceptor(b))
+	e.mu.Lock()
+	g, err := e.groupLocked(streamName)
+	if err != nil {
+		e.mu.Unlock()
+		return nil, err
+	}
+	tgt := g.target()
+	if o.SplitterPath {
+		tgt = ingest.NewSwitchTarget(ingest.BasketSink(b))
+	}
+	e.mu.Unlock()
+	names, types := b.UserSchema()
+	ig, err := ingest.Listen(streamName, addr, names, types, tgt, ingest.Options{
+		Shards:    o.Shards,
+		BatchSize: o.BatchSize,
+		HighWater: o.HighWater,
+		LowWater:  o.LowWater,
+	})
+	if err != nil {
+		return nil, err
+	}
+	l := &IngestListener{eng: e, stream: streamName, g: ig, tgt: tgt}
+	e.mu.Lock()
+	g.listeners = append(g.listeners, l)
+	e.mu.Unlock()
+	return l, nil
+}
+
+// ListenTCP attaches an ingest listener to a stream: every connection
+// received on the address streams tuples — binary frames or
+// pipe-separated lines, auto-detected — into the stream. It returns the
+// bound address. It is ListenIngest with a single shard.
+func (e *Engine) ListenTCP(streamName, addr string) (string, error) {
+	l, err := e.ListenIngest(streamName, addr, IngestOptions{})
 	if err != nil {
 		return "", err
 	}
-	e.mu.Lock()
-	e.tcpIn = append(e.tcpIn, tr)
-	e.mu.Unlock()
-	return tr.Addr(), nil
+	return l.Addr(), nil
 }
 
 // ServeTCP attaches a TCP emitter to a continuous query's results. Every
@@ -752,17 +901,23 @@ func (e *Engine) RunSync() error {
 	return err
 }
 
-// Stop shuts down the scheduler, TCP endpoints and emitters.
+// Stop shuts down the scheduler, ingest listeners, TCP endpoints and
+// emitters. The ingest periphery closes first (while the scheduler still
+// drains, so a receptor blocked mid-delivery can finish), then the
+// kernel, then the result side.
 func (e *Engine) Stop() {
 	e.mu.Lock()
 	started := e.started
 	e.started = false
-	tins := append([]*stream.TCPReceptor(nil), e.tcpIn...)
+	var ins []*IngestListener
+	for _, g := range e.groups {
+		ins = append(ins, g.listeners...)
+	}
 	touts := append([]*stream.TCPEmitter(nil), e.tcpOut...)
 	ems := append([]*stream.Emitter(nil), e.emitters...)
 	e.mu.Unlock()
-	for _, t := range tins {
-		t.Close()
+	for _, l := range ins {
+		l.Close()
 	}
 	if started {
 		e.sch.Stop()

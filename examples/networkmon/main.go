@@ -1,18 +1,23 @@
 // Networkmon: network flow monitoring over real TCP receptors and
 // emitters — the deployment shape of the paper's Figure 1, with sensors
-// and actuators as separate processes speaking the flat textual tuple
-// protocol.
+// and actuators as separate processes.
 //
 // A simulated probe process connects over TCP and streams flow records
-// (src, dst, port, bytes). Two continuous queries watch the stream: one
-// flags elephant flows, one aggregates per-port traffic. An actuator
-// process connects to the emitter side and receives the alerts. Run with:
+// (src, dst, port, bytes) — by default as columnar batch frames over the
+// engine's binary wire protocol, with -text as the escape hatch back to
+// the flat pipe-separated tuple format (the receptor sniffs the protocol
+// per connection, so both probes work against the same socket). Two
+// continuous queries watch the stream: one flags elephant flows, one
+// aggregates per-port traffic. An actuator process connects to the
+// emitter side and receives the alerts. Run with:
 //
 //	go run ./examples/networkmon
+//	go run ./examples/networkmon -text
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -21,9 +26,13 @@ import (
 	"time"
 
 	"datacell"
+	"datacell/internal/ingest"
+	"datacell/internal/vector"
 )
 
 func main() {
+	text := flag.Bool("text", false, "probe speaks the flat textual tuple protocol instead of binary frames")
+	flag.Parse()
 	eng := datacell.New()
 	if _, err := eng.Exec(`create basket flows (src string, dst string, port int, bytes int)`); err != nil {
 		log.Fatal(err)
@@ -83,7 +92,8 @@ func main() {
 	}
 	defer eng.Stop()
 
-	// Probe process: streams flow records over TCP.
+	// Probe process: streams flow records over TCP — binary frames by
+	// default, textual lines with -text.
 	probe, err := net.Dial("tcp", inAddr)
 	if err != nil {
 		log.Fatal(err)
@@ -91,16 +101,36 @@ func main() {
 	go func() {
 		defer probe.Close()
 		rng := rand.New(rand.NewSource(1))
-		w := bufio.NewWriter(probe)
-		for i := 0; i < 500; i++ {
-			size := rng.Intn(200_000)
+		flow := func(i int) (src, dst string, port, size int) {
+			size = rng.Intn(200_000)
 			if i%97 == 0 {
 				size = 1_500_000 + rng.Intn(500_000) // an elephant
 			}
-			fmt.Fprintf(w, "10.0.0.%d|10.1.0.%d|%d|%d\n",
-				rng.Intn(255), rng.Intn(255), []int{80, 443, 53}[rng.Intn(3)], size)
+			return fmt.Sprintf("10.0.0.%d", rng.Intn(255)), fmt.Sprintf("10.1.0.%d", rng.Intn(255)),
+				[]int{80, 443, 53}[rng.Intn(3)], size
 		}
-		w.Flush()
+		if *text {
+			w := bufio.NewWriter(probe)
+			for i := 0; i < 500; i++ {
+				src, dst, port, size := flow(i)
+				fmt.Fprintf(w, "%s|%s|%d|%d\n", src, dst, port, size)
+			}
+			w.Flush()
+			return
+		}
+		bw := ingest.NewBatchWriter(probe,
+			[]string{"src", "dst", "port", "bytes"},
+			[]vector.Type{vector.Str, vector.Str, vector.Int, vector.Int}, 64)
+		for i := 0; i < 500; i++ {
+			src, dst, port, size := flow(i)
+			if err := bw.WriteRow(vector.NewStr(src), vector.NewStr(dst),
+				vector.NewInt(int64(port)), vector.NewInt(int64(size))); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			log.Fatal(err)
+		}
 	}()
 
 	select {

@@ -5,9 +5,11 @@ import (
 	"slices"
 	"sort"
 	"strings"
+	"time"
 
 	"datacell/internal/basket"
 	"datacell/internal/core"
+	"datacell/internal/ingest"
 	"datacell/internal/plan"
 	"datacell/internal/vector"
 )
@@ -83,6 +85,38 @@ type queryGroup struct {
 	memberParts map[*groupMember][]*basket.Basket
 	staging     []stagedOut
 	pbs         []*basket.PartitionedBasket
+
+	// Ingest periphery state. ingest is the stream's delivery target:
+	// receptor shards acquire it per batch, rewires quiesce it and swap
+	// the sink (route-at-ingest straight into the group-wide partitioned
+	// basket under shared/partial partitioned wiring, the stream basket
+	// otherwise). listeners are the sharded ingest groups attached with
+	// ListenIngest.
+	ingest    *ingest.SwitchTarget
+	listeners []*IngestListener
+}
+
+// target returns the group's ingest delivery target, created on first
+// use with the stream basket as sink.
+func (g *queryGroup) target() *ingest.SwitchTarget {
+	if g.ingest == nil {
+		g.ingest = ingest.NewSwitchTarget(ingest.BasketSink(g.stream))
+	}
+	return g.ingest
+}
+
+// routeSink returns the sink the current wiring ingests through:
+// route-at-ingest applies when the group runs one partitioned wiring for
+// every member (shared/partial strategy), so a receptor batch can be
+// routed once and land in its destination partitions — or the catch-all
+// — without the stream basket and splitter hop. Separate wiring needs
+// the replicator's one-copy-per-member fan-out, so the stream basket
+// stays the entry point.
+func (g *queryGroup) routeSink() ingest.Sink {
+	if g.effective != StrategySeparate && len(g.parts) > 0 && len(g.pbs) == 1 {
+		return ingest.PartitionedSink(g.pbs[0])
+	}
+	return ingest.BasketSink(g.stream)
 }
 
 // stagedOut pairs the staging baskets of one partitioned query with its
@@ -189,6 +223,24 @@ func (e *Engine) rewireLocked(g *queryGroup) error {
 	g.stream.DeleteCoveredLocked(1)
 	g.stream.Unlock()
 	g.stream.SetEnabled(true)
+	// Re-enable every destination of the torn-down partitioned wiring
+	// before quiescing the ingest periphery: a route-at-ingest append
+	// blocked on a partition that a mid-cycle teardown left disabled must
+	// complete for the quiesce to finish, and with the factories gone
+	// nothing else would ever re-enable it. (drainPartitioned re-enables
+	// again under the basket lock; doing it twice is harmless.)
+	for _, pb := range g.pbs {
+		for _, d := range pb.Destinations() {
+			d.SetEnabled(true)
+		}
+	}
+	// Quiesce the ingest periphery: block new receptor deliveries and
+	// wait out in-flight ones, so the drains below observe a stable
+	// basket population and no batch lands in a basket that is being
+	// dismantled. The deferred resume installs the rebuilt wiring's sink
+	// (route-at-ingest or stream basket) and reopens delivery.
+	resume := g.target().Quiesce()
+	defer func() { resume(g.routeSink()) }()
 	// Partitioned baskets drain first: staging results must reach their
 	// result baskets before drainAux could mistake a stream-schema staging
 	// basket for in-flight stream data, and partition residue must return
@@ -558,6 +610,22 @@ type GroupInfo struct {
 	// Pruned counts tuples the range router short-circuited into
 	// catch-all baskets: work no clone ever does.
 	Pruned int64
+	// IngestPath describes where group-routed receptor batches currently
+	// land: "stream basket" (splitter-fed) or "route-at-ingest …" when
+	// decoded batches skip the splitter and go straight to partition
+	// baskets. Empty when the stream has no ingest listeners. A listener
+	// pinned to the splitter path (IngestOptions.SplitterPath) reports
+	// its own path per shard in Receptors.
+	IngestPath string
+	// Receptors reports every attached ingest shard's counters (conns,
+	// frames, tuples, stalls, stall time) and delivery path, listener by
+	// listener.
+	Receptors []IngestStats
+	// IngestTuples, IngestStalls and IngestStallTime aggregate the
+	// receptor counters across all shards.
+	IngestTuples    int64
+	IngestStalls    int64
+	IngestStallTime time.Duration
 }
 
 // Groups reports the current multi-query wiring of every stream that has
@@ -573,10 +641,21 @@ func (e *Engine) Groups() []GroupInfo {
 	out := make([]GroupInfo, 0, len(names))
 	for _, n := range names {
 		g := e.groups[n]
-		if len(g.scans) == 0 && len(g.taps) == 0 {
+		if len(g.scans) == 0 && len(g.taps) == 0 && len(g.listeners) == 0 {
 			continue
 		}
 		gi := GroupInfo{Stream: n, Strategy: g.effective, Partitions: g.parallel, Taps: len(g.taps)}
+		if len(g.listeners) > 0 {
+			gi.IngestPath = g.target().Peek().Describe()
+			for _, l := range g.listeners {
+				for _, st := range l.Stats() {
+					gi.Receptors = append(gi.Receptors, st)
+					gi.IngestTuples += st.Tuples
+					gi.IngestStalls += st.Stalls
+					gi.IngestStallTime += st.StallTime
+				}
+			}
+		}
 		for _, m := range g.scans {
 			gi.Members = append(gi.Members, m.name)
 			if m.priv != nil {

@@ -2,10 +2,7 @@ package basket
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"sync"
-	"sync/atomic"
 
 	"datacell/internal/bat"
 	"datacell/internal/interval"
@@ -17,6 +14,32 @@ import (
 // partition's tuples into it (the partition copies them on ingest) and
 // returns it.
 var routePool = sync.Pool{New: func() any { return &bat.Relation{} }}
+
+// selsPool recycles the per-destination position lists of the routing
+// step: Append is called per receptor batch and per splitter firing, so
+// the [][]int32 header and each destination's accumulated capacity are
+// reused (RouteInto truncates instead of reallocating) rather than
+// regrown every time.
+var selsPool sync.Pool
+
+// borrowSels returns a destination-position buffer of nd slots.
+func borrowSels(nd int) *[][]int32 {
+	if sp, _ := selsPool.Get().(*[][]int32); sp != nil {
+		if len(*sp) == nd {
+			return sp
+		}
+		// Wrong shape for this basket: resize, keeping what capacity fits.
+		s := *sp
+		for len(s) < nd {
+			s = append(s, nil)
+		}
+		s = s[:nd]
+		*sp = s
+		return sp
+	}
+	s := make([][]int32, nd)
+	return &s
+}
 
 // PartitionMode selects how a PartitionedBasket routes tuples.
 type PartitionMode uint8
@@ -60,22 +83,13 @@ func (m PartitionMode) String() string {
 // partition is a full Basket (own lock, own timestamp column, own
 // scheduler hooks), which is what lets the engine replicate a query's
 // factory over the partitions and run the clones as independent Petri-net
-// transitions.
+// transitions. The routing decision itself lives in the Router, so the
+// same verdict drives the core splitter and the ingest periphery alike.
 type PartitionedBasket struct {
-	name  string
-	parts []*Basket
-	mode  PartitionMode
-	col   string // routing column (user-schema name) under hash and range modes
-	rr    atomic.Int64
-
-	// Range-routing state (mode PartitionRange). set is the matching
-	// value domain; cuts are the p-1 ascending numeric cut points slicing
-	// it into equal-measure partition ranges (nil when the set has no
-	// sliceable measure, in which case matching tuples place by hash);
-	// rest is the catch-all basket receiving tuples outside set.
-	set  interval.Set
-	cuts []float64
-	rest *Basket
+	name   string
+	parts  []*Basket
+	router *Router
+	rest   *Basket // catch-all of range routing, nil otherwise
 
 	// dests caches parts + rest so the per-firing append path never
 	// re-slices.
@@ -101,7 +115,11 @@ func NewPartitioned(name string, names []string, types []vector.Type, p int, mod
 			return nil, fmt.Errorf("basket: partitioned %s: hash column %q not in schema %v", name, hashCol, names)
 		}
 	}
-	pb := &PartitionedBasket{name: name, mode: mode, col: hashCol}
+	router, err := NewRouter(mode, hashCol, p)
+	if err != nil {
+		return nil, fmt.Errorf("basket: partitioned %s: %w", name, err)
+	}
+	pb := &PartitionedBasket{name: name, router: router}
 	for i := 0; i < p; i++ {
 		pb.parts = append(pb.parts, New(fmt.Sprintf("%s.p%d", name, i), names, types))
 	}
@@ -132,8 +150,11 @@ func NewPartitionedRange(name string, names []string, types []vector.Type, p int
 	if set.All() {
 		return nil, fmt.Errorf("basket: partitioned %s: range set on %q covers every value; use round-robin", name, col)
 	}
-	pb := &PartitionedBasket{name: name, mode: PartitionRange, col: col, set: set}
-	pb.cuts, _ = set.Cuts(p)
+	router, err := NewRangeRouter(col, p, set)
+	if err != nil {
+		return nil, fmt.Errorf("basket: partitioned %s: %w", name, err)
+	}
+	pb := &PartitionedBasket{name: name, router: router}
 	for i := 0; i < p; i++ {
 		pb.parts = append(pb.parts, New(fmt.Sprintf("%s.p%d", name, i), names, types))
 	}
@@ -160,30 +181,26 @@ func (pb *PartitionedBasket) CatchAll() *Basket { return pb.rest }
 // returned slice.
 func (pb *PartitionedBasket) Destinations() []*Basket { return pb.dests }
 
+// Router returns the routing decision of this partitioned basket, shared
+// with every path that appends into it.
+func (pb *PartitionedBasket) Router() *Router { return pb.router }
+
 // RangeSet returns the matching value domain of range routing (the zero
 // Set otherwise).
-func (pb *PartitionedBasket) RangeSet() interval.Set { return pb.set }
+func (pb *PartitionedBasket) RangeSet() interval.Set { return pb.router.RangeSet() }
 
 // Describe renders the routing for explain/monitoring output:
 // "round-robin", "hash(k)", "range(v)".
-func (pb *PartitionedBasket) Describe() string {
-	switch pb.mode {
-	case PartitionHash:
-		return fmt.Sprintf("hash(%s)", pb.col)
-	case PartitionRange:
-		return fmt.Sprintf("range(%s)", pb.col)
-	}
-	return pb.mode.String()
-}
+func (pb *PartitionedBasket) Describe() string { return pb.router.Describe() }
 
 // NumPartitions returns the partition count P.
 func (pb *PartitionedBasket) NumPartitions() int { return len(pb.parts) }
 
 // Mode returns the routing mode.
-func (pb *PartitionedBasket) Mode() PartitionMode { return pb.mode }
+func (pb *PartitionedBasket) Mode() PartitionMode { return pb.router.Mode() }
 
 // HashCol returns the hash routing column ("" under round-robin).
-func (pb *PartitionedBasket) HashCol() string { return pb.col }
+func (pb *PartitionedBasket) HashCol() string { return pb.router.Col() }
 
 // Split computes the routing assignment of rel's tuples, returning one
 // ascending position list per destination basket (see Destinations; nil
@@ -191,69 +208,9 @@ func (pb *PartitionedBasket) HashCol() string { return pb.col }
 // entry is the catch-all's. It advances the round-robin cursor but does
 // not touch the partition baskets.
 func (pb *PartitionedBasket) Split(rel *bat.Relation) ([][]int32, error) {
-	p := len(pb.parts)
-	nd := p
-	if pb.rest != nil {
-		nd++
-	}
-	sels := make([][]int32, nd)
-	n := rel.Len()
-	if n == 0 {
-		return sels, nil
-	}
-	if p == 1 && pb.mode != PartitionRange {
-		sels[0] = allPositions(n)
-		return sels, nil
-	}
-	switch pb.mode {
-	case PartitionRoundRobin:
-		base := pb.rr.Add(int64(n)) - int64(n)
-		for i := 0; i < n; i++ {
-			k := int((base + int64(i)) % int64(p))
-			sels[k] = append(sels[k], int32(i))
-		}
-	case PartitionHash:
-		v := rel.ColByName(pb.col)
-		if v == nil {
-			return nil, fmt.Errorf("basket: partitioned %s: relation has no column %q", pb.name, pb.col)
-		}
-		for i := 0; i < n; i++ {
-			k := int(hashValue(v, i) % uint64(p))
-			sels[k] = append(sels[k], int32(i))
-		}
-	case PartitionRange:
-		v := rel.ColByName(pb.col)
-		if v == nil {
-			return nil, fmt.Errorf("basket: partitioned %s: relation has no column %q", pb.name, pb.col)
-		}
-		for i := 0; i < n; i++ {
-			val := v.Get(i)
-			k := p // catch-all: no query of this wiring can match the tuple
-			if pb.set.Contains(val) {
-				switch {
-				case p == 1:
-					k = 0
-				case pb.cuts != nil:
-					// Partition j owns the j-th equal-measure half-open
-					// slice of the matching domain (boundary values go
-					// right, mirroring the `lo <= v and v < hi` window
-					// idiom). Placement within the matching set never
-					// affects correctness, only balance.
-					x := val.AsFloat()
-					k = sort.Search(len(pb.cuts), func(i int) bool { return pb.cuts[i] > x })
-					if k >= p {
-						k = p - 1
-					}
-				default:
-					// No sliceable measure (IN-sets, unbounded or
-					// non-numeric ranges): place matchers by hash.
-					k = int(hashValue(v, i) % uint64(p))
-				}
-			}
-			sels[k] = append(sels[k], int32(i))
-		}
-	default:
-		return nil, fmt.Errorf("basket: partitioned %s: unknown mode %d", pb.name, pb.mode)
+	sels, err := pb.router.Route(rel)
+	if err != nil {
+		return nil, fmt.Errorf("basket: partitioned %s: %w", pb.name, err)
 	}
 	return sels, nil
 }
@@ -263,25 +220,7 @@ func (pb *PartitionedBasket) Split(rel *bat.Relation) ([][]int32, error) {
 // scheduler wake-ups per destination). It returns the number of tuples
 // accepted.
 func (pb *PartitionedBasket) Append(rel *bat.Relation) (int, error) {
-	sels, err := pb.Split(rel)
-	if err != nil {
-		return 0, err
-	}
-	dests := pb.Destinations()
-	stage := routePool.Get().(*bat.Relation)
-	defer routePool.Put(stage)
-	total := 0
-	for k, sel := range sels {
-		if len(sel) == 0 {
-			continue
-		}
-		n, err := dests[k].Append(rel.GatherInto(stage, sel))
-		total += n
-		if err != nil {
-			return total, err
-		}
-	}
-	return total, nil
+	return pb.append(rel, (*Basket).Append)
 }
 
 // AppendLocked is Append for callers that already hold every
@@ -289,11 +228,19 @@ func (pb *PartitionedBasket) Append(rel *bat.Relation) (int, error) {
 // the destinations). Scheduler hooks are not fired; the caller's firing
 // cycle handles wake-ups.
 func (pb *PartitionedBasket) AppendLocked(rel *bat.Relation) (int, error) {
-	sels, err := pb.Split(rel)
+	return pb.append(rel, (*Basket).AppendLocked)
+}
+
+// append routes rel with pooled position buffers and hands every
+// non-empty destination slice to sink (Append or AppendLocked).
+func (pb *PartitionedBasket) append(rel *bat.Relation, sink func(*Basket, *bat.Relation) (int, error)) (int, error) {
+	sp := borrowSels(len(pb.dests))
+	defer selsPool.Put(sp)
+	sels, err := pb.router.RouteInto(rel, *sp)
 	if err != nil {
-		return 0, err
+		return 0, fmt.Errorf("basket: partitioned %s: %w", pb.name, err)
 	}
-	dests := pb.Destinations()
+	*sp = sels
 	stage := routePool.Get().(*bat.Relation)
 	defer routePool.Put(stage)
 	total := 0
@@ -301,59 +248,11 @@ func (pb *PartitionedBasket) AppendLocked(rel *bat.Relation) (int, error) {
 		if len(sel) == 0 {
 			continue
 		}
-		n, err := dests[k].AppendLocked(rel.GatherInto(stage, sel))
+		n, err := sink(pb.dests[k], rel.GatherInto(stage, sel))
 		total += n
 		if err != nil {
 			return total, err
 		}
 	}
 	return total, nil
-}
-
-func allPositions(n int) []int32 {
-	out := make([]int32, n)
-	for i := range out {
-		out[i] = int32(i)
-	}
-	return out
-}
-
-// hashValue hashes element i of a column vector. The hash only has to
-// co-locate equal keys; it carries no cross-run stability guarantees.
-func hashValue(v *vector.Vector, i int) uint64 {
-	switch v.Kind() {
-	case vector.Int, vector.Timestamp:
-		return mix64(uint64(v.Ints()[i]))
-	case vector.Float:
-		f := v.Floats()[i]
-		if f == 0 {
-			f = 0 // collapse -0.0 into +0.0: they are one grouping key
-		}
-		return mix64(math.Float64bits(f))
-	case vector.Bool:
-		if v.Bools()[i] {
-			return mix64(1)
-		}
-		return mix64(0)
-	case vector.Str:
-		// FNV-1a.
-		h := uint64(14695981039346656037)
-		for _, c := range []byte(v.Strs()[i]) {
-			h ^= uint64(c)
-			h *= 1099511628211
-		}
-		return mix64(h)
-	}
-	return 0
-}
-
-// mix64 is the splitmix64 finaliser, scrambling low-entropy keys (small
-// ints) into well-spread partition assignments.
-func mix64(x uint64) uint64 {
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
 }

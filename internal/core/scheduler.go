@@ -132,7 +132,13 @@ func (s *Scheduler) Unregister(f *Factory) {
 		ws := s.watchers[in]
 		for i, g := range ws {
 			if g == f {
-				ws = append(ws[:i], ws[i+1:]...)
+				// Copy-on-write removal: notify snapshots the slice header
+				// under the lock but pings outside it, so the old backing
+				// array must stay intact for concurrent readers (a stale
+				// ping to this factory is a no-op once it is killed).
+				nw := make([]*Factory, 0, len(ws)-1)
+				nw = append(nw, ws[:i]...)
+				ws = append(nw, ws[i+1:]...)
 				break
 			}
 		}

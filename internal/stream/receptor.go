@@ -53,11 +53,22 @@ func (r *Receptor) Listen(rd io.Reader) error {
 	// tuples on Append, so the batch is Clear()ed and refilled instead of
 	// reallocated per flush.
 	batch := bat.NewEmptyRelation(names, types)
+	// flush forwards the batch and settles the received accounting: a
+	// decoded tuple counts only once it reaches the basket, so a failed
+	// flush (basket closed mid-stream) credits exactly the tuples the
+	// basket accepted before the failure instead of the whole batch.
 	flush := func() error {
 		if batch.Len() == 0 {
 			return nil
 		}
-		_, err := r.b.Append(batch)
+		n, err := r.b.Append(batch)
+		if err != nil {
+			r.received.Add(int64(n))
+		} else {
+			// Constraint-dropped tuples were still forwarded; the basket's
+			// silent-filter semantics hide them downstream, not here.
+			r.received.Add(int64(batch.Len()))
+		}
 		batch.Clear()
 		return err
 	}
@@ -72,7 +83,6 @@ func (r *Receptor) Listen(rd io.Reader) error {
 			r.invalid.Add(1)
 			continue
 		}
-		r.received.Add(1)
 		if batch.Len() >= r.BatchSize {
 			if err := flush(); err != nil {
 				return err

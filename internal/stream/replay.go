@@ -32,8 +32,12 @@ func NewReplayer(timeCol int, speedup float64) *Replayer {
 	return &Replayer{TimeCol: timeCol, Speedup: speedup}
 }
 
-// Replay copies the trace from r to w, pacing by the timestamp column.
-func (rp *Replayer) Replay(r io.Reader, w io.Writer) error {
+// ReplayFunc paces the trace through arbitrary emitters: every
+// non-empty line is handed to emit in trace order, and flush (if
+// non-nil) runs before every pacing pause and once at the end, so
+// downstream sees tuples at their paced times whatever the transport —
+// a single writer, several sharded connections, a binary frame encoder.
+func (rp *Replayer) ReplayFunc(r io.Reader, emit func(line string) error, flush func() error) error {
 	sleep := rp.Sleep
 	if sleep == nil {
 		sleep = time.Sleep
@@ -42,8 +46,6 @@ func (rp *Replayer) Replay(r io.Reader, w io.Writer) error {
 	if speed <= 0 {
 		speed = 1
 	}
-	bw := bufio.NewWriter(w)
-	defer bw.Flush()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 64*1024), 1024*1024)
 	var last int64 = -1
@@ -56,10 +58,10 @@ func (rp *Replayer) Replay(r io.Reader, w io.Writer) error {
 			if ts, ok := fieldInt(line, rp.TimeCol); ok {
 				if last >= 0 && ts > last {
 					gap := time.Duration(float64(ts-last) * float64(time.Second) / speed)
-					// Flush what we have before pausing so downstream
-					// sees tuples at their paced times.
-					if err := bw.Flush(); err != nil {
-						return err
+					if flush != nil {
+						if err := flush(); err != nil {
+							return err
+						}
 					}
 					sleep(gap)
 					rp.Paused += gap
@@ -67,15 +69,30 @@ func (rp *Replayer) Replay(r io.Reader, w io.Writer) error {
 				last = ts
 			}
 		}
-		if _, err := bw.WriteString(line); err != nil {
-			return err
-		}
-		if err := bw.WriteByte('\n'); err != nil {
+		if err := emit(line); err != nil {
 			return err
 		}
 		rp.Lines++
 	}
+	if flush != nil {
+		if err := flush(); err != nil {
+			return err
+		}
+	}
 	return sc.Err()
+}
+
+// Replay copies the trace from r to w, pacing by the timestamp column.
+func (rp *Replayer) Replay(r io.Reader, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	return rp.ReplayFunc(r,
+		func(line string) error {
+			if _, err := bw.WriteString(line); err != nil {
+				return err
+			}
+			return bw.WriteByte('\n')
+		},
+		bw.Flush)
 }
 
 // fieldInt extracts the i-th pipe-separated field as an integer.

@@ -40,7 +40,18 @@ func (t *TCPReceptor) acceptLoop() {
 		if err != nil {
 			return
 		}
+		// An accept can win the race with ln.Close(): re-check the stop
+		// flag under the lock before joining the wait group, so Close
+		// never observes a wg.Add after its Wait started (a WaitGroup
+		// misuse panic) and never strands a connection handler.
+		t.mu.Lock()
+		if t.stop {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
 		t.wg.Add(1)
+		t.mu.Unlock()
 		go func() {
 			defer t.wg.Done()
 			defer conn.Close()
@@ -50,13 +61,16 @@ func (t *TCPReceptor) acceptLoop() {
 }
 
 // Close stops accepting and waits for in-flight connections to drain.
+// Idempotent: concurrent and repeated calls all block until the drain
+// completes.
 func (t *TCPReceptor) Close() {
 	t.mu.Lock()
-	if !t.stop {
-		t.stop = true
+	already := t.stop
+	t.stop = true
+	t.mu.Unlock()
+	if !already {
 		t.ln.Close()
 	}
-	t.mu.Unlock()
 	t.wg.Wait()
 }
 

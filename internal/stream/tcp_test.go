@@ -1,0 +1,142 @@
+package stream
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/vector"
+)
+
+// TestTCPReceptorCloseAcceptRace is the regression test for the
+// accept/close race: an accept that wins the race with ln.Close() must
+// not join the wait group after Close started waiting (a WaitGroup
+// misuse panic) and Close must be idempotent. Run under -race in CI.
+func TestTCPReceptorCloseAcceptRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		b := basket.New("s", []string{"v"}, []vector.Type{vector.Int})
+		tr, err := ListenTCP("127.0.0.1:0", NewReceptor(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := tr.Addr()
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		// Dial storm: keep new connections racing against Close.
+		for d := 0; d < 4; d++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					conn, err := net.Dial("tcp", addr)
+					if err != nil {
+						return
+					}
+					fmt.Fprintf(conn, "%d\n", 1)
+					conn.Close()
+				}
+			}()
+		}
+		// Concurrent double-Close: both must return without panicking.
+		var cwg sync.WaitGroup
+		for c := 0; c < 2; c++ {
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				tr.Close()
+			}()
+		}
+		cwg.Wait()
+		tr.Close() // and a third, after the drain
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// TestReceptorFlushErrorAccounting pins the exact received accounting:
+// tuples count once they reach the basket, so a flush that fails against
+// a closed basket credits nothing for the lost batch — not the whole
+// batch, as the pre-fix accounting did.
+func TestReceptorFlushErrorAccounting(t *testing.T) {
+	b := basket.New("s", []string{"v"}, []vector.Type{vector.Int})
+	r := NewReceptor(b)
+	r.BatchSize = 4
+
+	var feed strings.Builder
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&feed, "%d\n", i)
+	}
+	// Close the basket after the first flush lands, so a later flush
+	// fails with ErrClosed while tuples are still buffered.
+	firstFlush := make(chan struct{})
+	proceed := make(chan struct{})
+	b.SetOnAppend(func() {
+		select {
+		case firstFlush <- struct{}{}:
+			<-proceed
+		default:
+		}
+	})
+	errc := make(chan error, 1)
+	go func() { errc <- r.Listen(strings.NewReader(feed.String())) }()
+	<-firstFlush
+	b.Close()
+	close(proceed)
+	err := <-errc
+	if err == nil {
+		t.Fatal("Listen returned nil; want the flush error")
+	}
+	// Exactly one batch of 4 made it before the close; the failed batch
+	// must not be credited.
+	if got := r.Received(); got != 4 {
+		t.Fatalf("received = %d after a failed flush, want exactly the 4 appended tuples", got)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("basket holds %d tuples, want 4", b.Len())
+	}
+}
+
+// TestReceptorReceivedCountsConstraintDropped pins that received keeps
+// its forwarded semantics: tuples silently dropped by basket integrity
+// constraints still count (they were forwarded; the basket's silent
+// filter hides them downstream), only structural rejects and failed
+// flushes do not.
+func TestReceptorReceivedCountsConstraintDropped(t *testing.T) {
+	b := basket.New("s", []string{"v"}, []vector.Type{vector.Int})
+	b.AddConstraint(basket.Constraint{
+		Name: "nonneg",
+		Check: func(rel *bat.Relation) []int32 {
+			var keep []int32
+			vs := rel.ColByName("v").Ints()
+			for i, v := range vs {
+				if v >= 0 {
+					keep = append(keep, int32(i))
+				}
+			}
+			return keep
+		},
+	})
+	r := NewReceptor(b)
+	r.BatchSize = 100
+	if err := r.Listen(strings.NewReader("1\n-2\n3\nbogus\n")); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Received(); got != 3 {
+		t.Fatalf("received = %d, want 3 (constraint drops still count as forwarded)", got)
+	}
+	if r.Invalid() != 1 {
+		t.Fatalf("invalid = %d, want 1", r.Invalid())
+	}
+	if b.Len() != 2 {
+		t.Fatalf("basket holds %d tuples, want 2 after the constraint filter", b.Len())
+	}
+}
