@@ -154,6 +154,39 @@ func gateIngest(committed, current map[string]float64, div float64) (checked, ba
 	return checked, bad
 }
 
+// aggDoc mirrors the BENCH_agg.json layout.
+type aggDoc struct {
+	Rows []aggRow `json:"rows"`
+}
+
+// aggRow is one two-phase aggregation sweep point, keyed by (strategy,
+// parallelism).
+type aggRow struct {
+	Strategy     string  `json:"strategy"`
+	Parallelism  int     `json:"parallelism"`
+	EventsPerSec float64 `json:"events_per_second"`
+}
+
+func (r aggRow) key() string {
+	return fmt.Sprintf("agg %s P=%d events/s", r.Strategy, r.Parallelism)
+}
+
+func loadAgg(path string) (map[string]float64, error) {
+	var doc aggDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for _, r := range doc.Rows {
+		out[r.key()] = r.EventsPerSec
+	}
+	return out, nil
+}
+
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
 // "BenchmarkSQLQueryFiring-8  100  723510 ns/op  18720 B/op  45 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op(?:\s+[\d.]+ [A-Za-z]+/s)?\s+[\d.]+ B/op\s+([\d.]+) allocs/op`)
@@ -210,6 +243,9 @@ func main() {
 	ingestBase := flag.String("ingest-baseline", "", "committed BENCH_ingest.json (events/s floors; optional)")
 	ingestCur := flag.String("ingest-current", "BENCH_ingest.json", "regenerated BENCH_ingest.json")
 	ingestDiv := flag.Float64("ingest-div", 1.5, "ingest floor divisor: current must reach committed/div")
+	aggBase := flag.String("agg-baseline", "", "committed BENCH_agg.json (events/s floors; optional)")
+	aggCur := flag.String("agg-current", "BENCH_agg.json", "regenerated BENCH_agg.json")
+	aggDiv := flag.Float64("agg-div", 1.5, "agg floor divisor: current must reach committed/div")
 	flag.Parse()
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
@@ -285,6 +321,35 @@ func main() {
 		}
 	}
 
+	var aggBad []measurement
+	if *aggBase != "" {
+		base, err := loadAgg(*aggBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadAgg(*aggCur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		var aggChecked []measurement
+		aggChecked, aggBad = gateIngest(base, cur, *aggDiv)
+		for _, m := range aggChecked {
+			status := "ok"
+			if m.belowFloor(*aggDiv) {
+				status = "REGRESSED"
+			}
+			fmt.Printf("benchgate: %-40s committed %.0f, current %.0f, floor %.0f  [%s]\n",
+				m.name, m.committed, m.current, m.committed / *aggDiv, status)
+		}
+		if len(aggChecked) == 0 {
+			fmt.Println("benchgate: no committed agg row was measured; agg not gated")
+		} else {
+			fmt.Printf("benchgate: %d agg floor(s) checked\n", len(aggChecked))
+		}
+	}
+
 	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d allocation budget(s) regressed past committed*(1+%.2f)+%.0f\n",
 			len(bad), *slack, *abs)
@@ -293,7 +358,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %d ingest floor(s) fell below committed/%.2f\n",
 			len(ingestBad), *ingestDiv)
 	}
-	if len(bad) > 0 || len(ingestBad) > 0 {
+	if len(aggBad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d agg floor(s) fell below committed/%.2f\n",
+			len(aggBad), *aggDiv)
+	}
+	if len(bad) > 0 || len(ingestBad) > 0 || len(aggBad) > 0 {
 		os.Exit(1)
 	}
 }

@@ -8,6 +8,7 @@
 //	microbench -fig 5be     strategy comparison vs #queries (public engine)
 //	microbench -fig scale   throughput vs parallelism, per strategy
 //	microbench -fig prune   per-clone tuple counts vs selectivity × parallelism
+//	microbench -fig agg     two-phase aggregation events/s vs parallelism, per strategy
 //	microbench -fig ingest  loopback ingest events/s: protocol × batch × shards
 //	microbench -fig kernel  pure kernel events/second
 //	microbench -fig all     everything
@@ -42,7 +43,7 @@ func writeJSON(enabled bool, fig string, rows any) error {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, scale, prune, ingest, kernel, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, scale, prune, agg, ingest, kernel, all")
 	tuples := flag.Int("tuples", 100_000, "tuples per run (paper: 1e5)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonOut := flag.Bool("json", false, "also write each figure's data to BENCH_<fig>.json")
@@ -64,10 +65,11 @@ func main() {
 	run("5be", func() error { return fig5bEngine(*tuples, *seed, *jsonOut) })
 	run("scale", func() error { return figScale(*tuples, *seed, *jsonOut) })
 	run("prune", func() error { return figPrune(*tuples, *seed, *jsonOut) })
+	run("agg", func() error { return figAgg(*tuples, *seed, *jsonOut) })
 	run("ingest", func() error { return figIngest(*tuples, *jsonOut) })
 	run("kernel", func() error { return kernel(*tuples, *seed, *jsonOut) })
 	switch *fig {
-	case "4a", "4b", "5a", "5b", "5be", "scale", "prune", "ingest", "kernel", "all":
+	case "4a", "4b", "5a", "5b", "5be", "scale", "prune", "agg", "ingest", "kernel", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -310,6 +312,52 @@ func figPrune(tuples int, seed int64, jsonOut bool) error {
 		}
 	}
 	return writeJSON(jsonOut, "prune", rows)
+}
+
+// figAgg sweeps two-phase partitioned aggregation: grouped and global
+// aggregate queries at P ∈ {1, 2, 4, 8} per sharing strategy. At P>1 every
+// query runs as per-partition partial aggregates folded by a combining
+// merge emitter; the events/s floor of the best column is what the CI gate
+// guards in BENCH_agg.json.
+func figAgg(tuples int, seed int64, jsonOut bool) error {
+	type row struct {
+		Strategy     string  `json:"strategy"`
+		Parallelism  int     `json:"parallelism"`
+		Partitions   int     `json:"partitions"`
+		Routing      string  `json:"routing"`
+		Queries      int     `json:"queries"`
+		Tuples       int     `json:"tuples"`
+		EventsPerSec float64 `json:"events_per_second"`
+		Results      int     `json:"results"`
+		Seconds      float64 `json:"seconds"`
+	}
+	const q = 8
+	batch := tuples / 20
+	fmt.Printf("# Agg: two-phase aggregation events/s (10^3) vs parallelism; %d queries, batches of %d, GOMAXPROCS=%d\n",
+		q, batch, runtime.GOMAXPROCS(0))
+	fmt.Println("parallelism\tseparate\tshared\tpartial")
+	var rows []row
+	for _, p := range []int{1, 2, 4, 8} {
+		fmt.Printf("%d", p)
+		for _, s := range []datacell.Strategy{
+			datacell.StrategySeparate, datacell.StrategyShared, datacell.StrategyPartial,
+		} {
+			res, err := datacell.RunAgg(s, p, q, tuples, batch, seed)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row{
+				Strategy: string(s), Parallelism: p,
+				Partitions: res.Partitions, Routing: res.Routing,
+				Queries: res.Queries, Tuples: res.Tuples,
+				EventsPerSec: res.Throughput, Results: res.Results,
+				Seconds: res.Elapsed.Seconds(),
+			})
+			fmt.Printf("\t%.1f", res.Throughput/1000)
+		}
+		fmt.Println()
+	}
+	return writeJSON(jsonOut, "agg", rows)
 }
 
 // figIngest sweeps the ingest periphery over loopback TCP: textual vs

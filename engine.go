@@ -487,8 +487,12 @@ func (e *Engine) Explain(src string) (string, error) {
 			fmt.Fprintf(&b, "wiring: partitioning %s available (parallelism 1, single partition)\n",
 				verdict.Describe())
 		default:
-			fmt.Fprintf(&b, "wiring: partitioning %s across %d partitions (splitter, %d clones, merge emitter)\n",
-				verdict.Describe(), par, par)
+			merge := "merge emitter"
+			if plan.TwoPhase(e.cat, s) {
+				merge = "combining merge emitter"
+			}
+			fmt.Fprintf(&b, "wiring: partitioning %s across %d partitions (splitter, %d clones, %s)\n",
+				verdict.Describe(), par, par, merge)
 			if verdict.Mode == plan.PartRange {
 				fmt.Fprintf(&b, "wiring: catch-all partition prunes tuples outside %s from every clone\n",
 					verdict.Set())

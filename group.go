@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"datacell/internal/basket"
+	"datacell/internal/bat"
 	"datacell/internal/core"
 	"datacell/internal/ingest"
 	"datacell/internal/plan"
@@ -120,10 +121,13 @@ func (g *queryGroup) routeSink() ingest.Sink {
 }
 
 // stagedOut pairs the staging baskets of one partitioned query with its
-// result basket, for the teardown flush.
+// result basket, for the teardown flush. combine is the query's two-phase
+// fold when the wiring staged partial-aggregate state rather than final
+// results: the flush must merge, not concatenate.
 type stagedOut struct {
 	staging []*basket.Basket
 	out     *basket.Basket
+	combine *core.Combine
 }
 
 // groupMember is one scan member: its compiled stream-scan artifact, the
@@ -360,7 +364,7 @@ func (e *Engine) wireMemberLocked(g *queryGroup, prefix string, m *groupMember) 
 		g.memberParts = map[*groupMember][]*basket.Basket{}
 	}
 	g.memberParts[m] = pb.Destinations()
-	g.staging = append(g.staging, stagedOut{staging: pw.Staging[0], out: sq.Out})
+	g.staging = append(g.staging, stagedOut{staging: pw.Staging[0], out: sq.Out, combine: sq.Combine})
 	g.pbs = append(g.pbs, pb)
 	g.parallel = p
 	return pw.Factories, nil
@@ -374,6 +378,12 @@ func newPartitionedBasket(name string, names []string, types []vector.Type, p in
 	case plan.PartRange:
 		return basket.NewPartitionedRange(name, names, types, p, v.Col, v.Set())
 	case plan.PartHash:
+		// A grouped plan with a sargable side condition still prunes:
+		// tuples outside the necessary-condition set divert to a catch-all
+		// instead of being hashed to a partial-aggregate clone.
+		if col, set, ok := v.Prune(); ok {
+			return basket.NewPartitionedHashPruned(name, names, types, p, v.Col, col, set)
+		}
 		return basket.NewPartitioned(name, names, types, p, basket.PartitionHash, v.Col)
 	}
 	return basket.NewPartitioned(name, names, types, p, basket.PartitionRoundRobin, "")
@@ -403,7 +413,7 @@ func (e *Engine) wireSharedChainLocked(g *queryGroup, prefix string) ([]*core.Fa
 		}
 		for i, m := range g.scans {
 			m.factories = pw.QueryFs[i]
-			g.staging = append(g.staging, stagedOut{staging: pw.Staging[i], out: m.scan.Out})
+			g.staging = append(g.staging, stagedOut{staging: pw.Staging[i], out: m.scan.Out, combine: m.scan.Combine})
 		}
 		g.parts = pb.Destinations()
 		g.pbs = append(g.pbs, pb)
@@ -454,6 +464,25 @@ func (g *queryGroup) partitioning() plan.Verdict {
 // unregistered and idle.
 func (g *queryGroup) drainPartitioned() {
 	for _, so := range g.staging {
+		if so.combine != nil {
+			// Staged partial-aggregate state must be folded, not
+			// concatenated: the teardown acts as the wiring's final
+			// combining-merge firing.
+			parts := make([]*bat.Relation, len(so.staging))
+			any := false
+			for i, st := range so.staging {
+				parts[i] = st.TakeAll()
+				if parts[i].Len() > 0 {
+					any = true
+				}
+			}
+			if any {
+				if rel, err := so.combine.Merge(parts, so.out); err == nil && rel.Len() > 0 {
+					so.out.Append(rel)
+				}
+			}
+			continue
+		}
 		for _, st := range so.staging {
 			if rel := st.TakeAll(); rel.Len() > 0 {
 				so.out.Append(rel)

@@ -127,6 +127,41 @@ func NewPartitioned(name string, names []string, types []vector.Type, p int, mod
 	return pb, nil
 }
 
+// NewPartitionedHashPruned creates a hash-routed partitioned basket of p
+// partitions plus a catch-all: tuples whose pruneCol value lies in set
+// place by hash(hashCol), tuples outside it — which no query of the
+// wiring can ever match — divert to the catch-all before any
+// partial-aggregate clone copies them. Both columns must be declared
+// attributes, and set must not cover every value.
+func NewPartitionedHashPruned(name string, names []string, types []vector.Type, p int, hashCol, pruneCol string, set interval.Set) (*PartitionedBasket, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("basket: partitioned %s: need at least 1 partition, got %d", name, p)
+	}
+	for _, col := range []string{hashCol, pruneCol} {
+		found := false
+		for _, n := range names {
+			if n == col {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("basket: partitioned %s: routing column %q not in schema %v", name, col, names)
+		}
+	}
+	router, err := NewHashPrunedRouter(hashCol, pruneCol, p, set)
+	if err != nil {
+		return nil, fmt.Errorf("basket: partitioned %s: %w", name, err)
+	}
+	pb := &PartitionedBasket{name: name, router: router}
+	for i := 0; i < p; i++ {
+		pb.parts = append(pb.parts, New(fmt.Sprintf("%s.p%d", name, i), names, types))
+	}
+	pb.rest = New(name+".rest", names, types)
+	pb.dests = append(append([]*Basket(nil), pb.parts...), pb.rest)
+	return pb, nil
+}
+
 // NewPartitionedRange creates a range-routed partitioned basket of p
 // partitions plus a catch-all: tuples whose col value lies in set spread
 // over the partitions (by equal-measure range slices when the set is

@@ -36,6 +36,13 @@ type Router struct {
 	// tuples outside set route to the catch-all slot p.
 	set  interval.Set
 	cuts []float64
+
+	// Hash-prune state (mode PartitionHash with a sargable side
+	// condition): tuples whose pruneCol value lies outside set divert to
+	// the catch-all slot p before any partial-aggregate clone sees them,
+	// the rest place by hash(col) as usual. Empty pruneCol disables
+	// pruning.
+	pruneCol string
 }
 
 // NewRouter builds a round-robin or hash router over p destinations.
@@ -47,6 +54,24 @@ func NewRouter(mode PartitionMode, col string, p int) (*Router, error) {
 		return nil, fmt.Errorf("basket: router: range mode needs an interval set; use NewRangeRouter")
 	}
 	return &Router{mode: mode, col: col, p: p}, nil
+}
+
+// NewHashPrunedRouter builds a hash router over p destinations plus the
+// catch-all slot p: tuples route by hash(hashCol) when their pruneCol
+// value lies in set (a necessary condition of matching any query of the
+// wiring) and to slot p otherwise. set must not cover every value — that
+// is plain hash routing with a dead slot.
+func NewHashPrunedRouter(hashCol, pruneCol string, p int, set interval.Set) (*Router, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("basket: router: need at least 1 destination, got %d", p)
+	}
+	if pruneCol == "" {
+		return nil, fmt.Errorf("basket: router: hash-pruned router needs a prune column")
+	}
+	if set.All() {
+		return nil, fmt.Errorf("basket: router: prune set on %q covers every value; use plain hash", pruneCol)
+	}
+	return &Router{mode: PartitionHash, col: hashCol, p: p, pruneCol: pruneCol, set: set}, nil
 }
 
 // NewRangeRouter builds a range router over p destinations plus the
@@ -69,9 +94,10 @@ func (r *Router) Mode() PartitionMode { return r.mode }
 func (r *Router) Col() string { return r.col }
 
 // NumDestinations returns the number of routing slots: p scanned
-// destinations, plus one catch-all slot under range mode.
+// destinations, plus one catch-all slot under range mode and pruned hash
+// mode.
 func (r *Router) NumDestinations() int {
-	if r.mode == PartitionRange {
+	if r.mode == PartitionRange || r.pruneCol != "" {
 		return r.p + 1
 	}
 	return r.p
@@ -86,6 +112,9 @@ func (r *Router) RangeSet() interval.Set { return r.set }
 func (r *Router) Describe() string {
 	switch r.mode {
 	case PartitionHash:
+		if r.pruneCol != "" {
+			return fmt.Sprintf("hash(%s)+prune(%s)", r.col, r.pruneCol)
+		}
 		return fmt.Sprintf("hash(%s)", r.col)
 	case PartitionRange:
 		return fmt.Sprintf("range(%s)", r.col)
@@ -118,7 +147,7 @@ func (r *Router) RouteInto(rel *bat.Relation, sels [][]int32) ([][]int32, error)
 	if n == 0 {
 		return sels, nil
 	}
-	if p == 1 && r.mode != PartitionRange {
+	if p == 1 && r.mode != PartitionRange && r.pruneCol == "" {
 		sels[0] = appendPositions(sels[0], n)
 		return sels, nil
 	}
@@ -134,7 +163,20 @@ func (r *Router) RouteInto(rel *bat.Relation, sels [][]int32) ([][]int32, error)
 		if v == nil {
 			return nil, fmt.Errorf("basket: router: relation has no column %q", r.col)
 		}
+		var pv *vector.Vector
+		if r.pruneCol != "" {
+			pv = rel.ColByName(r.pruneCol)
+			if pv == nil {
+				return nil, fmt.Errorf("basket: router: relation has no column %q", r.pruneCol)
+			}
+		}
 		for i := 0; i < n; i++ {
+			if pv != nil && !r.set.Contains(pv.Get(i)) {
+				// Necessary condition fails: no query of the wiring can
+				// match the tuple, divert it past the clones.
+				sels[p] = append(sels[p], int32(i))
+				continue
+			}
 			k := int(hashValue(v, i) % uint64(p))
 			sels[k] = append(sels[k], int32(i))
 		}

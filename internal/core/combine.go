@@ -1,0 +1,136 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/vector"
+)
+
+// Combine is the two-phase decomposition of an aggregating stream query:
+// the classic partial-aggregate/final-merge split of parallel relational
+// engines, applied to DataCell's factory graph. A query that carries a
+// Combine runs its Partial body on every partition clone (producing
+// mergeable partial state — SUM+COUNT pairs for AVG, per-group MIN/MAX,
+// per-partition sorted top-N runs — into the per-partition staging
+// baskets) and a CombiningMergeEmitter folds the staged partials into
+// final result tuples, instead of the concatenating merge that suffices
+// for row-local plans.
+type Combine struct {
+	// Names and Types describe the partial-state schema: the staging
+	// baskets are created with this schema instead of the query's result
+	// schema.
+	Names []string
+	Types []vector.Type
+	// Partial replaces the query's Fire on partition clones. It follows
+	// the same contract (consume covered tuples, or report them when
+	// report is non-nil) but appends partial-aggregate state rather than
+	// final results.
+	Partial func(in, out *basket.Basket, report func(covered []int32)) error
+	// Merge folds one round of staged per-partition partial relations
+	// (parts[k] is partition k's staged state, possibly empty) into final
+	// result tuples conforming to `out`'s schema. The caller appends the
+	// returned relation; Merge itself must not touch `out`'s contents.
+	// Returned columns must be freshly allocated — they outlive the call.
+	Merge func(parts []*bat.Relation, out *basket.Basket) (*bat.Relation, error)
+}
+
+// progress tracks, per (query, partition), how much of the clone's feed
+// basket it has processed: after each clone firing the wrapper stores the
+// feed's total-appended counter. A combining merge may only fire when
+// every relevant clone has caught up with its feed — the round barrier
+// that keeps one splitter round from being merged as two.
+type progress struct {
+	seen   [][]atomic.Int64 // [query][partition]
+	merges []*Factory       // filled once construction completes
+}
+
+func newProgress(queries, parts int) *progress {
+	t := &progress{seen: make([][]atomic.Int64, queries)}
+	for i := range t.seen {
+		t.seen[i] = make([]atomic.Int64, parts)
+	}
+	return t
+}
+
+// done records that query qi's clone on partition k processed its feed up
+// to `appended` total tuples, then wakes the combining merges: the firing
+// that completes a barrier may stage nothing (so no append notification
+// reaches the merge), and without the ping the staged results of the
+// other partitions would strand until the next round.
+func (t *progress) done(qi, k int, appended int64) {
+	t.seen[qi][k].Store(appended)
+	for _, m := range t.merges {
+		m.ping()
+	}
+}
+
+// NewCombiningMergeEmitter builds the fan-in transition of two-phase
+// partitioned aggregation. Like the concatenating merge emitter it drains
+// the query's per-partition staging baskets, but instead of forwarding
+// the staged tuples it hands them to the query's Combine.Merge and
+// appends the folded result.
+//
+// The feed baskets (the baskets the clones fire on) are extra inputs:
+// TryFire's ID-ordered lock-all therefore holds every feed lock while the
+// guard runs, so the guard can read each feed's AppendedLocked counter
+// race-free and compare it with the clones' progress. The guard passes
+// only when some staging basket holds partial state AND every clone has
+// processed everything its feed ever received — i.e. the current splitter
+// round is complete. Firing mid-round would split one round's partials
+// into two merges and, for aggregates, two result rows where the
+// unpartitioned plan emits one.
+func NewCombiningMergeEmitter(name string, staging, feeds []*basket.Basket, seen []*atomic.Int64, c *Combine, out *basket.Basket) (*Factory, error) {
+	inputs := make([]*basket.Basket, 0, len(staging)+len(feeds))
+	inputs = append(inputs, staging...)
+	inputs = append(inputs, feeds...)
+	spares := make([]*bat.Relation, len(staging))
+	parts := make([]*bat.Relation, len(staging))
+	f, err := NewFactory(name, inputs, []*basket.Basket{out}, func(ctx *Context) error {
+		staged := false
+		for i := range staging {
+			rel := ctx.In(i).ExchangeLocked(spares[i])
+			spares[i] = rel
+			parts[i] = rel
+			if rel.Len() > 0 {
+				staged = true
+			}
+		}
+		if !staged {
+			return nil
+		}
+		rel, err := c.Merge(parts, out)
+		if err != nil {
+			return err
+		}
+		if rel.Len() == 0 {
+			return nil
+		}
+		_, err = out.AppendLocked(rel)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	f.SetFireAnyInput()
+	f.SetGuard(func(ctx *Context) bool {
+		staged := false
+		for i := range staging {
+			if ctx.In(i).LenLocked() > 0 {
+				staged = true
+				break
+			}
+		}
+		if !staged {
+			return false
+		}
+		for j, fb := range feeds {
+			if seen[j].Load() != fb.AppendedLocked() {
+				return false
+			}
+		}
+		return true
+	})
+	return f, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"datacell/internal/basket"
 	"datacell/internal/bat"
@@ -95,13 +96,13 @@ type Partitioned struct {
 // of the queries, and merge emitters concatenate the per-partition results
 // into each query's result basket.
 func PartitionedShared(prefix string, in *basket.Basket, pb *basket.PartitionedBasket, queries []StreamQuery) (*Partitioned, error) {
-	return partitioned(prefix, in, pb, queries, SharedBaskets, 1)
+	return partitioned(prefix, in, pb, queries, SharedBaskets, 1, false)
 }
 
 // PartitionedPartial replicates the partial-deletes strategy (Figure 2c)
 // over the partitions of pb: one delete chain per partition.
 func PartitionedPartial(prefix string, in *basket.Basket, pb *basket.PartitionedBasket, queries []StreamQuery) (*Partitioned, error) {
-	return partitioned(prefix, in, pb, queries, PartialDeletes, 0)
+	return partitioned(prefix, in, pb, queries, PartialDeletes, 0, true)
 }
 
 // PartitionedQuery wires a single query over the partitions of pb in the
@@ -116,15 +117,19 @@ func PartitionedQuery(prefix string, in *basket.Basket, pb *basket.PartitionedBa
 				return nil, err
 			}
 			return []*Factory{f}, nil
-		}, 0)
+		}, 0, false)
 }
 
 // partitioned wires the generic partitioned topology. base builds one
 // partition's strategy wiring; qOffset locates query i's factory in base's
 // result (SharedBaskets returns [locker, readers…, unlocker], so 1;
-// PartialDeletes returns the queries in order, so 0).
+// PartialDeletes returns the queries in order, so 0). chained marks base
+// wirings where query i+1's feed is filled by query i's firing (the
+// partial-deletes residue chain): a combining merge must then wait for the
+// whole upstream chain to settle, not just its own feed, because a settled
+// chain basket can still be owed residue from upstream.
 func partitioned(prefix string, in *basket.Basket, pb *basket.PartitionedBasket, queries []StreamQuery,
-	base func(string, *basket.Basket, []StreamQuery) ([]*Factory, error), qOffset int) (*Partitioned, error) {
+	base func(string, *basket.Basket, []StreamQuery) ([]*Factory, error), qOffset int, chained bool) (*Partitioned, error) {
 
 	split, err := NewPartitionSplitter(prefix+".split", in, pb)
 	if err != nil {
@@ -140,8 +145,26 @@ func partitioned(prefix string, in *basket.Basket, pb *basket.PartitionedBasket,
 		QueryFs:   make([][]*Factory, len(queries)),
 		Factories: []*Factory{split},
 	}
+	combining := false
+	for _, q := range queries {
+		if q.Combine != nil {
+			combining = true
+			break
+		}
+	}
+	// With any two-phase query in the wiring, every clone firing reports
+	// its feed progress so the combining merges can hold the round barrier
+	// — including clones of non-combining queries, whose firings move the
+	// residue chain a downstream combining merge waits on.
+	var track *progress
+	if combining {
+		track = newProgress(len(queries), p)
+	}
 	for qi, q := range queries {
 		names, types := q.Out.UserSchema()
+		if q.Combine != nil {
+			names, types = q.Combine.Names, q.Combine.Types
+		}
 		pw.Staging[qi] = make([]*basket.Basket, p)
 		pw.QueryFs[qi] = make([]*Factory, p)
 		for k := 0; k < p; k++ {
@@ -152,6 +175,20 @@ func partitioned(prefix string, in *basket.Basket, pb *basket.PartitionedBasket,
 		clones := make([]StreamQuery, len(queries))
 		for qi, q := range queries {
 			q.Out = pw.Staging[qi][k]
+			if q.Combine != nil {
+				q.Fire = q.Combine.Partial
+			}
+			if track != nil {
+				orig := q.Fire
+				qi, k := qi, k
+				q.Fire = func(in, out *basket.Basket, report func(covered []int32)) error {
+					err := orig(in, out, report)
+					// The feed's appended counter is read under the clone's
+					// held input lock: exactly what this firing could see.
+					track.done(qi, k, in.AppendedLocked())
+					return err
+				}
+			}
 			clones[qi] = q
 		}
 		fs, err := base(fmt.Sprintf("%s.p%d", prefix, k), parts[k], clones)
@@ -164,12 +201,34 @@ func partitioned(prefix string, in *basket.Basket, pb *basket.PartitionedBasket,
 		pw.Factories = append(pw.Factories, fs...)
 	}
 	for qi, q := range queries {
-		merge, err := NewMergeEmitter(fmt.Sprintf("%s.merge.%s", prefix, q.Name), pw.Staging[qi], q.Out)
+		var merge *Factory
+		var err error
+		if q.Combine != nil {
+			lo := qi
+			if chained {
+				lo = 0
+			}
+			var feeds []*basket.Basket
+			var seen []*atomic.Int64
+			for j := lo; j <= qi; j++ {
+				for k := 0; k < p; k++ {
+					feeds = append(feeds, pw.QueryFs[j][k].Inputs()[0])
+					seen = append(seen, &track.seen[j][k])
+				}
+			}
+			merge, err = NewCombiningMergeEmitter(fmt.Sprintf("%s.merge.%s", prefix, q.Name),
+				pw.Staging[qi], feeds, seen, q.Combine, q.Out)
+		} else {
+			merge, err = NewMergeEmitter(fmt.Sprintf("%s.merge.%s", prefix, q.Name), pw.Staging[qi], q.Out)
+		}
 		if err != nil {
 			return nil, err
 		}
 		pw.Merges = append(pw.Merges, merge)
 		pw.Factories = append(pw.Factories, merge)
+	}
+	if track != nil {
+		track.merges = pw.Merges
 	}
 	return pw, nil
 }

@@ -42,6 +42,12 @@ type StreamQuery struct {
 	Out       *basket.Basket // result basket; wirings may substitute staging here
 	LockOnly  []*basket.Basket
 	Fire      func(in, out *basket.Basket, report func(covered []int32)) error
+	// Combine, when non-nil, marks the query as two-phase under
+	// partitioned wiring: clones run Combine.Partial into staging baskets
+	// shaped by Combine's partial schema, and a CombiningMergeEmitter
+	// folds the staged partial states into the result basket. Ignored by
+	// the unpartitioned wirings, which run Fire against the whole stream.
+	Combine *Combine
 }
 
 // outputs is the factory output set of the query: result basket first,

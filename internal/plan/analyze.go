@@ -56,6 +56,12 @@ type StreamScan struct {
 	// names the stream column whose equal values must co-locate), none
 	// when the plan must see the whole stream and stays at one partition.
 	Part Verdict
+	// Combine, when non-nil, is the two-phase decomposition the kernel
+	// wires under partitioned execution: clones run Combine.Partial
+	// (staging mergeable partial-aggregate state) and a combining merge
+	// emitter folds the staged partials into final results. Run remains
+	// the single-partition body; unpartitioned wirings ignore Combine.
+	Combine *core.Combine
 	// Run executes the query once with `in` substituted for the stream,
 	// appending results to `out` (the query's result basket, or a
 	// partition staging basket with the same schema). With report == nil
@@ -75,6 +81,7 @@ func (s *StreamScan) StreamQuery() core.StreamQuery {
 		Out:       s.Out,
 		LockOnly:  s.LockOnly,
 		Fire:      s.Run,
+		Combine:   s.Combine,
 	}
 }
 
@@ -143,7 +150,7 @@ func (a *Analysis) newStreamScan() *StreamScan {
 	// (non-consuming) scan of the stream itself must be locked too when
 	// the factory's firing input is a substituted basket.
 	lockOnly := lockOnlyBaskets(cat, sel, nil)
-	return &StreamScan{
+	ss := &StreamScan{
 		Query:     a.Name,
 		Stream:    streamName,
 		In:        stream,
@@ -180,6 +187,17 @@ func (a *Analysis) newStreamScan() *StreamScan {
 			return err
 		},
 	}
+	// An aggregating or ordering plan that partitions does so via its
+	// two-phase form: attach the compiled Combine so the strategy wirings
+	// stage partial states and fold them with a combining merge. (A hash
+	// verdict without a valid two-phase form — count(distinct) — keeps
+	// the concatenating merge, which co-location makes exact.)
+	if ss.Part.Mode != PartNone {
+		if tp := twoPhaseSpec(cat, sel, streamName); tp != nil {
+			ss.Combine = buildCombine(cat, sel, streamName, tp, cols)
+		}
+	}
+	return ss
 }
 
 // Wire is the second compilation phase: it builds the classic standalone

@@ -24,6 +24,11 @@ type execArena struct {
 	sc   expr.Scratch
 	rels []*bat.Relation
 	ri   int
+	// perm is the reusable ORDER BY permutation buffer: SortInto/TopNInto
+	// grow it once and steady-state sorting stays allocation free. It is
+	// consumed (gathered through) before any nested select could reclaim
+	// it, so one buffer per arena suffices; reset leaves it warm.
+	perm []int32
 }
 
 // rel returns a reusable relation header, distinct from every header

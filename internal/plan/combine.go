@@ -1,0 +1,382 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"datacell/internal/basket"
+	"datacell/internal/bat"
+	"datacell/internal/core"
+	"datacell/internal/expr"
+	"datacell/internal/relop"
+	"datacell/internal/sql"
+	"datacell/internal/vector"
+)
+
+// This file implements the planning side of two-phase partitioned
+// aggregation: splitting an aggregating (or ordering) stream query into a
+// per-partition partial plan plus a combining merge, the classic
+// partial-aggregate/final-merge decomposition applied to DataCell's
+// factory graph. twoPhaseSpec decides eligibility and derives the partial
+// AST; buildCombine compiles the spec into the kernel's core.Combine
+// artifact (Partial body + Merge fold).
+
+// combineItem describes how one output item of a two-phase aggregated
+// query is reconstructed from the partial-state columns at merge time.
+type combineItem struct {
+	isAgg bool
+	agg   relop.AggKind // original aggregate kind (merge applies agg.MergeKind())
+	avg   bool          // decomposed AVG: col holds AggAvgSum, cnt holds AggCount
+	col   int           // partial-schema column index of the value (agg) or group key (plain)
+	cnt   int           // partial-schema column index of the AVG count column
+}
+
+// twoPhase is the compiled decomposition spec of one stream query:
+// the partial AST the clones execute, the partial-state schema (from
+// prototype execution), and the recipe the merge applies.
+type twoPhase struct {
+	partial    *sql.SelectStmt
+	aggregated bool
+	nKeys      int           // leading group-key columns of the partial schema
+	items      []combineItem // aggregated shape: one per sel.Items entry
+	names      []string      // partial-state schema
+	types      []vector.Type
+	nOrder     int // ordered shape: trailing order-key columns of the partial schema
+}
+
+// scanShape reports whether a single-stream continuous select has the
+// basic partitionable scan shape — a plain predicate window over the
+// stream with row-local filters, projections, aggregate arguments and
+// grouping keys — and whether it aggregates. It deliberately does not
+// look at ORDER BY or TOP on the outer query: those decide between the
+// concatenating and the two-phase merge, not partitionability itself.
+func scanShape(cat *Catalog, sel *sql.SelectStmt, streamName string) (aggregated, ok bool) {
+	if sel.Union != nil || sel.Distinct || len(sel.From) != 1 {
+		return false, false
+	}
+	be := sel.From[0].Basket
+	if be == nil {
+		return false, false
+	}
+	if len(be.From) != 1 || be.From[0].Name == "" || !strings.EqualFold(be.From[0].Name, streamName) {
+		return false, false
+	}
+	if be.Union != nil || be.Distinct || len(be.OrderBy) > 0 || be.Top >= 0 ||
+		len(be.GroupBy) > 0 || be.Having != nil {
+		return false, false
+	}
+	if len(be.Items) != 1 || !be.Items[0].Star {
+		return false, false
+	}
+	rowLocal := func(x expr.Expr) bool { return rowLocalExpr(cat, x) }
+	if !rowLocal(be.Where) || !rowLocal(sel.Where) || !rowLocal(sel.Having) {
+		return false, false
+	}
+	aggregated = len(sel.GroupBy) > 0
+	for _, it := range sel.Items {
+		if it.Agg != nil {
+			aggregated = true
+			if !rowLocal(it.Agg.Arg) {
+				return false, false
+			}
+			continue
+		}
+		if !it.Star && !rowLocal(it.Expr) {
+			return false, false
+		}
+	}
+	for _, g := range sel.GroupBy {
+		if !rowLocal(g) {
+			return false, false
+		}
+	}
+	return aggregated, true
+}
+
+// twoPhaseSpec derives the partial/combine decomposition of a
+// single-stream continuous select, or nil when the query has no valid
+// two-phase form (in which case an aggregating plan may still partition
+// under the legacy hash-co-location rule, and anything else pins to one
+// partition). Two shapes exist:
+//
+//   - aggregated: every aggregate is mergeable and non-distinct, every
+//     plain item repeats a grouping expression. The partial computes the
+//     same grouping with decomposed aggregates (AVG becomes
+//     AggAvgSum+AggCount); the merge re-groups the staged partials by the
+//     key columns, folds each aggregate with its merge kind, then applies
+//     HAVING, ORDER BY and TOP on the combined result.
+//
+//   - ordered (non-aggregated, ORDER BY present): the partial runs the
+//     full row-local plan per partition, carries the order keys as extra
+//     trailing columns and pre-truncates to TOP n; the merge k-way-merges
+//     the staged sorted runs, re-truncates, and drops the carried keys.
+//
+// The partial AST is prototype-executed for validation: any shape the
+// executor rejects (e.g. an order key naming a select alias the partial
+// cannot carry) disqualifies the decomposition rather than failing at
+// wiring time.
+func twoPhaseSpec(cat *Catalog, sel *sql.SelectStmt, streamName string) *twoPhase {
+	aggregated, ok := scanShape(cat, sel, streamName)
+	if !ok {
+		return nil
+	}
+	tp := &twoPhase{aggregated: aggregated}
+	if aggregated {
+		// TOP over an unordered grouped result picks whichever groups the
+		// executor saw first — under partitioning that depends on the
+		// split, so only an ordered TOP has a deterministic two-phase form.
+		if sel.Top >= 0 && len(sel.OrderBy) == 0 {
+			return nil
+		}
+		partial := &sql.SelectStmt{
+			Top:     -1,
+			From:    sel.From,
+			Where:   sel.Where,
+			GroupBy: sel.GroupBy,
+		}
+		for i, g := range sel.GroupBy {
+			partial.Items = append(partial.Items, sql.SelectItem{Expr: g, Alias: fmt.Sprintf("__k%d", i)})
+		}
+		tp.nKeys = len(sel.GroupBy)
+		tp.items = make([]combineItem, len(sel.Items))
+		aggCol := tp.nKeys
+		for i, it := range sel.Items {
+			if it.Agg != nil {
+				if it.Agg.Distinct || !it.Agg.Kind.Mergeable() {
+					return nil
+				}
+				ci := combineItem{isAgg: true, agg: it.Agg.Kind, col: aggCol}
+				if it.Agg.Kind == relop.AggAvg {
+					ci.avg = true
+					ci.cnt = aggCol + 1
+					partial.Items = append(partial.Items,
+						sql.SelectItem{Agg: &sql.AggSpec{Kind: relop.AggAvgSum, Star: it.Agg.Star, Arg: it.Agg.Arg}, Alias: fmt.Sprintf("__a%d", i)},
+						sql.SelectItem{Agg: &sql.AggSpec{Kind: relop.AggCount, Star: true}, Alias: fmt.Sprintf("__a%d_c", i)})
+					aggCol += 2
+				} else {
+					partial.Items = append(partial.Items,
+						sql.SelectItem{Agg: &sql.AggSpec{Kind: it.Agg.Kind, Star: it.Agg.Star, Arg: it.Agg.Arg}, Alias: fmt.Sprintf("__a%d", i)})
+					aggCol++
+				}
+				tp.items[i] = ci
+				continue
+			}
+			if it.Star {
+				return nil
+			}
+			ki := -1
+			for k, g := range sel.GroupBy {
+				if g.String() == it.Expr.String() {
+					ki = k
+					break
+				}
+			}
+			if ki < 0 {
+				return nil
+			}
+			tp.items[i] = combineItem{col: ki}
+		}
+		tp.partial = partial
+	} else {
+		if len(sel.OrderBy) == 0 {
+			return nil
+		}
+		// Per-partition order keys are evaluated by every clone, so they
+		// must be row-local like any projection.
+		for _, oi := range sel.OrderBy {
+			if !rowLocalExpr(cat, oi.Expr) {
+				return nil
+			}
+		}
+		partial := &sql.SelectStmt{
+			Top:     sel.Top,
+			From:    sel.From,
+			Where:   sel.Where,
+			OrderBy: sel.OrderBy,
+		}
+		partial.Items = append(partial.Items, sel.Items...)
+		for i, oi := range sel.OrderBy {
+			partial.Items = append(partial.Items, sql.SelectItem{Expr: oi.Expr, Alias: fmt.Sprintf("__o%d", i)})
+		}
+		tp.nOrder = len(sel.OrderBy)
+		tp.partial = partial
+	}
+	proto, err := protoEnv(cat).execSelect(tp.partial)
+	if err != nil {
+		return nil
+	}
+	tp.names = proto.Names()
+	tp.types = proto.Types()
+	return tp
+}
+
+// buildCombine compiles a twoPhase spec into the kernel artifact. The
+// Partial body mirrors StreamScan.Run (redirected, arena-backed, covered
+// positions reported or consumed) but executes the partial AST and stages
+// the partial-state relation without conforming it to the result schema.
+// The Merge fold runs once per round, so its allocations are off the hot
+// path by construction.
+func buildCombine(cat *Catalog, sel *sql.SelectStmt, streamName string, tp *twoPhase, cols []string) *core.Combine {
+	partialAST := tp.partial
+	c := &core.Combine{
+		Names: tp.names,
+		Types: tp.types,
+		Partial: func(in, out *basket.Basket, report func(covered []int32)) error {
+			e := newEnv(cat)
+			e.redirectFrom, e.redirectTo = streamName, in
+			e.arena = getArena()
+			defer putArena(e.arena)
+			if report != nil {
+				e.onCovered = func(b *basket.Basket, covered []int32) bool {
+					if b != in {
+						return false
+					}
+					report(covered)
+					return true
+				}
+			}
+			rel, err := e.execSelect(partialAST)
+			if err != nil {
+				return err
+			}
+			if rel.Len() == 0 {
+				return nil
+			}
+			_, err = out.AppendLocked(rel)
+			return err
+		},
+	}
+	if tp.aggregated {
+		c.Merge = func(parts []*bat.Relation, out *basket.Basket) (*bat.Relation, error) {
+			combined, _, err := concatParts(parts, tp)
+			if err != nil {
+				return nil, err
+			}
+			return mergeAggregated(cat, sel, tp, combined, out, cols)
+		}
+	} else {
+		c.Merge = func(parts []*bat.Relation, out *basket.Basket) (*bat.Relation, error) {
+			combined, bounds, err := concatParts(parts, tp)
+			if err != nil {
+				return nil, err
+			}
+			return mergeOrdered(sel, tp, combined, bounds, out, cols)
+		}
+	}
+	return c
+}
+
+// concatParts concatenates the staged per-partition partial relations
+// into one relation with the partial-state schema, returning run bounds
+// (k+1 ascending offsets over the non-empty parts) for the k-way merge.
+// Staged relations carry the baskets' hidden timestamp column, so the
+// columns are assembled by name, never by position.
+func concatParts(parts []*bat.Relation, tp *twoPhase) (*bat.Relation, []int32, error) {
+	cols := make([]*vector.Vector, len(tp.names))
+	for j := range cols {
+		cols[j] = vector.New(tp.types[j], 0)
+	}
+	bounds := []int32{0}
+	for _, part := range parts {
+		if part == nil || part.Len() == 0 {
+			continue
+		}
+		for j, name := range tp.names {
+			src := part.ColByName(name)
+			if src == nil {
+				return nil, nil, fmt.Errorf("plan: staged partial lacks column %q", name)
+			}
+			cols[j].AppendVector(src)
+		}
+		bounds = append(bounds, int32(cols[0].Len()))
+	}
+	return bat.NewRelation(tp.names, cols), bounds, nil
+}
+
+// mergeAggregated folds concatenated partial-aggregate states into final
+// result rows: re-group by the leading key columns, apply each item's
+// merge recipe, then the deferred HAVING / ORDER BY / TOP tail exactly as
+// the unpartitioned plan applies it to its single-pass result.
+func mergeAggregated(cat *Catalog, sel *sql.SelectStmt, tp *twoPhase, combined *bat.Relation, out *basket.Basket, cols []string) (*bat.Relation, error) {
+	keys := make([]*vector.Vector, tp.nKeys)
+	for i := range keys {
+		keys[i] = combined.Col(i)
+	}
+	g := relop.GroupBy(keys, combined.Len())
+	names := make([]string, len(sel.Items))
+	outCols := make([]*vector.Vector, len(sel.Items))
+	for i, it := range sel.Items {
+		ci := tp.items[i]
+		names[i] = it.ItemName(i)
+		switch {
+		case ci.avg:
+			sums := relop.Aggregate(relop.AggSum, combined.Col(ci.col), g)
+			counts := relop.Aggregate(relop.AggSum, combined.Col(ci.cnt), g)
+			outCols[i] = relop.CombineAvg(sums, counts)
+		case ci.isAgg:
+			outCols[i] = relop.Aggregate(ci.agg.MergeKind(), combined.Col(ci.col), g)
+		default:
+			outCols[i] = combined.Col(ci.col).Gather(g.Repr)
+		}
+	}
+	result := bat.NewRelation(names, outCols)
+	e := newEnv(cat)
+	if sel.Having != nil {
+		hsel, err := e.evalPred(sel.Having, result, nil)
+		if err != nil {
+			return nil, err
+		}
+		result = result.Gather(hsel)
+	}
+	if len(sel.OrderBy) > 0 {
+		sortKeys := make([]relop.SortKey, len(sel.OrderBy))
+		for i, oi := range sel.OrderBy {
+			v, err := e.evalExpr(oi.Expr, result)
+			if err != nil {
+				return nil, err
+			}
+			sortKeys[i] = relop.SortKey{Col: v, Desc: oi.Desc}
+		}
+		result = result.Gather(relop.Sort(sortKeys, result.Len()))
+	}
+	if sel.Top >= 0 && sel.Top < result.Len() {
+		result = result.Gather(relop.CandAll(sel.Top))
+	}
+	return conformToTarget(result, out, cols)
+}
+
+// mergeOrdered folds concatenated ordered partials: each staged part is
+// one run already sorted by the carried trailing order-key columns, so a
+// k-way merge of the runs reproduces the global order (falling back to a
+// full sort if a part arrived unsorted), TOP re-truncates the merged
+// permutation, and the carried key columns are dropped.
+func mergeOrdered(sel *sql.SelectStmt, tp *twoPhase, combined *bat.Relation, bounds []int32, out *basket.Basket, cols []string) (*bat.Relation, error) {
+	base := len(tp.names) - tp.nOrder
+	keys := make([]relop.SortKey, tp.nOrder)
+	for i := range keys {
+		keys[i] = relop.SortKey{Col: combined.Col(base + i), Desc: sel.OrderBy[i].Desc}
+	}
+	sorted := true
+	for r := 0; r+1 < len(bounds); r++ {
+		if !relop.IsSortedBy(keys, int(bounds[r]), int(bounds[r+1])) {
+			sorted = false
+			break
+		}
+	}
+	var perm []int32
+	if sorted {
+		perm = relop.MergeRuns(nil, keys, bounds)
+	} else {
+		perm = relop.SortInto(nil, keys, combined.Len())
+	}
+	if sel.Top >= 0 {
+		perm = relop.TopN(perm, sel.Top)
+	}
+	merged := combined.Gather(perm)
+	outCols := make([]*vector.Vector, base)
+	for i := range outCols {
+		outCols[i] = merged.Col(i)
+	}
+	result := bat.NewRelation(tp.names[:base], outCols)
+	return conformToTarget(result, out, cols)
+}

@@ -89,6 +89,20 @@ func (e *env) arenaRel() *bat.Relation {
 	return e.arena.rel()
 }
 
+// orderPerm computes the ordering permutation of n positions under the
+// keys, truncated to the first limit entries (limit < 0 keeps all). On
+// firing paths the arena's permutation buffer is reused, so steady-state
+// ORDER BY (and its bounded-heap TOP n form) allocates nothing; the
+// buffer is safe to hand out because every caller gathers through it
+// before any nested select could reclaim the arena.
+func (e *env) orderPerm(keys []relop.SortKey, n, limit int) []int32 {
+	if e.arena == nil {
+		return relop.TopNInto(nil, keys, n, limit)
+	}
+	e.arena.perm = relop.TopNInto(e.arena.perm, keys, n, limit)
+	return e.arena.perm
+}
+
 // hiddenCol reports whether a (possibly qualified) column is one of the
 // engine's internal columns, excluded from * expansion.
 func hiddenCol(name string) bool {
@@ -514,8 +528,9 @@ func (e *env) execBasketScan(be *sql.SelectStmt) (*bat.Relation, error) {
 			}
 			keys[i] = relop.SortKey{Col: v, Desc: oi.Desc}
 		}
-		perm := relop.Sort(keys, j.Len())
-		j = j.Gather(perm)
+		// A TOP window bounds the sort: the heap form never materialises
+		// the full permutation.
+		j = j.Gather(e.orderPerm(keys, j.Len(), be.Top))
 	}
 	if be.Top >= 0 && be.Top < j.Len() {
 		j = j.Gather(relop.CandAll(be.Top))
@@ -857,8 +872,7 @@ func (e *env) execSelect(sel *sql.SelectStmt) (*bat.Relation, error) {
 			}
 			keys[i] = relop.SortKey{Col: v, Desc: oi.Desc}
 		}
-		perm := relop.Sort(keys, result.Len())
-		result = result.Gather(perm)
+		result = result.Gather(e.orderPerm(keys, result.Len(), sel.Top))
 	}
 	if sel.Top >= 0 && sel.Top < result.Len() {
 		result = result.Gather(relop.CandAll(sel.Top))

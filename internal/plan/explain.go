@@ -73,16 +73,29 @@ func explainFiring(b *strings.Builder, cat *Catalog, s *sql.SelectStmt) {
 	}
 	if len(inputs) == 1 {
 		fmt.Fprintf(b, "  stream-scan artifact: single consumed stream %s (eligible for basket sharing)\n", inputs[0].Name())
-		switch v := partitionVerdict(cat, s, inputs[0].Name()); v.Mode {
+		v := partitionVerdict(cat, s, inputs[0].Name())
+		switch v.Mode {
 		case PartRoundRobin:
 			b.WriteString("  partitionable: round-robin (row-local predicate window)\n")
 		case PartHash:
 			fmt.Fprintf(b, "  partitionable: hash(%s) (grouped plan, keys co-locate)\n", v.Col)
+			if col, set, ok := v.Prune(); ok {
+				fmt.Fprintf(b, "  prune: %s in %s (non-matching tuples divert to the catch-all before partial aggregation)\n", col, set)
+			}
 		case PartRange:
 			fmt.Fprintf(b, "  partitionable: range(%s in %s) (sargable predicate; non-matching tuples prune to the catch-all)\n",
 				v.Col, v.Set())
 		default:
 			b.WriteString("  partitionable: no (plan must see the whole stream)\n")
+		}
+		if v.Mode != PartNone {
+			if tp := twoPhaseSpec(cat, s, inputs[0].Name()); tp != nil {
+				if tp.aggregated {
+					b.WriteString("  two-phase: partial aggregate per partition + combining merge (re-group, fold partial states)\n")
+				} else {
+					b.WriteString("  two-phase: partial sort per partition + k-way combining merge\n")
+				}
+			}
 		}
 	}
 }

@@ -64,6 +64,22 @@ type Verdict struct {
 // Set returns the routing column's interval set (range mode).
 func (v Verdict) Set() interval.Set { return v.Ranges[v.Col] }
 
+// Prune returns the pruning column and set a hash-routed split should
+// apply before cloning tuples into the partitions: when a grouped plan
+// also carries sargable ranges, tuples outside the set can match no
+// member and divert to the catch-all instead of being scanned by a
+// partial-aggregate clone. ok is false when nothing can be pruned.
+func (v Verdict) Prune() (col string, set interval.Set, ok bool) {
+	if v.Mode != PartHash || len(v.Ranges) == 0 {
+		return "", interval.Set{}, false
+	}
+	col, ok = bestRangeCol(v.Ranges)
+	if !ok {
+		return "", interval.Set{}, false
+	}
+	return col, v.Ranges[col], true
+}
+
 // Describe renders the verdict for explain output and group info:
 // "none", "round-robin", "hash(k)", "range(v)".
 func (v Verdict) Describe() string {
@@ -107,13 +123,35 @@ func CombineVerdicts(vs ...Verdict) Verdict {
 		}
 	}
 	if hash != nil {
-		return Verdict{Mode: PartHash, Col: hash.Col}
+		out := Verdict{Mode: PartHash, Col: hash.Col}
+		// Hash routing can still prune: a tuple outside every member's
+		// necessary-condition set matches no member, so the splitter may
+		// divert it to the catch-all before any clone aggregates it.
+		if u := unionRanges(vs); len(u) > 0 {
+			out.Ranges = u
+		}
+		return out
 	}
 	if !allRange {
 		return Verdict{Mode: PartRoundRobin}
 	}
-	// Intersect the constrained column sets across members, unioning the
-	// value sets per column.
+	union := unionRanges(vs)
+	col, ok := bestRangeCol(union)
+	if !ok {
+		return Verdict{Mode: PartRoundRobin}
+	}
+	return Verdict{Mode: PartRange, Col: col, Ranges: union}
+}
+
+// unionRanges intersects the constrained column sets across members,
+// unioning the value sets per column: a column survives only when every
+// member constrains it (a member with no ranges may match any tuple, so
+// nothing is prunable for the group), and the union set is the necessary
+// condition of "some member matches".
+func unionRanges(vs []Verdict) map[string]interval.Set {
+	if len(vs) == 0 {
+		return nil
+	}
 	union := map[string]interval.Set{}
 	for col, s := range vs[0].Ranges {
 		union[col] = s
@@ -133,11 +171,7 @@ func CombineVerdicts(vs ...Verdict) Verdict {
 			union[col] = u
 		}
 	}
-	col, ok := bestRangeCol(union)
-	if !ok {
-		return Verdict{Mode: PartRoundRobin}
-	}
-	return Verdict{Mode: PartRange, Col: col, Ranges: union}
+	return union
 }
 
 // Partitionability reports the partitioning verdict a continuous
@@ -158,104 +192,138 @@ func Partitionability(cat *Catalog, stmt sql.Statement) (Verdict, bool) {
 	return partitionVerdict(cat, sel, streamName), true
 }
 
+// TwoPhase reports whether a continuous statement would execute under
+// partitioned wiring as a two-phase plan: per-partition partial
+// aggregates (or sorted runs) folded by a combining merge emitter,
+// rather than per-partition final results concatenated as they arrive.
+// Nothing is created.
+func TwoPhase(cat *Catalog, stmt sql.Statement) bool {
+	streamName, ok := ShareableStream(cat, stmt)
+	if !ok {
+		return false
+	}
+	var sel *sql.SelectStmt
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		sel = s
+	case *sql.InsertStmt:
+		sel = s.Query
+	}
+	if partitionVerdict(cat, sel, streamName).Mode == PartNone {
+		return false
+	}
+	return twoPhaseSpec(cat, sel, streamName) != nil
+}
+
 // partitionVerdict decides how a single-stream continuous select may be
-// partitioned. The analysis is deliberately conservative: predicate-window
-// selects (row-local basket expression and row-local outer filters and
-// projections) partition by range when their predicate is sargable (the
-// necessary condition prunes non-matching tuples to a catch-all) and
-// round-robin otherwise; grouped plans whose first grouping key is a
-// plain stream column hash-partition on that column; everything else —
-// tuple-count windows (TOP), ORDER BY, DISTINCT, UNION, joins, global
-// aggregates, scalar sub-queries, session variables, now() — must see the
-// whole stream and falls back to one partition.
+// partitioned. Predicate-window selects (row-local basket expression and
+// row-local outer filters and projections) partition by range when their
+// predicate is sargable (the necessary condition prunes non-matching
+// tuples to a catch-all) and round-robin otherwise; an outer ORDER BY
+// stays partitionable when its two-phase form validates (per-partition
+// sort, k-way combining merge). Grouped plans whose first grouping key is
+// a plain stream column hash-partition on that column — with a combining
+// merge when every aggregate is mergeable, and plain concatenation (which
+// hash co-location keeps correct) otherwise, e.g. count(distinct).
+// Other mergeable aggregations — expression group keys, global
+// aggregates — go round-robin (or range) with a combining merge.
+// Everything left — unordered TOP, DISTINCT, UNION, joins, scalar
+// sub-queries, session variables, now() — must see the whole stream and
+// falls back to one partition.
 func partitionVerdict(cat *Catalog, sel *sql.SelectStmt, streamName string) Verdict {
 	none := Verdict{Mode: PartNone}
-	if sel.Union != nil || sel.Distinct || len(sel.OrderBy) > 0 || sel.Top >= 0 || len(sel.From) != 1 {
+	aggregated, ok := scanShape(cat, sel, streamName)
+	if !ok {
 		return none
-	}
-	// The basket expression must be a plain predicate window over the
-	// stream: one named source, a bare * select list, no window or set
-	// operations of its own. That also guarantees the outer query's
-	// columns are exactly the stream's columns.
-	be := sel.From[0].Basket
-	if be == nil {
-		return none
-	}
-	if len(be.From) != 1 || be.From[0].Name == "" || !strings.EqualFold(be.From[0].Name, streamName) {
-		return none
-	}
-	if be.Union != nil || be.Distinct || len(be.OrderBy) > 0 || be.Top >= 0 ||
-		len(be.GroupBy) > 0 || be.Having != nil {
-		return none
-	}
-	if len(be.Items) != 1 || !be.Items[0].Star {
-		return none
-	}
-	rowLocal := func(x expr.Expr) bool { return rowLocalExpr(cat, x) }
-	if !rowLocal(be.Where) || !rowLocal(sel.Where) || !rowLocal(sel.Having) {
-		return none
-	}
-	aggregated := len(sel.GroupBy) > 0
-	for _, it := range sel.Items {
-		if it.Agg != nil {
-			aggregated = true
-			if !rowLocal(it.Agg.Arg) {
-				return none
-			}
-			continue
-		}
-		if !it.Star && !rowLocal(it.Expr) {
-			return none
-		}
 	}
 	b := cat.Basket(streamName)
 	if b == nil {
 		return none
 	}
 	names, types := b.UserSchema()
-	if !aggregated {
-		// Sargable analysis over the conjunction of the window predicate
-		// and the outer filter. Any constrained column upgrades the
-		// verdict from round-robin to range routing with pruning.
-		colTypes := make(map[string]vector.Type, len(names))
-		for i, n := range names {
-			colTypes[n] = types[i]
+	// Sargable analysis over the conjunction of the window predicate and
+	// the outer filter: the necessary-condition sets that let a split
+	// prune non-matching tuples to the catch-all.
+	be := sel.From[0].Basket
+	colTypes := make(map[string]vector.Type, len(names))
+	for i, n := range names {
+		colTypes[n] = types[i]
+	}
+	sets := andSets(sargableSets(be.Where, colTypes), sargableSets(sel.Where, colTypes))
+	for col, s := range sets {
+		if s.All() {
+			delete(sets, col)
 		}
-		sets := andSets(sargableSets(be.Where, colTypes), sargableSets(sel.Where, colTypes))
-		for col, s := range sets {
-			if s.All() {
-				delete(sets, col)
-			}
+	}
+	if !aggregated {
+		if len(sel.OrderBy) == 0 && sel.Top >= 0 {
+			// An unordered TOP keeps whichever tuples arrive first; any
+			// split changes that set.
+			return none
+		}
+		if len(sel.OrderBy) > 0 && twoPhaseSpec(cat, sel, streamName) == nil {
+			return none
 		}
 		if col, ok := bestRangeCol(sets); ok {
 			return Verdict{Mode: PartRange, Col: col, Ranges: sets}
 		}
 		return Verdict{Mode: PartRoundRobin}
 	}
-	if len(sel.GroupBy) == 0 {
-		// A global aggregate would yield one row per partition instead of
-		// one row total.
-		return none
-	}
-	for _, g := range sel.GroupBy {
-		if !rowLocal(g) {
+	tp := twoPhaseSpec(cat, sel, streamName)
+	if tp == nil {
+		// No valid two-phase form (non-mergeable aggregate, computed plain
+		// item, unordered TOP). Hash co-location still makes per-partition
+		// results exact when the full group key routes to one partition:
+		// require a plain first grouping key and concatenate.
+		if len(sel.OrderBy) > 0 || sel.Top >= 0 || len(sel.GroupBy) == 0 {
 			return none
 		}
+		key, ok := plainStreamCol(sel.GroupBy[0], names)
+		if !ok {
+			return none
+		}
+		v := Verdict{Mode: PartHash, Col: key}
+		if len(sets) > 0 {
+			v.Ranges = sets
+		}
+		return v
 	}
 	// Hashing any one grouping column co-locates equal full keys: equal
-	// full key implies equal first key implies same partition.
-	col, ok := sel.GroupBy[0].(*expr.Col)
+	// full key implies equal first key implies same partition. That keeps
+	// each group's partial state on a single partition, so even AVG
+	// combines bit-exactly.
+	if tp.nKeys > 0 {
+		if key, ok := plainStreamCol(sel.GroupBy[0], names); ok {
+			v := Verdict{Mode: PartHash, Col: key}
+			if len(sets) > 0 {
+				v.Ranges = sets
+			}
+			return v
+		}
+	}
+	// Expression keys and global aggregates: any disjoint split works —
+	// the combining merge re-groups across partitions.
+	if col, ok := bestRangeCol(sets); ok {
+		return Verdict{Mode: PartRange, Col: col, Ranges: sets}
+	}
+	return Verdict{Mode: PartRoundRobin}
+}
+
+// plainStreamCol reports whether g is a bare (possibly qualified) column
+// reference naming a stream column, returning the bare name.
+func plainStreamCol(g expr.Expr, names []string) (string, bool) {
+	col, ok := g.(*expr.Col)
 	if !ok {
-		return none
+		return "", false
 	}
 	key := col.Name
 	if k := strings.LastIndexByte(key, '.'); k >= 0 {
 		key = key[k+1:]
 	}
 	if !slices.Contains(names, key) {
-		return none
+		return "", false
 	}
-	return Verdict{Mode: PartHash, Col: key}
+	return key, true
 }
 
 // rowLocalExpr reports whether evaluating x over a subset of the stream's

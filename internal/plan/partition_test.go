@@ -47,14 +47,18 @@ func TestPartitionVerdicts(t *testing.T) {
 		{`select t.k, count(*) as n from [select * from s] t group by t.k`, PartHash, "k"},
 		{`select t.k, t.v, sum(t.v) as sv from [select * from s] t group by t.k, t.v`, PartHash, "k"},
 		{`select t.k, avg(t.v) as a from [select * from s where v > 0] t group by t.k having a > 1`, PartHash, "k"},
+		// Two-phase plans: partial state per partition, combining merge.
+		{`select count(*) as n from [select * from s] t`, PartRoundRobin, ""},                                  // global aggregate
+		{`select t.v from [select * from s] t order by t.v`, PartRoundRobin, ""},                               // outer order: partial sort + k-way merge
+		{`select t.v from [select * from s where v < 9] t order by t.v`, PartRange, "v"},                       // ordered + sargable: still prunes
+		{`select t.k + 1 as k1, sum(t.v) as sv from [select * from s] t group by t.k + 1`, PartRoundRobin, ""}, // computed key: re-group at merge
 		// Whole-stream plans: none.
-		{`select count(*) as n from [select * from s] t`, PartNone, ""},                       // global aggregate
 		{`select t.v from [select top 5 * from s] t`, PartNone, ""},                           // tuple-count window
 		{`select t.v from [select * from s order by v] t`, PartNone, ""},                      // ordered window
 		{`select distinct t.v from [select * from s] t`, PartNone, ""},                        // distinct
-		{`select t.v from [select * from s] t order by t.v`, PartNone, ""},                    // outer order
 		{`select t.v from [select * from s where v < limitvar] t`, PartNone, ""},              // session variable
-		{`select t.k, count(*) as n from [select * from s] t group by t.k + 1`, PartNone, ""}, // computed key
+		{`select top 5 t.v from [select * from s] t`, PartNone, ""},                           // unordered TOP
+		{`select t.k, count(*) as n from [select * from s] t group by t.k + 1`, PartNone, ""}, // computed key, plain item ≠ key expr
 	}
 	for _, tc := range cases {
 		mode, col := verdictOf(t, h.cat, tc.src)

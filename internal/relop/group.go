@@ -106,6 +106,12 @@ const (
 	AggAvg
 	AggMin
 	AggMax
+	// AggAvgSum is the mergeable numerator of AVG: the per-group float64
+	// sum accumulated exactly as AggAvg accumulates it, without the final
+	// division. Partial-aggregate plans pair it with an AggCount column so
+	// a combining merge can re-derive the average; it is never produced by
+	// the SQL parser.
+	AggAvgSum
 )
 
 // String returns the SQL name of the aggregate.
@@ -121,8 +127,36 @@ func (a AggKind) String() string {
 		return "min"
 	case AggMax:
 		return "max"
+	case AggAvgSum:
+		return "avg_sum"
 	}
 	return "?"
+}
+
+// Mergeable reports whether per-partition partial states of this aggregate
+// combine losslessly: counts and sums add, min/max compare, and avg is
+// decomposed into AggAvgSum + AggCount first. (Distinct aggregates are not
+// mergeable without shipping whole value sets.)
+func (a AggKind) Mergeable() bool {
+	switch a {
+	case AggCount, AggSum, AggAvg, AggMin, AggMax, AggAvgSum:
+		return true
+	}
+	return false
+}
+
+// MergeKind returns the aggregate a combining merge applies to partial
+// states of kind a: partial counts and sums add up; min/max stay min/max.
+// AVG must be decomposed (AggAvgSum + AggCount) before partials exist, so
+// asking for its merge kind is a programming error.
+func (a AggKind) MergeKind() AggKind {
+	switch a {
+	case AggCount, AggSum, AggAvgSum:
+		return AggSum
+	case AggMin, AggMax:
+		return a
+	}
+	panic("relop: aggregate has no merge kind: " + a.String())
 }
 
 // Aggregate computes the aggregate over v per group and returns one value
@@ -173,10 +207,40 @@ func Aggregate(kind AggKind, v *vector.Vector, g *Grouping) *vector.Vector {
 			}
 		}
 		return vector.FromFloats(sums)
+	case AggAvgSum:
+		sums := make([]float64, ng)
+		if v.Kind() == vector.Float {
+			for i, x := range v.Floats() {
+				sums[g.GroupIDs[i]] += x
+			}
+		} else {
+			for i, x := range v.Ints() {
+				sums[g.GroupIDs[i]] += float64(x)
+			}
+		}
+		return vector.FromFloats(sums)
 	case AggMin, AggMax:
 		return aggMinMax(kind, v, g)
 	}
 	panic("relop: unknown aggregate")
+}
+
+// CombineAvg finalises a decomposed average: sums holds per-group merged
+// AggAvgSum numerators (Float), counts the merged AggCount denominators
+// (Int). Division order matches single-pass AggAvg exactly, so when every
+// tuple of a group was aggregated by one partition (hash routing) the
+// result is bit-identical to the unpartitioned plan.
+func CombineAvg(sums, counts *vector.Vector) *vector.Vector {
+	out := make([]float64, sums.Len())
+	s, c := sums.Floats(), counts.Ints()
+	for i := range out {
+		if c[i] > 0 {
+			out[i] = s[i] / float64(c[i])
+		} else {
+			out[i] = math.NaN()
+		}
+	}
+	return vector.FromFloats(out)
 }
 
 func aggMinMax(kind AggKind, v *vector.Vector, g *Grouping) *vector.Vector {

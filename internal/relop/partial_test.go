@@ -1,0 +1,321 @@
+package relop
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"datacell/internal/vector"
+)
+
+// --- SortInto / TopNInto / MergeRuns ----------------------------------------
+
+func randKeys(rng *rand.Rand, n int) []SortKey {
+	a := make([]int64, n)
+	b := make([]float64, n)
+	for i := range a {
+		a[i] = rng.Int63n(8) // few distinct values: exercises stability
+		b[i] = float64(rng.Int63n(5))
+	}
+	return []SortKey{
+		{Col: vector.FromInts(a), Desc: false},
+		{Col: vector.FromFloats(b), Desc: true},
+	}
+}
+
+func TestSortIntoMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(200)
+		keys := randKeys(rng, n)
+		want := Sort(keys, n)
+		buf := make([]int32, 0, 4) // deliberately too small: must grow
+		got := SortInto(buf, keys, n)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: pos %d: %d vs %d", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopNIntoMatchesSortThenTruncate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 40; trial++ {
+		n := rng.Intn(150)
+		keys := randKeys(rng, n)
+		limit := rng.Intn(20) - 1 // includes -1 (unbounded)
+		want := TopN(Sort(keys, n), limit)
+		got := TopNInto(nil, keys, n, limit)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (n=%d limit=%d): len %d vs %d", trial, n, limit, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (n=%d limit=%d): pos %d: %d vs %d", trial, n, limit, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMergeRunsMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		// Build k sorted runs over one concatenated key column.
+		k := 1 + rng.Intn(12) // crosses the fixed-size head buffers (8)
+		var vals []int64
+		bounds := []int32{0}
+		for r := 0; r < k; r++ {
+			m := rng.Intn(30)
+			run := make([]int64, m)
+			for i := range run {
+				run[i] = rng.Int63n(10)
+			}
+			// Each run must be key-sorted.
+			for i := 1; i < m; i++ {
+				for j := i; j > 0 && run[j] < run[j-1]; j-- {
+					run[j], run[j-1] = run[j-1], run[j]
+				}
+			}
+			vals = append(vals, run...)
+			bounds = append(bounds, int32(len(vals)))
+		}
+		keys := []SortKey{{Col: vector.FromInts(vals)}}
+		for r := 0; r < k; r++ {
+			if !IsSortedBy(keys, int(bounds[r]), int(bounds[r+1])) {
+				t.Fatalf("trial %d: run %d not sorted", trial, r)
+			}
+		}
+		got := MergeRuns(nil, keys, bounds)
+		if len(got) != len(vals) {
+			t.Fatalf("trial %d: merged %d of %d positions", trial, len(got), len(vals))
+		}
+		// Merged order must be key-sorted, a permutation, and tie-broken by
+		// run order (positions with equal keys appear in ascending-run,
+		// then ascending-position order — which for runs laid out
+		// back-to-back is simply ascending position).
+		seen := make([]bool, len(vals))
+		for i, p := range got {
+			if seen[p] {
+				t.Fatalf("trial %d: position %d emitted twice", trial, p)
+			}
+			seen[p] = true
+			if i > 0 {
+				prev, cur := got[i-1], p
+				if vals[prev] > vals[cur] {
+					t.Fatalf("trial %d: out of order at %d", trial, i)
+				}
+				if vals[prev] == vals[cur] && prev > cur {
+					t.Fatalf("trial %d: tie not broken by concatenation order at %d", trial, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSortIntoSteadyStateAllocs pins the firing-path budget: sorting into a
+// reused permutation buffer must not allocate per call beyond the bounded
+// comparator closure (PR 3 discipline: arenas absorb the steady state).
+func TestSortIntoSteadyStateAllocs(t *testing.T) {
+	const n = 2048
+	rng := rand.New(rand.NewSource(4))
+	keys := randKeys(rng, n)
+	perm := make([]int32, n)
+	for i := 0; i < 3; i++ {
+		perm = SortInto(perm, keys, n) // warm
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		perm = SortInto(perm, keys, n)
+	})
+	if allocs > 4 {
+		t.Fatalf("SortInto allocates %.1f per run with a warm buffer; budget is 4", allocs)
+	}
+	allocs = testing.AllocsPerRun(50, func() {
+		perm = TopNInto(perm, keys, n, 16)
+	})
+	if allocs > 4 {
+		t.Fatalf("TopNInto allocates %.1f per run with a warm buffer; budget is 4", allocs)
+	}
+}
+
+func TestMergeRunsSteadyStateAllocs(t *testing.T) {
+	const runs, per = 4, 512
+	vals := make([]int64, 0, runs*per)
+	bounds := []int32{0}
+	for r := 0; r < runs; r++ {
+		for i := 0; i < per; i++ {
+			vals = append(vals, int64(i))
+		}
+		bounds = append(bounds, int32(len(vals)))
+	}
+	keys := []SortKey{{Col: vector.FromInts(vals)}}
+	perm := make([]int32, len(vals))
+	for i := 0; i < 3; i++ {
+		perm = MergeRuns(perm, keys, bounds)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		perm = MergeRuns(perm, keys, bounds)
+	})
+	if allocs > 4 {
+		t.Fatalf("MergeRuns allocates %.1f per run with a warm buffer; budget is 4", allocs)
+	}
+}
+
+// --- AVG / SUM decomposition ------------------------------------------------
+
+// combinePartials simulates the two-phase pipeline over explicit partitions:
+// each partition computes (key, avg_sum, count, sum) partials, the combiner
+// concatenates them in partition order, re-groups by key and merges.
+func combinePartials(t *testing.T, partKeys [][]int64, partVals []*vector.Vector) (keys []int64, avg, sum *vector.Vector) {
+	t.Helper()
+	var mergedKeys []int64
+	var avgSums []float64
+	var counts, sums []int64
+	var sumFs []float64
+	isFloat := false
+	for p := range partKeys {
+		n := len(partKeys[p])
+		if n == 0 {
+			continue // empty partition contributes no partial rows
+		}
+		kv := vector.FromInts(partKeys[p])
+		g := GroupBy([]*vector.Vector{kv}, n)
+		keyRepr := kv.Gather(g.Repr)
+		as := Aggregate(AggAvgSum, partVals[p], g)
+		ct := Aggregate(AggCount, nil, g)
+		sm := Aggregate(AggSum, partVals[p], g)
+		for i := 0; i < keyRepr.Len(); i++ {
+			mergedKeys = append(mergedKeys, keyRepr.Ints()[i])
+			avgSums = append(avgSums, as.Floats()[i])
+			counts = append(counts, ct.Ints()[i])
+			if sm.Kind() == vector.Float {
+				isFloat = true
+				sumFs = append(sumFs, sm.Floats()[i])
+			} else {
+				sums = append(sums, sm.Ints()[i])
+			}
+		}
+	}
+	mk := vector.FromInts(mergedKeys)
+	g2 := GroupBy([]*vector.Vector{mk}, len(mergedKeys))
+	mSums := Aggregate(AggSum, vector.FromFloats(avgSums), g2)
+	mCounts := Aggregate(AggSum, vector.FromInts(counts), g2)
+	var mTotal *vector.Vector
+	if isFloat {
+		mTotal = Aggregate(AggSum, vector.FromFloats(sumFs), g2)
+	} else {
+		mTotal = Aggregate(AggSum, vector.FromInts(sums), g2)
+	}
+	return mk.Gather(g2.Repr).Ints(), CombineAvg(mSums, mCounts), mTotal
+}
+
+// singlePass aggregates the concatenation of the partitions in one pass.
+func singlePass(partKeys [][]int64, partVals []*vector.Vector) (map[int64]float64, map[int64]vector.Value) {
+	var allKeys []int64
+	merged := vector.New(partVals[0].Kind(), 0)
+	for p := range partKeys {
+		allKeys = append(allKeys, partKeys[p]...)
+		merged.AppendVector(partVals[p])
+	}
+	kv := vector.FromInts(allKeys)
+	g := GroupBy([]*vector.Vector{kv}, len(allKeys))
+	avg := Aggregate(AggAvg, merged, g)
+	sum := Aggregate(AggSum, merged, g)
+	wantAvg := map[int64]float64{}
+	wantSum := map[int64]vector.Value{}
+	for i, pos := range g.Repr {
+		wantAvg[kv.Ints()[pos]] = avg.Floats()[i]
+		wantSum[kv.Ints()[pos]] = sum.Get(i)
+	}
+	return wantAvg, wantSum
+}
+
+func checkDecomposition(t *testing.T, partKeys [][]int64, partVals []*vector.Vector) {
+	t.Helper()
+	wantAvg, wantSum := singlePass(partKeys, partVals)
+	keys, avg, sum := combinePartials(t, partKeys, partVals)
+	if len(keys) != len(wantAvg) {
+		t.Fatalf("combine produced %d groups, single pass %d", len(keys), len(wantAvg))
+	}
+	for i, k := range keys {
+		got, want := avg.Floats()[i], wantAvg[k]
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("group %d: combined avg %v != single-pass %v", k, got, want)
+		}
+		if gs, ws := sum.Get(i), wantSum[k]; gs.Compare(ws) != 0 {
+			t.Errorf("group %d: combined sum %v != single-pass %v", k, gs, ws)
+		}
+	}
+}
+
+func TestAvgDecompositionGroupInOnePartition(t *testing.T) {
+	// Hash routing: every group lives in exactly one partition; the combine
+	// must be bit-identical to single-pass AVG even for floats.
+	checkDecomposition(t,
+		[][]int64{{1, 1, 1}, {2, 2}, {3}},
+		[]*vector.Vector{
+			vector.FromFloats([]float64{0.1, 0.2, 0.7}),
+			vector.FromFloats([]float64{1e17, 3}),
+			vector.FromFloats([]float64{-0.0}),
+		})
+}
+
+func TestAvgDecompositionEmptyPartitions(t *testing.T) {
+	checkDecomposition(t,
+		[][]int64{{}, {5, 5, 6}, {}, {6}},
+		[]*vector.Vector{
+			vector.FromInts(nil),
+			vector.FromInts([]int64{10, 20, 7}),
+			vector.FromInts(nil),
+			vector.FromInts([]int64{9}),
+		})
+}
+
+func TestAvgDecompositionIntOverflowSums(t *testing.T) {
+	// int64 SUM wraps; wrapping addition is associative, so partial sums
+	// merged by AggSum must wrap to the same value as a single pass.
+	big := int64(math.MaxInt64) - 3
+	checkDecomposition(t,
+		[][]int64{{1, 1}, {1, 1}},
+		[]*vector.Vector{
+			vector.FromInts([]int64{big, big}),
+			vector.FromInts([]int64{big, 17}),
+		})
+}
+
+func TestAvgDecompositionIntColumnsSplitGroups(t *testing.T) {
+	// Round-robin routing splits groups across partitions. Integer inputs
+	// keep float64 numerators exact, so the combine is still bit-identical.
+	rng := rand.New(rand.NewSource(9))
+	parts := make([][]int64, 4)
+	vals := make([]*vector.Vector, 4)
+	for p := range parts {
+		n := rng.Intn(50)
+		ks := make([]int64, n)
+		vs := make([]int64, n)
+		for i := range ks {
+			ks[i] = rng.Int63n(6)
+			vs[i] = rng.Int63n(1_000_000)
+		}
+		parts[p] = ks
+		vals[p] = vector.FromInts(vs)
+	}
+	checkDecomposition(t, parts, vals)
+}
+
+func TestAggKindMergeability(t *testing.T) {
+	for _, k := range []AggKind{AggCount, AggSum, AggAvg, AggMin, AggMax, AggAvgSum} {
+		if !k.Mergeable() {
+			t.Errorf("%s should be mergeable", k)
+		}
+	}
+	if AggCount.MergeKind() != AggSum || AggAvgSum.MergeKind() != AggSum {
+		t.Error("counts and avg numerators must merge by summation")
+	}
+	if AggMin.MergeKind() != AggMin || AggMax.MergeKind() != AggMax {
+		t.Error("min/max must merge by min/max")
+	}
+}
