@@ -187,6 +187,60 @@ func loadAgg(path string) (map[string]float64, error) {
 	return out, nil
 }
 
+// adaptDoc mirrors the BENCH_adapt.json layout.
+type adaptDoc struct {
+	Rows []adaptRow `json:"rows"`
+}
+
+// adaptRow is one parallelism-policy run of the ramp workload, keyed by
+// mode ("static-1", "static-4", "auto").
+type adaptRow struct {
+	Mode         string  `json:"mode"`
+	EventsPerSec float64 `json:"events_per_second"`
+}
+
+func (r adaptRow) key() string {
+	return fmt.Sprintf("adapt %s events/s", r.Mode)
+}
+
+func loadAdapt(path string) ([]adaptRow, map[string]float64, error) {
+	var doc adaptDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for _, r := range doc.Rows {
+		out[r.key()] = r.EventsPerSec
+	}
+	return doc.Rows, out, nil
+}
+
+// gateAdaptAuto enforces the adaptive floor on the current run itself:
+// the auto policy must reach at least bestStatic/div, so a controller
+// that dithers, thrashes or parks at a losing P cannot hide behind a
+// slow runner — the statics ran on the same box in the same job.
+func gateAdaptAuto(rows []adaptRow, div float64) (measurement, bool, bool) {
+	auto, bestStatic := 0.0, 0.0
+	haveAuto := false
+	for _, r := range rows {
+		if r.Mode == "auto" {
+			auto = r.EventsPerSec
+			haveAuto = true
+		} else if r.EventsPerSec > bestStatic {
+			bestStatic = r.EventsPerSec
+		}
+	}
+	if !haveAuto || bestStatic == 0 {
+		return measurement{}, false, false
+	}
+	m := measurement{name: "adapt auto vs best static events/s", committed: bestStatic, current: auto}
+	return m, true, m.belowFloor(div)
+}
+
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
 // "BenchmarkSQLQueryFiring-8  100  723510 ns/op  18720 B/op  45 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op(?:\s+[\d.]+ [A-Za-z]+/s)?\s+[\d.]+ B/op\s+([\d.]+) allocs/op`)
@@ -246,6 +300,9 @@ func main() {
 	aggBase := flag.String("agg-baseline", "", "committed BENCH_agg.json (events/s floors; optional)")
 	aggCur := flag.String("agg-current", "BENCH_agg.json", "regenerated BENCH_agg.json")
 	aggDiv := flag.Float64("agg-div", 1.5, "agg floor divisor: current must reach committed/div")
+	adaptBase := flag.String("adapt-baseline", "", "committed BENCH_adapt.json (events/s floors; optional)")
+	adaptCur := flag.String("adapt-current", "BENCH_adapt.json", "regenerated BENCH_adapt.json")
+	adaptDiv := flag.Float64("adapt-div", 1.5, "adapt floor divisor: per-mode floors and the auto ≥ best-static/div consistency gate")
 	flag.Parse()
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
@@ -350,6 +407,44 @@ func main() {
 		}
 	}
 
+	var adaptBad []measurement
+	if *adaptBase != "" {
+		_, base, err := loadAdapt(*adaptBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		curRows, cur, err := loadAdapt(*adaptCur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		var adaptChecked []measurement
+		adaptChecked, adaptBad = gateIngest(base, cur, *adaptDiv)
+		// The cross-mode consistency gate runs within the current file:
+		// auto must keep up with the best static policy measured on the
+		// same box in the same job.
+		if m, ok, below := gateAdaptAuto(curRows, *adaptDiv); ok {
+			adaptChecked = append(adaptChecked, m)
+			if below {
+				adaptBad = append(adaptBad, m)
+			}
+		}
+		for _, m := range adaptChecked {
+			status := "ok"
+			if m.belowFloor(*adaptDiv) {
+				status = "REGRESSED"
+			}
+			fmt.Printf("benchgate: %-40s committed %.0f, current %.0f, floor %.0f  [%s]\n",
+				m.name, m.committed, m.current, m.committed / *adaptDiv, status)
+		}
+		if len(adaptChecked) == 0 {
+			fmt.Println("benchgate: no committed adapt row was measured; adapt not gated")
+		} else {
+			fmt.Printf("benchgate: %d adapt floor(s) checked\n", len(adaptChecked))
+		}
+	}
+
 	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d allocation budget(s) regressed past committed*(1+%.2f)+%.0f\n",
 			len(bad), *slack, *abs)
@@ -362,7 +457,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %d agg floor(s) fell below committed/%.2f\n",
 			len(aggBad), *aggDiv)
 	}
-	if len(bad) > 0 || len(ingestBad) > 0 || len(aggBad) > 0 {
+	if len(adaptBad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d adapt floor(s) fell below committed/%.2f\n",
+			len(adaptBad), *adaptDiv)
+	}
+	if len(bad) > 0 || len(ingestBad) > 0 || len(aggBad) > 0 || len(adaptBad) > 0 {
 		os.Exit(1)
 	}
 }

@@ -82,6 +82,15 @@ type Engine struct {
 	tcpOut      []*stream.TCPEmitter
 	started     bool
 	qctr        int
+
+	// Adaptive parallelism: autoParallel hands the partition count of
+	// groups without a per-stream override to the load controller;
+	// adaptOpts tunes the controllers; adaptStop/adaptDone bound the
+	// sampling metronome goroutine Start launches.
+	autoParallel bool
+	adaptOpts    AdaptOptions
+	adaptStop    chan struct{}
+	adaptDone    chan struct{}
 }
 
 // queryRec tracks one registered continuous query: shareable queries are
@@ -179,6 +188,9 @@ func (e *Engine) register(name string, s sql.Statement) (QueryInfo, error) {
 		case strings.EqualFold(set.Name, "parallelism"):
 			return QueryInfo{Name: name}, e.execParallelismPragma(set)
 		}
+		if set.On != "" {
+			return QueryInfo{}, fmt.Errorf("datacell: 'on %s' applies only to the parallelism pragma", set.On)
+		}
 	}
 	if !isContinuousStmt(s) {
 		if _, err := plan.Compile(e.cat, s, name); err != nil {
@@ -203,6 +215,9 @@ func (e *Engine) register(name string, s sql.Statement) (QueryInfo, error) {
 
 // execStrategyPragma applies `set strategy = '<name>'`.
 func (e *Engine) execStrategyPragma(set *sql.SetStmt) error {
+	if set.On != "" {
+		return fmt.Errorf("datacell: the strategy pragma is engine-wide ('on %s' not supported)", set.On)
+	}
 	c, ok := set.Value.(*expr.Const)
 	if !ok || c.Val.Kind != vector.Str {
 		return fmt.Errorf("datacell: set strategy expects a string literal ('separate', 'shared' or 'partial')")
@@ -214,13 +229,43 @@ func (e *Engine) execStrategyPragma(set *sql.SetStmt) error {
 	return e.SetStrategy(s)
 }
 
-// execParallelismPragma applies `set parallelism = N`.
+// execParallelismPragma applies `set parallelism = N | auto [on stream]`
+// and `set parallelism = default on stream`. N pins the count (engine-
+// wide or for one stream), auto hands it to the load controller, and
+// default clears a per-stream override.
 func (e *Engine) execParallelismPragma(set *sql.SetStmt) error {
-	c, ok := set.Value.(*expr.Const)
-	if !ok || c.Val.Kind != vector.Int {
-		return fmt.Errorf("datacell: set parallelism expects an integer literal")
+	word := ""
+	n, isInt := 0, false
+	switch v := set.Value.(type) {
+	case *expr.Const:
+		switch v.Val.Kind {
+		case vector.Int:
+			n, isInt = int(v.Val.I), true
+		case vector.Str:
+			word = strings.ToLower(v.Val.S)
+		}
+	case *expr.Col:
+		// Bare identifiers (`auto`, `default`) parse as column refs.
+		word = strings.ToLower(v.Name)
 	}
-	return e.SetParallelism(int(c.Val.I))
+	switch {
+	case isInt:
+		if set.On != "" {
+			return e.SetStreamParallelism(set.On, n)
+		}
+		return e.SetParallelism(n)
+	case word == "auto":
+		if set.On != "" {
+			return e.SetStreamParallelismAuto(set.On)
+		}
+		return e.SetParallelismAuto()
+	case word == "default":
+		if set.On == "" {
+			return fmt.Errorf("datacell: set parallelism = default needs 'on <stream>' (it clears a per-stream override)")
+		}
+		return e.ClearStreamParallelism(set.On)
+	}
+	return fmt.Errorf("datacell: set parallelism expects an integer literal, 'auto' or 'default'")
 }
 
 // registerScan adds a shareable query to its stream's group (phase 2, the
@@ -454,9 +499,18 @@ func (e *Engine) Explain(src string) (string, error) {
 		pinned := false
 		ingestShards := 0
 		ingestPath := ""
+		auto := e.autoParallel
+		autoP := 1
+		var rewires int64
+		lastReason := ""
 		if g := e.groups[streamName]; g != nil {
 			members = len(g.scans)
 			forced = len(g.taps) > 0
+			auto = e.groupAutoLocked(g)
+			rewires = g.rewires
+			lastReason = g.lastRewireReason
+			par = e.groupParallelismLocked(g)
+			autoP = par
 			for _, l := range g.listeners {
 				ingestShards += len(l.Addrs())
 			}
@@ -471,6 +525,8 @@ func (e *Engine) Explain(src string) (string, error) {
 				pinned = combined.Mode == plan.PartNone
 				verdict = combined
 			}
+		} else if auto {
+			par, autoP = 1, 1
 		}
 		e.mu.Unlock()
 		fmt.Fprintf(&b, "wiring: query group on stream %s, strategy %s (%d members installed)\n",
@@ -497,6 +553,17 @@ func (e *Engine) Explain(src string) (string, error) {
 				fmt.Fprintf(&b, "wiring: catch-all partition prunes tuples outside %s from every clone\n",
 					verdict.Set())
 			}
+		}
+		if auto {
+			fmt.Fprintf(&b, "wiring: parallelism auto (controller target P=%d", autoP)
+			if pinned || verdict.Mode == plan.PartNone {
+				b.WriteString("; verdict clamps the group to 1, controller refuses scale-up")
+			}
+			fmt.Fprintf(&b, "; %d rewires", rewires)
+			if lastReason != "" {
+				fmt.Fprintf(&b, "; last: %s", lastReason)
+			}
+			b.WriteString(")\n")
 		}
 		if ingestShards > 0 {
 			fmt.Fprintf(&b, "ingest: %d receptor shard(s), delivering to %s\n", ingestShards, ingestPath)
@@ -877,10 +944,16 @@ func (e *Engine) Start() error {
 	e.started = true
 	ems := append([]*stream.Emitter(nil), e.emitters...)
 	touts := append([]*stream.TCPEmitter(nil), e.tcpOut...)
+	stop, done := make(chan struct{}), make(chan struct{})
+	e.adaptStop, e.adaptDone = stop, done
 	e.mu.Unlock()
 	if err := e.sch.Start(); err != nil {
 		return err
 	}
+	// The load metronome samples every group each tick; controllers act
+	// only on groups under `set parallelism = auto`, but the windowed
+	// rate fields of GroupInfo update for all.
+	go e.adaptLoop(stop, done)
 	for _, em := range ems {
 		em.Start()
 	}
@@ -919,7 +992,16 @@ func (e *Engine) Stop() {
 	}
 	touts := append([]*stream.TCPEmitter(nil), e.tcpOut...)
 	ems := append([]*stream.Emitter(nil), e.emitters...)
+	stop, done := e.adaptStop, e.adaptDone
+	e.adaptStop, e.adaptDone = nil, nil
 	e.mu.Unlock()
+	// The sampler goes first: a controller-driven rewire quiesces the
+	// ingest periphery, and closing listeners concurrently is fine, but
+	// no new rewires should start once shutdown is underway.
+	if stop != nil {
+		close(stop)
+		<-done
+	}
 	for _, l := range ins {
 		l.Close()
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"datacell/internal/adapt"
 	"datacell/internal/basket"
 	"datacell/internal/bat"
 	"datacell/internal/core"
@@ -90,11 +91,48 @@ type queryGroup struct {
 	// Ingest periphery state. ingest is the stream's delivery target:
 	// receptor shards acquire it per batch, rewires quiesce it and swap
 	// the sink (route-at-ingest straight into the group-wide partitioned
-	// basket under shared/partial partitioned wiring, the stream basket
+	// basket under shared/partial partitioned wiring, a per-member
+	// fan-out under partitioned separate wiring, the stream basket
 	// otherwise). listeners are the sharded ingest groups attached with
 	// ListenIngest.
 	ingest    *ingest.SwitchTarget
 	listeners []*IngestListener
+
+	// Adaptive-parallelism state. override is the per-group parallelism:
+	// 0 inherits the engine setting, -1 follows the controller, >0 pins
+	// the group. ctl/ctlP are the group's controller and its current
+	// target (valid while the group is auto); rewires and
+	// lastRewireReason account for every wiring rebuild over the group's
+	// lifetime (pendingReason is set by the caller that triggers one).
+	override         int
+	ctl              *adapt.Controller
+	ctlP             int
+	rewires          int64
+	lastRewireReason string
+	pendingReason    string
+
+	// Load-sampling baselines: the controller and GroupInfo work on
+	// windowed deltas, so each metronome tick subtracts the previous
+	// totals. sampleGen invalidates the factory baselines across rewires
+	// (fresh factories restart their counters).
+	lastSampleAt  time.Time
+	sampleGen     int
+	lastBusy      time.Duration
+	lastFires     int64
+	lastIngTuples int64
+	lastIngStalls int64
+	lastIngStallT time.Duration
+	rates         groupRates
+}
+
+// groupRates is the windowed ingest activity of one group: deltas over
+// the last sampling window rather than lifetime totals, so explain and
+// Groups show current load.
+type groupRates struct {
+	window         time.Duration
+	tuplesPerSec   float64
+	stallsDelta    int64
+	stallTimeDelta time.Duration
 }
 
 // target returns the group's ingest delivery target, created on first
@@ -110,12 +148,33 @@ func (g *queryGroup) target() *ingest.SwitchTarget {
 // route-at-ingest applies when the group runs one partitioned wiring for
 // every member (shared/partial strategy), so a receptor batch can be
 // routed once and land in its destination partitions — or the catch-all
-// — without the stream basket and splitter hop. Separate wiring needs
-// the replicator's one-copy-per-member fan-out, so the stream basket
-// stays the entry point.
+// — without the stream basket and splitter hop. A partitioned separate
+// wiring routes at ingest too: the fan-out sink performs the
+// replicator's one-copy-per-member duplication itself, delivering each
+// copy straight into the member's partitioned basket (or private
+// replica) and each tap's replica, so the stream basket, replicator and
+// splitter transitions all leave the ingest path. Unpartitioned separate
+// wiring keeps the stream basket as the entry point.
 func (g *queryGroup) routeSink() ingest.Sink {
 	if g.effective != StrategySeparate && len(g.parts) > 0 && len(g.pbs) == 1 {
 		return ingest.PartitionedSink(g.pbs[0])
+	}
+	if g.effective == StrategySeparate && len(g.memberParts) > 0 {
+		sinks := make([]ingest.Sink, 0, len(g.scans)+len(g.taps))
+		for _, m := range g.scans {
+			switch {
+			case m.pb != nil:
+				sinks = append(sinks, ingest.PartitionedSink(m.pb))
+			case m.priv != nil:
+				sinks = append(sinks, ingest.BasketSink(m.priv))
+			}
+		}
+		for _, t := range g.taps {
+			sinks = append(sinks, ingest.BasketSink(t))
+		}
+		if len(sinks) > 0 {
+			return ingest.FanoutSink(sinks)
+		}
 	}
 	return ingest.BasketSink(g.stream)
 }
@@ -132,13 +191,17 @@ type stagedOut struct {
 
 // groupMember is one scan member: its compiled stream-scan artifact, the
 // private replica used under the separate strategy (created lazily,
-// persists across rewires so residual window tuples survive), and the
-// factories currently executing the query — one under unpartitioned
-// wiring, one clone per partition under partitioned wiring.
+// persists across rewires so residual window tuples survive), the
+// partitioned basket of the current wiring (nil when unpartitioned;
+// route-at-ingest delivers the member's stream copy straight into it),
+// and the factories currently executing the query — one under
+// unpartitioned wiring, one clone per partition under partitioned
+// wiring.
 type groupMember struct {
 	name      string
 	scan      *plan.StreamScan
 	priv      *basket.Basket
+	pb        *basket.PartitionedBasket
 	factories []*core.Factory
 }
 
@@ -257,7 +320,19 @@ func (e *Engine) rewireLocked(g *queryGroup) error {
 	g.parallel = 1
 	for _, m := range g.scans {
 		m.factories = nil
+		m.pb = nil
 	}
+	g.rewires++
+	if g.pendingReason != "" {
+		g.lastRewireReason = g.pendingReason
+		g.pendingReason = ""
+	} else {
+		g.lastRewireReason = "membership or configuration change"
+	}
+	// Fresh factories restart their fire/busy counters; invalidate the
+	// sampler's baselines so the next tick reports a zero delta instead of
+	// a negative one.
+	g.sampleGen = -1
 	if len(g.scans) == 0 && len(g.taps) == 0 {
 		return nil
 	}
@@ -341,7 +416,7 @@ func (e *Engine) wireSeparateLocked(g *queryGroup, prefix string) ([]*core.Facto
 // replica.
 func (e *Engine) wireMemberLocked(g *queryGroup, prefix string, m *groupMember) ([]*core.Factory, error) {
 	sq := m.scan.StreamQuery()
-	p := e.parallelism
+	p := e.groupParallelismLocked(g)
 	if p <= 1 || m.scan.Part.Mode == plan.PartNone {
 		f, err := core.NewStreamQueryFactory(prefix+".q."+m.name, m.priv, sq)
 		if err != nil {
@@ -360,6 +435,7 @@ func (e *Engine) wireMemberLocked(g *queryGroup, prefix string, m *groupMember) 
 		return nil, err
 	}
 	m.factories = pw.QueryFs[0]
+	m.pb = pb
 	if g.memberParts == nil {
 		g.memberParts = map[*groupMember][]*basket.Basket{}
 	}
@@ -394,7 +470,7 @@ func newPartitionedBasket(name string, names []string, types []vector.Type, p in
 // directly, so partitioning applies group-wide: every member must accept
 // the same split, otherwise the group stays at one partition.
 func (e *Engine) wireSharedChainLocked(g *queryGroup, prefix string) ([]*core.Factory, error) {
-	p := e.parallelism
+	p := e.groupParallelismLocked(g)
 	verdict := g.partitioning()
 	if p > 1 && verdict.Mode != plan.PartNone {
 		names, types := g.stream.UserSchema()
@@ -561,6 +637,9 @@ func (e *Engine) SetStrategy(s Strategy) error {
 		return nil
 	}
 	e.strategy = s
+	for _, g := range e.groups {
+		g.pendingReason = fmt.Sprintf("strategy switched to %s", s)
+	}
 	return e.rewireAllLocked()
 }
 
@@ -582,10 +661,14 @@ func (e *Engine) SetParallelism(p int) error {
 	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.parallelism == p {
+	if e.parallelism == p && !e.autoParallel {
 		return nil
 	}
 	e.parallelism = p
+	e.autoParallel = false
+	for _, g := range e.groups {
+		g.pendingReason = fmt.Sprintf("parallelism pinned to %d", p)
+	}
 	return e.rewireAllLocked()
 }
 
@@ -651,10 +734,34 @@ type GroupInfo struct {
 	// listener.
 	Receptors []IngestStats
 	// IngestTuples, IngestStalls and IngestStallTime aggregate the
-	// receptor counters across all shards.
+	// receptor counters across all shards. They are lifetime totals; the
+	// IngestWindow/…Delta fields below carry the windowed view.
 	IngestTuples    int64
 	IngestStalls    int64
 	IngestStallTime time.Duration
+
+	// AutoParallelism reports whether the adaptive controller drives this
+	// group's partition count (`set parallelism = auto`, engine-wide or
+	// per stream). CurrentP is the wiring target the controller (or the
+	// static setting) currently asks for — it can exceed Partitions when
+	// the group's plans are not partitionable and the wiring stays at 1.
+	AutoParallelism bool
+	CurrentP        int
+	// Rewires counts wiring rebuilds over the group's lifetime
+	// (registration, strategy/parallelism changes, controller decisions);
+	// LastRewireReason says why the most recent one happened.
+	Rewires          int64
+	LastRewireReason string
+	// Windowed ingest-load deltas, updated on each sampler tick (zero
+	// until the engine has started and a tick has run, or ManualAdaptTick
+	// has been called): the length of the last sampling window, the
+	// ingest rate over it, and how many receptor stalls / how much stall
+	// time accrued within it. Unlike the cumulative counters above these
+	// answer "is the group backpressured *now*".
+	IngestWindow         time.Duration
+	IngestTuplesPerSec   float64
+	IngestStallsDelta    int64
+	IngestStallTimeDelta time.Duration
 }
 
 // Groups reports the current multi-query wiring of every stream that has
@@ -673,7 +780,20 @@ func (e *Engine) Groups() []GroupInfo {
 		if len(g.scans) == 0 && len(g.taps) == 0 && len(g.listeners) == 0 {
 			continue
 		}
-		gi := GroupInfo{Stream: n, Strategy: g.effective, Partitions: g.parallel, Taps: len(g.taps)}
+		gi := GroupInfo{
+			Stream:               n,
+			Strategy:             g.effective,
+			Partitions:           g.parallel,
+			Taps:                 len(g.taps),
+			AutoParallelism:      e.groupAutoLocked(g),
+			CurrentP:             e.groupParallelismLocked(g),
+			Rewires:              g.rewires,
+			LastRewireReason:     g.lastRewireReason,
+			IngestWindow:         g.rates.window,
+			IngestTuplesPerSec:   g.rates.tuplesPerSec,
+			IngestStallsDelta:    g.rates.stallsDelta,
+			IngestStallTimeDelta: g.rates.stallTimeDelta,
+		}
 		if len(g.listeners) > 0 {
 			gi.IngestPath = g.target().Peek().Describe()
 			for _, l := range g.listeners {

@@ -1,0 +1,233 @@
+// Package adapt implements the load-feedback parallelism controller: a
+// hysteresis policy that turns per-group load samples (ingest stalls,
+// basket occupancy, clone utilisation) into per-group partition-count
+// decisions. The package is pure policy — it owns no goroutines, takes
+// no locks and touches no baskets; the engine samples the signals on its
+// metronome tick, feeds them to Decide and applies the returned target
+// through the ordinary quiesce-and-swap rewire path.
+//
+// The policy is deliberately conservative, mirroring the paper's
+// scheduler argument (§5) that the kernel should exploit whatever the
+// hardware offers — and nothing more:
+//
+//   - scale UP only on sustained backpressure: occupancy at or above the
+//     high-water mark, or ingest receptors spending a large fraction of
+//     the window stalled, for Patience consecutive ticks;
+//   - scale DOWN only on sustained idleness: clone utilisation below
+//     IdleFrac with occupancy at or below the low-water mark, again for
+//     Patience consecutive ticks;
+//   - always clamp to min(MaxP, GOMAXPROCS) and to the plan's
+//     partitionability verdict (Sample.MaxUseful) — a one-core box or a
+//     whole-stream plan never scales up, which is what keeps "auto"
+//     from re-creating the P=2 < P=1 inversion static sweeps exhibit;
+//   - a cooldown between rewires bounds thrash under oscillating load.
+package adapt
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Config tunes the controller. The zero value means defaults.
+type Config struct {
+	// Tick is the nominal sampling interval; it is the fallback window
+	// when a sample does not carry its own. Default 50ms.
+	Tick time.Duration
+	// HighWater is the occupancy (resident tuples in the group's hottest
+	// scanned basket) at or above which the group counts as
+	// backpressured. Default 65536, matching the ingest periphery's
+	// backpressure watermark.
+	HighWater int
+	// LowWater is the occupancy at or below which clones may be
+	// considered idle. Default HighWater/8.
+	LowWater int
+	// StallFrac is the fraction of the window the ingest receptors must
+	// have spent stalled for the group to count as backpressured even
+	// when occupancy is capped by the watermarks. Default 0.25.
+	StallFrac float64
+	// IdleFrac is the per-clone utilisation (busy time / (P × window))
+	// below which the wiring counts as idle. Default 0.2.
+	IdleFrac float64
+	// Patience is how many consecutive ticks a signal must persist
+	// before the controller acts — the hysteresis K. Default 3.
+	Patience int
+	// Cooldown is the minimum time between rewires of one group; a
+	// rewire quiesces factories and drains baskets, so back-to-back
+	// rewires under oscillating load would thrash. Default 8×Tick.
+	Cooldown time.Duration
+	// MaxP caps the partition count. Default GOMAXPROCS — clones beyond
+	// the core count only add routing and merge overhead.
+	MaxP int
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.Tick <= 0 {
+		c.Tick = 50 * time.Millisecond
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 65536
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = c.HighWater / 8
+	}
+	if c.StallFrac <= 0 {
+		c.StallFrac = 0.25
+	}
+	if c.IdleFrac <= 0 {
+		c.IdleFrac = 0.2
+	}
+	if c.Patience <= 0 {
+		c.Patience = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 8 * c.Tick
+	}
+	if c.MaxP <= 0 {
+		c.MaxP = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// Sample is one windowed load snapshot of a query group. All counters
+// are deltas over the window, not lifetime totals.
+type Sample struct {
+	// Occupancy is the resident tuple count of the group's hottest
+	// scanned basket (stream, private replicas, partition baskets; the
+	// catch-all is excluded — no clone drains it).
+	Occupancy int
+	// Stalls and StallTime are the ingest receptors' backpressure stalls
+	// and stalled time within the window.
+	Stalls    int64
+	StallTime time.Duration
+	// Busy is the time the wiring's factories spent executing bodies
+	// within the window, summed across clones; Fires the firings.
+	Busy  time.Duration
+	Fires int64
+	// Window is the wall time the deltas cover (0 means Config.Tick).
+	Window time.Duration
+	// CurrentP is the partition count of the installed wiring.
+	CurrentP int
+	// MaxUseful is the plan-side clamp: the largest P the group's
+	// partitionability verdict can exploit (1 for whole-stream plans).
+	// 0 means unknown, which leaves only the core clamp.
+	MaxUseful int
+}
+
+// Decision is the controller's verdict when it decides to act.
+type Decision struct {
+	P      int    // new partition count to rewire to
+	Reason string // human-readable justification, surfaced in GroupInfo/explain
+}
+
+// Controller holds the hysteresis state of one query group.
+type Controller struct {
+	cfg  Config
+	up   int       // consecutive backpressured ticks
+	down int       // consecutive idle ticks
+	last time.Time // time of the last acted-on decision
+
+	decisions int64
+}
+
+// New returns a controller with cfg (zero fields defaulted).
+func New(cfg Config) *Controller {
+	return &Controller{cfg: cfg.withDefaults()}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Decisions returns how many decisions the controller has issued.
+func (c *Controller) Decisions() int64 { return c.decisions }
+
+// limit returns the P ceiling for a sample: the configured/core cap
+// intersected with the plan verdict's clamp.
+func (c *Controller) limit(s Sample) int {
+	limit := c.cfg.MaxP
+	if s.MaxUseful >= 1 && s.MaxUseful < limit {
+		limit = s.MaxUseful
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// Decide consumes one sample and reports whether the group should
+// rewire. It never returns act=true twice within Cooldown, except for
+// the hard clamp: a wiring running more clones than the cores or the
+// plan can use is pure overhead and is cut back immediately.
+func (c *Controller) Decide(now time.Time, s Sample) (Decision, bool) {
+	limit := c.limit(s)
+	if s.CurrentP > limit {
+		c.up, c.down = 0, 0
+		c.last = now
+		c.decisions++
+		return Decision{
+			P:      limit,
+			Reason: fmt.Sprintf("clamp: P=%d exceeds limit %d (min of cores and plan verdict)", s.CurrentP, limit),
+		}, true
+	}
+
+	window := s.Window
+	if window <= 0 {
+		window = c.cfg.Tick
+	}
+	stalled := s.StallTime >= time.Duration(float64(window)*c.cfg.StallFrac)
+	backpressured := s.Occupancy >= c.cfg.HighWater || stalled
+	util := 0.0
+	if s.CurrentP > 0 && window > 0 {
+		util = float64(s.Busy) / (float64(window) * float64(s.CurrentP))
+	}
+	idle := s.CurrentP > 1 && util < c.cfg.IdleFrac && s.Occupancy <= c.cfg.LowWater
+
+	switch {
+	case backpressured && s.CurrentP < limit:
+		c.up++
+		c.down = 0
+	case idle:
+		c.down++
+		c.up = 0
+	default:
+		c.up, c.down = 0, 0
+	}
+
+	// The counters keep accumulating through the cooldown so a persistent
+	// signal acts the moment the cooldown expires, but no decision is
+	// issued before then.
+	if !c.last.IsZero() && now.Sub(c.last) < c.cfg.Cooldown {
+		return Decision{}, false
+	}
+
+	switch {
+	case c.up >= c.cfg.Patience:
+		p := s.CurrentP * 2
+		if p > limit {
+			p = limit
+		}
+		c.up, c.down = 0, 0
+		c.last = now
+		c.decisions++
+		return Decision{
+			P: p,
+			Reason: fmt.Sprintf("scale-up to P=%d: occupancy %d vs high water %d, stall %v of %v window, %d ticks sustained",
+				p, s.Occupancy, c.cfg.HighWater, s.StallTime.Round(time.Microsecond), window.Round(time.Microsecond), c.cfg.Patience),
+		}, true
+	case c.down >= c.cfg.Patience:
+		p := s.CurrentP / 2
+		if p < 1 {
+			p = 1
+		}
+		c.up, c.down = 0, 0
+		c.last = now
+		c.decisions++
+		return Decision{
+			P: p,
+			Reason: fmt.Sprintf("scale-down to P=%d: clones %.0f%% busy (idle threshold %.0f%%), occupancy %d at/below low water %d, %d ticks sustained",
+				p, util*100, c.cfg.IdleFrac*100, s.Occupancy, c.cfg.LowWater, c.cfg.Patience),
+		}, true
+	}
+	return Decision{}, false
+}

@@ -1,0 +1,238 @@
+package adapt
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// testCfg is a deterministic configuration: no dependence on the host's
+// core count, tight windows, explicit hysteresis.
+func testCfg() Config {
+	return Config{
+		Tick:      10 * time.Millisecond,
+		HighWater: 100,
+		LowWater:  10,
+		StallFrac: 0.25,
+		IdleFrac:  0.2,
+		Patience:  3,
+		Cooldown:  80 * time.Millisecond,
+		MaxP:      8,
+	}
+}
+
+// tick advances the clock one configured tick.
+func tick(now time.Time, cfg Config) time.Time { return now.Add(cfg.Tick) }
+
+func TestScaleUpNeedsSustainedBackpressure(t *testing.T) {
+	cfg := testCfg()
+	c := New(cfg)
+	now := time.Unix(0, 0)
+	hot := Sample{Occupancy: 500, CurrentP: 1, MaxUseful: 8, Window: cfg.Tick}
+	for i := 0; i < cfg.Patience-1; i++ {
+		if d, ok := c.Decide(now, hot); ok {
+			t.Fatalf("decided %+v after only %d ticks, patience is %d", d, i+1, cfg.Patience)
+		}
+		now = tick(now, cfg)
+	}
+	// One calm tick resets the streak.
+	if _, ok := c.Decide(now, Sample{Occupancy: 50, CurrentP: 1, MaxUseful: 8, Window: cfg.Tick}); ok {
+		t.Fatal("calm tick must not trigger a decision")
+	}
+	now = tick(now, cfg)
+	for i := 0; i < cfg.Patience-1; i++ {
+		if _, ok := c.Decide(now, hot); ok {
+			t.Fatalf("streak did not reset: decided after %d post-calm ticks", i+1)
+		}
+		now = tick(now, cfg)
+	}
+	d, ok := c.Decide(now, hot)
+	if !ok {
+		t.Fatal("sustained backpressure did not trigger a scale-up")
+	}
+	if d.P != 2 {
+		t.Fatalf("scale-up target P=%d, want doubling to 2", d.P)
+	}
+	if !strings.Contains(d.Reason, "scale-up") {
+		t.Fatalf("reason %q does not explain the scale-up", d.Reason)
+	}
+}
+
+func TestStallTimeAloneTriggersScaleUp(t *testing.T) {
+	cfg := testCfg()
+	c := New(cfg)
+	now := time.Unix(0, 0)
+	// Occupancy stays under the high-water mark (the ingest watermarks cap
+	// it) but the receptors spend most of the window stalled.
+	s := Sample{Occupancy: 50, StallTime: 8 * time.Millisecond, CurrentP: 2, MaxUseful: 8, Window: cfg.Tick}
+	var d Decision
+	var ok bool
+	for i := 0; i < cfg.Patience; i++ {
+		d, ok = c.Decide(now, s)
+		now = tick(now, cfg)
+	}
+	if !ok {
+		t.Fatal("sustained stall time did not trigger a scale-up")
+	}
+	if d.P != 4 {
+		t.Fatalf("scale-up target P=%d, want 4", d.P)
+	}
+}
+
+func TestScaleDownOnIdleClones(t *testing.T) {
+	cfg := testCfg()
+	c := New(cfg)
+	now := time.Unix(0, 0)
+	// P=4 but the clones are ~2% busy and the baskets are empty.
+	idle := Sample{Occupancy: 0, Busy: 800 * time.Microsecond, CurrentP: 4, MaxUseful: 8, Window: cfg.Tick}
+	var d Decision
+	var ok bool
+	for i := 0; i < cfg.Patience; i++ {
+		d, ok = c.Decide(now, idle)
+		now = tick(now, cfg)
+	}
+	if !ok {
+		t.Fatal("sustained idleness did not trigger a scale-down")
+	}
+	if d.P != 2 {
+		t.Fatalf("scale-down target P=%d, want halving to 2", d.P)
+	}
+	if !strings.Contains(d.Reason, "scale-down") {
+		t.Fatalf("reason %q does not explain the scale-down", d.Reason)
+	}
+}
+
+func TestBusyClonesAreNotScaledDown(t *testing.T) {
+	cfg := testCfg()
+	c := New(cfg)
+	now := time.Unix(0, 0)
+	// Empty baskets but clones busy 50% of the window: the group is keeping
+	// up precisely because of its parallelism; don't take it away.
+	busy := Sample{Occupancy: 0, Busy: 20 * time.Millisecond, CurrentP: 4, MaxUseful: 8, Window: cfg.Tick}
+	for i := 0; i < 3*cfg.Patience; i++ {
+		if d, ok := c.Decide(now, busy); ok {
+			t.Fatalf("busy wiring scaled to %+v", d)
+		}
+		now = tick(now, cfg)
+	}
+}
+
+func TestClampToCoresAndVerdict(t *testing.T) {
+	cfg := testCfg()
+	cfg.MaxP = 2 // a two-core box
+	c := New(cfg)
+	now := time.Unix(0, 0)
+	hot := Sample{Occupancy: 500, CurrentP: 2, MaxUseful: 8, Window: cfg.Tick}
+	// Backpressure at the core limit: no decision, ever.
+	for i := 0; i < 3*cfg.Patience; i++ {
+		if d, ok := c.Decide(now, hot); ok {
+			t.Fatalf("scaled past the core limit: %+v", d)
+		}
+		now = tick(now, cfg)
+	}
+	// A whole-stream plan (MaxUseful=1) running at P=4 is clamped back
+	// immediately, cooldown or not.
+	d, ok := c.Decide(now, Sample{Occupancy: 500, CurrentP: 4, MaxUseful: 1, Window: cfg.Tick})
+	if !ok {
+		t.Fatal("over-limit wiring was not clamped")
+	}
+	if d.P != 1 {
+		t.Fatalf("clamp target P=%d, want 1", d.P)
+	}
+	if !strings.Contains(d.Reason, "clamp") {
+		t.Fatalf("reason %q does not explain the clamp", d.Reason)
+	}
+}
+
+// TestCooldownBoundsThrash is the oscillating-load thrash test: load
+// that flips between hot and idle every Patience ticks would, without a
+// cooldown, rewire on every flip. The cooldown must bound the decision
+// rate to at most one per cooldown window (plus the initial one).
+func TestCooldownBoundsThrash(t *testing.T) {
+	cfg := testCfg()
+	cfg.Patience = 1 // act on a single tick — worst case for thrash
+	c := New(cfg)
+	now := time.Unix(0, 0)
+	start := now
+	p := 2
+	decisions := 0
+	const ticks = 100
+	for i := 0; i < ticks; i++ {
+		var s Sample
+		if i%2 == 0 {
+			s = Sample{Occupancy: 500, CurrentP: p, MaxUseful: 8, Window: cfg.Tick}
+		} else {
+			s = Sample{Occupancy: 0, CurrentP: p, MaxUseful: 8, Window: cfg.Tick}
+		}
+		if d, ok := c.Decide(now, s); ok {
+			decisions++
+			p = d.P
+		}
+		now = tick(now, cfg)
+	}
+	elapsed := now.Sub(start)
+	bound := int(elapsed/cfg.Cooldown) + 1
+	if decisions > bound {
+		t.Fatalf("oscillating load produced %d decisions over %v; cooldown %v bounds it to %d",
+			decisions, elapsed, cfg.Cooldown, bound)
+	}
+	if decisions == 0 {
+		t.Fatal("no decision at all; the thrash bound is vacuous")
+	}
+	if got := c.Decisions(); got != int64(decisions) {
+		t.Fatalf("Decisions() = %d, want %d", got, decisions)
+	}
+}
+
+// TestSignalPersistsThroughCooldown pins that the hysteresis counters
+// keep accumulating during the cooldown: a persistent signal acts the
+// moment the cooldown expires rather than restarting its patience.
+func TestSignalPersistsThroughCooldown(t *testing.T) {
+	cfg := testCfg()
+	cfg.Patience = 2
+	c := New(cfg)
+	now := time.Unix(0, 0)
+	hot := Sample{Occupancy: 500, CurrentP: 1, MaxUseful: 8, Window: cfg.Tick}
+	// First decision.
+	var acted bool
+	for i := 0; i < cfg.Patience; i++ {
+		_, acted = c.Decide(now, hot)
+		now = tick(now, cfg)
+	}
+	if !acted {
+		t.Fatal("no initial decision")
+	}
+	// Keep the pressure on straight through the cooldown.
+	hot.CurrentP = 2
+	var d Decision
+	deadline := now.Add(2 * cfg.Cooldown)
+	for !acted2(&d, c, now, hot) {
+		now = tick(now, cfg)
+		if now.After(deadline) {
+			t.Fatal("persistent signal never acted after the cooldown expired")
+		}
+	}
+	if d.P != 4 {
+		t.Fatalf("post-cooldown target P=%d, want 4", d.P)
+	}
+}
+
+func acted2(d *Decision, c *Controller, now time.Time, s Sample) bool {
+	got, ok := c.Decide(now, s)
+	if ok {
+		*d = got
+	}
+	return ok
+}
+
+func TestDefaults(t *testing.T) {
+	c := New(Config{})
+	cfg := c.Config()
+	if cfg.Tick <= 0 || cfg.HighWater <= 0 || cfg.LowWater <= 0 || cfg.Patience <= 0 ||
+		cfg.Cooldown <= 0 || cfg.MaxP < 1 || cfg.IdleFrac <= 0 || cfg.StallFrac <= 0 {
+		t.Fatalf("defaults left zero fields: %+v", cfg)
+	}
+	if cfg.LowWater >= cfg.HighWater {
+		t.Fatalf("low water %d not below high water %d", cfg.LowWater, cfg.HighWater)
+	}
+}

@@ -62,6 +62,51 @@ func (s partitionedSink) Describe() string {
 // partitions of pb.
 func PartitionedSink(pb *basket.PartitionedBasket) Sink { return partitionedSink{pb: pb} }
 
+// fanoutSink delivers every batch to all of its member sinks — the
+// route-at-ingest form of the separate strategy's replicator: each
+// member (and tap) receives its own copy of the batch directly, routed
+// through the member's partitioned basket when it has one, so neither
+// the stream basket nor the replicator and splitter transitions sit on
+// the ingest path.
+type fanoutSink struct{ sinks []Sink }
+
+func (s fanoutSink) Append(rel *bat.Relation) (int, error) {
+	n := 0
+	var firstErr error
+	for _, sub := range s.sinks {
+		m, err := sub.Append(rel)
+		if m > n {
+			// Report the stream-level tuple count, not the sum over copies:
+			// the receptor's Tuples counter means "stream tuples delivered",
+			// matching the single-sink paths.
+			n = m
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return n, firstErr
+}
+
+func (s fanoutSink) Occupancy() int {
+	occ := 0
+	for _, sub := range s.sinks {
+		if n := sub.Occupancy(); n > occ {
+			occ = n
+		}
+	}
+	return occ
+}
+
+func (s fanoutSink) Describe() string {
+	return fmt.Sprintf("route-at-ingest fan-out to %d member sinks", len(s.sinks))
+}
+
+// FanoutSink returns a sink replicating every batch into each member
+// sink. Occupancy is the maximum across members, so backpressure
+// engages when the slowest member lags.
+func FanoutSink(sinks []Sink) Sink { return fanoutSink{sinks: sinks} }
+
 // Target resolves the sink of every delivery. Acquire returns the current
 // sink and a release function; the sink stays valid until release is
 // called. Implementations guard sink swaps (engine rewires) behind this
