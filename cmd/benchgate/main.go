@@ -241,6 +241,108 @@ func gateAdaptAuto(rows []adaptRow, div float64) (measurement, bool, bool) {
 	return m, true, m.belowFloor(div)
 }
 
+// walDoc mirrors the BENCH_wal.json layout.
+type walDoc struct {
+	Rows []walRow `json:"rows"`
+}
+
+// walRow is one durability sweep point, keyed by (wal, sync interval,
+// shards, batch); protocol is always binary.
+type walRow struct {
+	WAL            string  `json:"wal"`
+	SyncIntervalMS float64 `json:"sync_interval_ms"`
+	Protocol       string  `json:"protocol"`
+	Shards         int     `json:"shards"`
+	Batch          int     `json:"batch"`
+	EventsPerSec   float64 `json:"events_per_second"`
+}
+
+func (r walRow) key() string {
+	return fmt.Sprintf("wal %s sync=%gms shards=%d batch=%d events/s",
+		r.WAL, r.SyncIntervalMS, r.Shards, r.Batch)
+}
+
+func loadWAL(path string) ([]walRow, map[string]float64, error) {
+	var doc walDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]float64{}
+	for _, r := range doc.Rows {
+		out[r.key()] = r.EventsPerSec
+	}
+	return doc.Rows, out, nil
+}
+
+// walOverhead is the fraction of undurable throughput a WAL-on run must
+// keep: the tee, CRC and group commit may not cost more than 30% before
+// the gate's divisor slack even starts to apply.
+const walOverhead = 0.7
+
+// gateWALOverhead enforces the durability tax within the current run:
+// every WAL-on row must reach at least walOverhead× the WAL-off row of
+// the same (shards, batch), measured on the same box in the same job —
+// a regression in the tee or the group-commit path cannot hide behind a
+// slow runner.
+func gateWALOverhead(rows []walRow, div float64) (checked, bad []measurement) {
+	off := map[string]float64{}
+	for _, r := range rows {
+		if r.WAL == "off" {
+			off[fmt.Sprintf("shards=%d batch=%d", r.Shards, r.Batch)] = r.EventsPerSec
+		}
+	}
+	for _, r := range rows {
+		if r.WAL != "on" {
+			continue
+		}
+		base, ok := off[fmt.Sprintf("shards=%d batch=%d", r.Shards, r.Batch)]
+		if !ok || base == 0 {
+			continue
+		}
+		m := measurement{
+			name:      fmt.Sprintf("wal on sync=%gms vs off shards=%d batch=%d", r.SyncIntervalMS, r.Shards, r.Batch),
+			committed: walOverhead * base,
+			current:   r.EventsPerSec,
+		}
+		checked = append(checked, m)
+		if m.belowFloor(div) {
+			bad = append(bad, m)
+		}
+	}
+	return checked, bad
+}
+
+// gateWALVsIngest is the cross-file durability floor the issue pins:
+// every current WAL-on row must reach walOverhead× the committed
+// BENCH_ingest.json binary row of the same (shards, batch), divided by
+// the gate's slack — the WAL may not cost the repo its committed ingest
+// trajectory.
+func gateWALVsIngest(rows []walRow, ingest map[string]float64, div float64) (checked, bad []measurement) {
+	for _, r := range rows {
+		if r.WAL != "on" {
+			continue
+		}
+		base, ok := ingest[fmt.Sprintf("ingest binary shards=%d batch=%d events/s", r.Shards, r.Batch)]
+		if !ok || base == 0 {
+			continue
+		}
+		m := measurement{
+			name:      fmt.Sprintf("wal on sync=%gms vs committed ingest shards=%d batch=%d", r.SyncIntervalMS, r.Shards, r.Batch),
+			committed: walOverhead * base,
+			current:   r.EventsPerSec,
+		}
+		checked = append(checked, m)
+		if m.belowFloor(div) {
+			bad = append(bad, m)
+		}
+	}
+	return checked, bad
+}
+
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
 // "BenchmarkSQLQueryFiring-8  100  723510 ns/op  18720 B/op  45 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op(?:\s+[\d.]+ [A-Za-z]+/s)?\s+[\d.]+ B/op\s+([\d.]+) allocs/op`)
@@ -303,6 +405,9 @@ func main() {
 	adaptBase := flag.String("adapt-baseline", "", "committed BENCH_adapt.json (events/s floors; optional)")
 	adaptCur := flag.String("adapt-current", "BENCH_adapt.json", "regenerated BENCH_adapt.json")
 	adaptDiv := flag.Float64("adapt-div", 1.5, "adapt floor divisor: per-mode floors and the auto ≥ best-static/div consistency gate")
+	walBase := flag.String("wal-baseline", "", "committed BENCH_wal.json (events/s floors; optional)")
+	walCur := flag.String("wal-current", "BENCH_wal.json", "regenerated BENCH_wal.json")
+	walDiv := flag.Float64("wal-div", 2.0, "wal floor divisor: per-row floors plus the WAL-on ≥ 0.7×WAL-off and 0.7×committed-ingest gates (fsync-bound runs jitter more than plain ingest)")
 	flag.Parse()
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
@@ -445,6 +550,52 @@ func main() {
 		}
 	}
 
+	var walBad []measurement
+	if *walBase != "" {
+		_, base, err := loadWAL(*walBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		curRows, cur, err := loadWAL(*walCur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		walChecked, walRowBad := gateIngest(base, cur, *walDiv)
+		walBad = walRowBad
+		// Same-file consistency: the durability tax measured against the
+		// WAL-off rows from the same job.
+		ovChecked, ovBad := gateWALOverhead(curRows, *walDiv)
+		walChecked = append(walChecked, ovChecked...)
+		walBad = append(walBad, ovBad...)
+		// Cross-file: WAL-on throughput against the committed ingest binary
+		// trajectory, when the committed ingest baseline is at hand.
+		if *ingestBase != "" {
+			ingestCommitted, err := loadIngest(*ingestBase)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+				os.Exit(2)
+			}
+			xChecked, xBad := gateWALVsIngest(curRows, ingestCommitted, *walDiv)
+			walChecked = append(walChecked, xChecked...)
+			walBad = append(walBad, xBad...)
+		}
+		for _, m := range walChecked {
+			status := "ok"
+			if m.belowFloor(*walDiv) {
+				status = "REGRESSED"
+			}
+			fmt.Printf("benchgate: %-56s committed %.0f, current %.0f, floor %.0f  [%s]\n",
+				m.name, m.committed, m.current, m.committed / *walDiv, status)
+		}
+		if len(walChecked) == 0 {
+			fmt.Println("benchgate: no committed wal row was measured; wal not gated")
+		} else {
+			fmt.Printf("benchgate: %d wal floor(s) checked\n", len(walChecked))
+		}
+	}
+
 	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d allocation budget(s) regressed past committed*(1+%.2f)+%.0f\n",
 			len(bad), *slack, *abs)
@@ -461,7 +612,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %d adapt floor(s) fell below committed/%.2f\n",
 			len(adaptBad), *adaptDiv)
 	}
-	if len(bad) > 0 || len(ingestBad) > 0 || len(aggBad) > 0 || len(adaptBad) > 0 {
+	if len(walBad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d wal floor(s) fell below committed/%.2f\n",
+			len(walBad), *walDiv)
+	}
+	if len(bad) > 0 || len(ingestBad) > 0 || len(aggBad) > 0 || len(adaptBad) > 0 || len(walBad) > 0 {
 		os.Exit(1)
 	}
 }

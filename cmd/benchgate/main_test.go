@@ -165,6 +165,67 @@ func TestAdaptAutoConsistencyGate(t *testing.T) {
 	}
 }
 
+func TestWALOverheadGate(t *testing.T) {
+	rows := []walRow{
+		{WAL: "off", Shards: 1, Batch: 64, EventsPerSec: 5000000},
+		{WAL: "off", Shards: 4, Batch: 1024, EventsPerSec: 6000000},
+		{WAL: "on", SyncIntervalMS: 2, Shards: 1, Batch: 64, EventsPerSec: 4000000},
+		{WAL: "on", SyncIntervalMS: 2, Shards: 4, Batch: 1024, EventsPerSec: 1500000},
+		{WAL: "on", SyncIntervalMS: 10, Shards: 8, Batch: 64, EventsPerSec: 100}, // no off sibling: skipped
+	}
+	checked, bad := gateWALOverhead(rows, 2.0)
+	if len(checked) != 2 {
+		t.Fatalf("checked %d rows, want 2: %v", len(checked), checked)
+	}
+	// shards=1: 4M >= 0.7*5M/2 = 1.75M, ok. shards=4: 1.5M < 0.7*6M/2 = 2.1M, regressed.
+	if len(bad) != 1 || bad[0].name != "wal on sync=2ms vs off shards=4 batch=1024" {
+		t.Fatalf("regressions = %v, want exactly the shards=4 overhead floor", bad)
+	}
+}
+
+func TestWALVsIngestGate(t *testing.T) {
+	rows := []walRow{
+		{WAL: "off", Shards: 1, Batch: 64, EventsPerSec: 5000000}, // off rows never gated here
+		{WAL: "on", SyncIntervalMS: 2, Shards: 1, Batch: 64, EventsPerSec: 3000000},
+		{WAL: "on", SyncIntervalMS: 2, Shards: 4, Batch: 1024, EventsPerSec: 2000000},
+		{WAL: "on", SyncIntervalMS: 2, Shards: 8, Batch: 64, EventsPerSec: 100}, // no committed row: skipped
+	}
+	ingest := map[string]float64{
+		"ingest binary shards=1 batch=64 events/s":   7000000,
+		"ingest binary shards=4 batch=1024 events/s": 7000000,
+	}
+	checked, bad := gateWALVsIngest(rows, ingest, 2.0)
+	if len(checked) != 2 {
+		t.Fatalf("checked %d rows, want 2: %v", len(checked), checked)
+	}
+	// floor = 0.7*7M/2 = 2.45M: 3M ok, 2M regressed.
+	if len(bad) != 1 || bad[0].name != "wal on sync=2ms vs committed ingest shards=4 batch=1024" {
+		t.Fatalf("regressions = %v, want exactly the shards=4 cross-file floor", bad)
+	}
+}
+
+func TestWALFloorLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.json")
+	doc := `{
+	  "fig": "wal",
+	  "rows": [
+	    {"wal": "off", "sync_interval_ms": 0, "protocol": "binary", "shards": 1, "batch": 64, "events_per_second": 5000000},
+	    {"wal": "on", "sync_interval_ms": 2, "protocol": "binary", "shards": 1, "batch": 64, "events_per_second": 4000000}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, keyed, err := loadWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || keyed["wal on sync=2ms shards=1 batch=64 events/s"] != 4000000 {
+		t.Fatalf("loadWAL parsed %v / %v", rows, keyed)
+	}
+}
+
 func TestAdaptFloorLoad(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "adapt.json")

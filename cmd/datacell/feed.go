@@ -11,6 +11,7 @@ import (
 	"datacell"
 	"datacell/internal/bat"
 	"datacell/internal/ingest"
+	"datacell/internal/stream"
 )
 
 const drainTimeout = 10 * time.Second
@@ -40,6 +41,68 @@ func feedStdin(eng *datacell.Engine, stream string) error {
 	}
 	fmt.Fprintf(os.Stderr, "datacell: fed %d tuples into %s\n", n, stream)
 	return sc.Err()
+}
+
+// relayStdin forwards stdin to a remote receptor record by record
+// through a reconnecting writer: textual lines or, with -binary, whole
+// wire frames sized from their header. A dead or restarting kernel
+// costs backoff-paced redials and resent records, not lost input.
+func relayStdin(addr string, binary bool) error {
+	w, err := stream.NewReconnWriter(&stream.Dialer{Addr: addr})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	in := bufio.NewReaderSize(os.Stdin, 64*1024)
+	records := 0
+	if binary {
+		head := make([]byte, ingest.WireHeaderSize)
+		frame := make([]byte, 0, 64*1024)
+		for {
+			if _, err := io.ReadFull(in, head); err != nil {
+				if err == io.EOF {
+					break
+				}
+				return fmt.Errorf("datacell: stdin frame header: %w", err)
+			}
+			size, err := ingest.FrameSize(head)
+			if err != nil {
+				return fmt.Errorf("datacell: stdin frame: %w", err)
+			}
+			if cap(frame) < size {
+				frame = make([]byte, size)
+			}
+			frame = frame[:size]
+			copy(frame, head)
+			if _, err := io.ReadFull(in, frame[len(head):]); err != nil {
+				return fmt.Errorf("datacell: stdin frame body: %w", err)
+			}
+			if _, err := w.Write(frame); err != nil {
+				return err
+			}
+			records++
+		}
+	} else {
+		sc := bufio.NewScanner(in)
+		sc.Buffer(make([]byte, 64*1024), 1024*1024)
+		var line []byte
+		for sc.Scan() {
+			if len(sc.Bytes()) == 0 {
+				continue
+			}
+			line = append(append(line[:0], sc.Bytes()...), '\n')
+			if _, err := w.Write(line); err != nil {
+				return err
+			}
+			records++
+		}
+		if err := sc.Err(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "datacell: relayed %d record(s) to %s (%d reconnect(s))\n",
+		records, addr, w.Reconnects)
+	return nil
 }
 
 // feedStdinBinary decodes binary batch frames from stdin into the named

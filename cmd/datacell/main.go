@@ -40,14 +40,22 @@ func (l *listFlag) Set(s string) error { *l = append(*l, s); return nil }
 func main() {
 	script := flag.String("script", "", "SQL script to execute (required)")
 	feed := flag.String("feed", "", "stream to feed with tuples from stdin")
-	binary := flag.Bool("binary", false, "stdin carries binary batch frames instead of text lines (with -feed)")
+	binary := flag.Bool("binary", false, "stdin carries binary batch frames instead of text lines (with -feed or -relay)")
 	shards := flag.Int("shards", 1, "receptor shards per -listen address")
 	print := flag.String("print", "", "query whose results are printed to stdout")
+	walDir := flag.String("wal", "", "directory for the durable ingest WAL (recovers on start)")
+	relay := flag.String("relay", "", "forward stdin to a remote receptor at this address (no engine; retries with backoff)")
 	var listens, serves listFlag
 	flag.Var(&listens, "listen", "stream=addr: attach a TCP receptor group (repeatable)")
 	flag.Var(&serves, "serve", "query=addr: serve a query's results over TCP (repeatable)")
 	flag.Parse()
 
+	if *relay != "" {
+		if err := relayStdin(*relay, *binary); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *script == "" {
 		fmt.Fprintln(os.Stderr, "datacell: -script is required")
 		os.Exit(2)
@@ -64,6 +72,19 @@ func main() {
 	for _, info := range infos {
 		if info.Continuous {
 			fmt.Fprintf(os.Stderr, "registered continuous query %s\n", info.Name)
+		}
+	}
+	if *walDir != "" {
+		if err := eng.OpenWAL(datacell.WALOptions{Dir: *walDir}); err != nil {
+			fatal(err)
+		}
+		rec, err := eng.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		if rec.Frames > 0 || rec.TruncatedBytes > 0 {
+			fmt.Fprintf(os.Stderr, "wal: recovered %d frames (%d tuples) across %d stream(s), repaired %d torn bytes\n",
+				rec.Frames, rec.Tuples, rec.Streams, rec.TruncatedBytes)
 		}
 	}
 

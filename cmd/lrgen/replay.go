@@ -4,7 +4,6 @@ import (
 	"bufio"
 	"fmt"
 	"io"
-	"net"
 	"os"
 
 	"datacell/internal/ingest"
@@ -31,6 +30,14 @@ var lrNames = []string{"typ", "time", "vid", "spd", "xway", "lane", "dir", "seg"
 // over that many parallel connections; with -binary, each connection
 // ships columnar batch frames of -batch tuples instead of text lines —
 // the sensor side of the engine's sharded ingest periphery.
+//
+// TCP connections go through stream.ReconnWriter: dials and mid-stream
+// write failures retry with capped exponential backoff and jitter, and
+// each record (a frame or a line) is resent whole on the fresh
+// connection, so a restarting kernel costs redelivery, not the replay.
+// Record alignment is why no bufio sits between the encoders and the
+// connection — every Write the reconnecting writer sees must be one
+// complete wire record.
 func replayTrace(path, target string, speedup float64, binary bool, shards, batch int) (int64, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -44,18 +51,22 @@ func replayTrace(path, target string, speedup float64, binary bool, shards, batc
 	if target == "" {
 		shards = 1 // stdout is one channel
 	}
-	writers := make([]*bufio.Writer, shards)
+	writers := make([]io.Writer, shards)
+	var stdout *bufio.Writer
+	reconns := make([]*stream.ReconnWriter, 0, shards)
 	for i := range writers {
-		var w io.Writer = os.Stdout
-		if target != "" {
-			conn, err := net.Dial("tcp", target)
-			if err != nil {
-				return 0, err
-			}
-			defer conn.Close()
-			w = conn
+		if target == "" {
+			stdout = bufio.NewWriterSize(os.Stdout, 64*1024)
+			writers[i] = stdout
+			continue
 		}
-		writers[i] = bufio.NewWriterSize(w, 64*1024)
+		w, err := stream.NewReconnWriter(&stream.Dialer{Addr: target})
+		if err != nil {
+			return 0, err
+		}
+		defer w.Close()
+		reconns = append(reconns, w)
+		writers[i] = w
 	}
 	var encoders []*ingest.BatchWriter
 	if binary {
@@ -67,6 +78,7 @@ func replayTrace(path, target string, speedup float64, binary bool, shards, batc
 
 	rp := stream.NewReplayer(lrTimeCol, speedup)
 	next := 0
+	var lineBuf []byte
 	emit := func(line string) error {
 		k := next % shards
 		next++
@@ -78,10 +90,9 @@ func replayTrace(path, target string, speedup float64, binary bool, shards, batc
 			}
 			return encoders[k].WriteRow(vals...)
 		}
-		if _, err := writers[k].WriteString(line); err != nil {
-			return err
-		}
-		return writers[k].WriteByte('\n')
+		lineBuf = append(append(lineBuf[:0], line...), '\n')
+		_, err := writers[k].Write(lineBuf)
+		return err
 	}
 	flush := func() error {
 		for i := range writers {
@@ -90,14 +101,18 @@ func replayTrace(path, target string, speedup float64, binary bool, shards, batc
 					return err
 				}
 			}
-			if err := writers[i].Flush(); err != nil {
-				return err
-			}
+		}
+		if stdout != nil {
+			return stdout.Flush()
 		}
 		return nil
 	}
 	err = rp.ReplayFunc(f, emit, flush)
-	fmt.Fprintf(os.Stderr, "lrgen: replayed %d tuples over %d connection(s) (paused %v)\n",
-		rp.Lines, shards, rp.Paused)
+	redials := 0
+	for _, w := range reconns {
+		redials += w.Reconnects
+	}
+	fmt.Fprintf(os.Stderr, "lrgen: replayed %d tuples over %d connection(s) (paused %v, %d reconnect(s))\n",
+		rp.Lines, shards, rp.Paused, redials)
 	return rp.Lines, err
 }

@@ -11,6 +11,7 @@
 //	microbench -fig agg     two-phase aggregation events/s vs parallelism, per strategy
 //	microbench -fig adapt   ramp workload: adaptive controller vs static parallelism
 //	microbench -fig ingest  loopback ingest events/s: protocol × batch × shards
+//	microbench -fig wal     loopback binary ingest events/s: WAL off/on × fsync interval
 //	microbench -fig kernel  pure kernel events/second
 //	microbench -fig all     everything
 //
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"time"
 
 	datacell "datacell"
 	"datacell/internal/microbench"
@@ -44,7 +46,7 @@ func writeJSON(enabled bool, fig string, rows any) error {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, scale, prune, agg, adapt, ingest, kernel, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 4a, 4b, 5a, 5b, 5be, scale, prune, agg, adapt, ingest, wal, kernel, all")
 	tuples := flag.Int("tuples", 100_000, "tuples per run (paper: 1e5)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	jsonOut := flag.Bool("json", false, "also write each figure's data to BENCH_<fig>.json")
@@ -69,9 +71,10 @@ func main() {
 	run("agg", func() error { return figAgg(*tuples, *seed, *jsonOut) })
 	run("adapt", func() error { return figAdapt(*tuples, *seed, *jsonOut) })
 	run("ingest", func() error { return figIngest(*tuples, *jsonOut) })
+	run("wal", func() error { return figWAL(*tuples, *jsonOut) })
 	run("kernel", func() error { return kernel(*tuples, *seed, *jsonOut) })
 	switch *fig {
-	case "4a", "4b", "5a", "5b", "5be", "scale", "prune", "agg", "adapt", "ingest", "kernel", "all":
+	case "4a", "4b", "5a", "5b", "5be", "scale", "prune", "agg", "adapt", "ingest", "wal", "kernel", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
@@ -450,6 +453,67 @@ func figIngest(tuples int, jsonOut bool) error {
 		fmt.Printf("# binary sharded vs textual single-socket: %.2fx\n", best/baseline)
 	}
 	return writeJSON(jsonOut, "ingest", rows)
+}
+
+// figWAL sweeps the durability tax: binary loopback ingest with the WAL
+// off and on at two group-commit intervals, over the same shards × batch
+// grid the ingest figure uses for its binary rows. benchgate's
+// -wal-baseline holds the WAL-on rows to a fraction of both their own
+// committed floors and the committed WAL-off ingest numbers.
+func figWAL(tuples int, jsonOut bool) error {
+	type row struct {
+		WAL            string  `json:"wal"`
+		SyncIntervalMS float64 `json:"sync_interval_ms"`
+		Protocol       string  `json:"protocol"`
+		Shards         int     `json:"shards"`
+		Batch          int     `json:"batch"`
+		Tuples         int     `json:"tuples"`
+		EventsPerSec   float64 `json:"events_per_second"`
+		Frames         int64   `json:"frames"`
+		WALBytes       int64   `json:"wal_bytes"`
+	}
+	fmt.Printf("# WAL: binary ingest events/s (10^6) over loopback TCP; wal off/on × fsync interval, GOMAXPROCS=%d\n",
+		runtime.GOMAXPROCS(0))
+	fmt.Println("wal\tsync_ms\tbatch\tshards\tevents_per_sec")
+	type mode struct {
+		on   bool
+		sync time.Duration
+	}
+	modes := []mode{{false, 0}, {true, 2 * time.Millisecond}, {true, 10 * time.Millisecond}}
+	var rows []row
+	off := map[[2]int]float64{} // (shards,batch) → WAL-off events/s
+	worst := 1.0
+	for _, m := range modes {
+		for _, batch := range []int{64, 1024} {
+			for _, shards := range []int{1, 4} {
+				res, err := datacell.RunIngestWAL(m.on, m.sync, shards, batch, tuples)
+				if err != nil {
+					return err
+				}
+				walCol := "off"
+				if m.on {
+					walCol = "on"
+				}
+				rows = append(rows, row{
+					WAL: walCol, SyncIntervalMS: float64(m.sync) / float64(time.Millisecond),
+					Protocol: "binary", Shards: shards, Batch: batch, Tuples: tuples,
+					EventsPerSec: res.EventsPerSec, Frames: res.Frames, WALBytes: res.WALBytes,
+				})
+				fmt.Printf("%s\t%g\t%d\t%d\t%.2fM\n",
+					walCol, float64(m.sync)/float64(time.Millisecond), batch, shards, res.EventsPerSec/1e6)
+				key := [2]int{shards, batch}
+				if !m.on {
+					off[key] = res.EventsPerSec
+				} else if base := off[key]; base > 0 {
+					if r := res.EventsPerSec / base; r < worst {
+						worst = r
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("# worst WAL-on / WAL-off ratio: %.2fx\n", worst)
+	return writeJSON(jsonOut, "wal", rows)
 }
 
 // kernel measures pure kernel activity and the firing path's allocation

@@ -83,6 +83,11 @@ type Engine struct {
 	started     bool
 	qctr        int
 
+	// wal is the engine's write-ahead logging state (nil until OpenWAL):
+	// per-stream logs that receptor deliveries tee into and Recover
+	// replays from.
+	wal *walState
+
 	// Adaptive parallelism: autoParallel hands the partition count of
 	// groups without a per-stream override to the load controller;
 	// adaptOpts tunes the controllers; adaptStop/adaptDone bound the
@@ -782,6 +787,13 @@ type IngestOptions struct {
 	// the legacy ingest path, kept as an escape hatch and as the baseline
 	// of differential tests.
 	SplitterPath bool
+	// IdleTimeout closes a connection whose client sends nothing for this
+	// long, so a dead sender stops pinning a shard goroutine. 0 disables
+	// the deadline (the default).
+	IdleTimeout time.Duration
+	// NoWAL exempts this listener from the engine's write-ahead log even
+	// when OpenWAL is active (e.g. a throwaway diagnostic tap).
+	NoWAL bool
 }
 
 // IngestStats is one receptor shard's activity snapshot.
@@ -794,6 +806,8 @@ type IngestStats struct {
 	Frames    int64         // binary frames decoded
 	Tuples    int64         // tuples delivered into the kernel
 	Invalid   int64         // malformed lines / rejected frames
+	TimedOut  int64         // connections closed by the idle read deadline
+	WALErrors int64         // batches rejected because the WAL append failed
 	Stalls    int64         // backpressure stalls
 	StallTime time.Duration // total time spent stalled
 }
@@ -836,6 +850,8 @@ func (l *IngestListener) Stats() []IngestStats {
 			Frames:    s.Frames,
 			Tuples:    s.Tuples,
 			Invalid:   s.Invalid,
+			TimedOut:  s.TimedOut,
+			WALErrors: s.WALErrors,
 			Stalls:    s.Stalls,
 			StallTime: s.StallTime,
 		}
@@ -883,13 +899,26 @@ func (e *Engine) ListenIngest(streamName, addr string, o IngestOptions) (*Ingest
 	if o.SplitterPath {
 		tgt = ingest.NewSwitchTarget(ingest.BasketSink(b))
 	}
+	// Write-ahead tee: when the engine has a WAL open, every accepted
+	// batch is logged to the stream's log before it is routed.
+	var blog ingest.BatchLog
+	if e.wal != nil && !o.NoWAL {
+		lg, _, werr := e.walLogForLocked(streamName)
+		if werr != nil {
+			e.mu.Unlock()
+			return nil, werr
+		}
+		blog = lg
+	}
 	e.mu.Unlock()
 	names, types := b.UserSchema()
 	ig, err := ingest.Listen(streamName, addr, names, types, tgt, ingest.Options{
-		Shards:    o.Shards,
-		BatchSize: o.BatchSize,
-		HighWater: o.HighWater,
-		LowWater:  o.LowWater,
+		Shards:      o.Shards,
+		BatchSize:   o.BatchSize,
+		HighWater:   o.HighWater,
+		LowWater:    o.LowWater,
+		WAL:         blog,
+		IdleTimeout: o.IdleTimeout,
 	})
 	if err != nil {
 		return nil, err
@@ -934,8 +963,18 @@ func (e *Engine) ServeTCP(query, addr string) (string, error) {
 	return te.Addr(), nil
 }
 
-// Start launches the scheduler and all subscribed emitters.
+// Start launches the scheduler and all subscribed emitters. An engine
+// with an open WAL recovers first: any un-replayed log tail is driven
+// through the router before the first factory fires.
 func (e *Engine) Start() error {
+	e.mu.Lock()
+	walOpen := e.wal != nil
+	e.mu.Unlock()
+	if walOpen {
+		if _, err := e.Recover(); err != nil {
+			return err
+		}
+	}
 	e.mu.Lock()
 	if e.started {
 		e.mu.Unlock()
@@ -965,9 +1004,14 @@ func (e *Engine) Start() error {
 
 // Drain blocks until the factory network is quiescent or the timeout
 // elapses, reporting whether it drained. Useful after feeding a known
-// amount of input.
+// amount of input. A successful drain checkpoints the WAL: everything
+// logged so far has been consumed by the kernel, so recovery can skip it.
 func (e *Engine) Drain(timeout time.Duration) bool {
-	return e.sch.WaitQuiescent(timeout)
+	drained := e.sch.WaitQuiescent(timeout)
+	if drained {
+		e.checkpointWAL(false)
+	}
+	return drained
 }
 
 // RunSync fires enabled factories on the calling goroutine until the
@@ -1008,6 +1052,10 @@ func (e *Engine) Stop() {
 	if started {
 		e.sch.Stop()
 	}
+	// Clean shutdown checkpoints and closes the stream logs (after the
+	// listeners, so no delivery can tee into a closed log). A crashed or
+	// failed log refuses the checkpoint, preserving its replayable tail.
+	e.checkpointWAL(true)
 	for _, t := range touts {
 		t.Close()
 	}

@@ -1,0 +1,213 @@
+package datacell
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"datacell/internal/ingest"
+	"datacell/internal/vector"
+)
+
+// flipProxy forwards one client connection to backend, XOR-flipping the
+// byte at absolute stream offset flipAt — a mid-stream corruption that
+// keeps the frame header valid and breaks only the CRC.
+func flipProxy(t *testing.T, backend string, flipAt int) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		b, err := net.Dial("tcp", backend)
+		if err != nil {
+			return
+		}
+		defer b.Close()
+		buf := make([]byte, 4096)
+		off := 0
+		for {
+			n, rerr := c.Read(buf)
+			if n > 0 {
+				if flipAt >= off && flipAt < off+n {
+					buf[flipAt-off] ^= 0xFF
+				}
+				off += n
+				if _, werr := b.Write(buf[:n]); werr != nil {
+					return
+				}
+			}
+			if rerr != nil {
+				return
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestIngestMidStreamCorruption is the regression for the hardened
+// binary failure path: a byte flipped inside a frame's payload fails the
+// CRC, the receptor counts the connection invalid and poisons it (frame
+// boundaries are lost), the corrupted frame's tuples never reach the
+// kernel, and a fresh clean connection works untouched.
+func TestIngestMidStreamCorruption(t *testing.T) {
+	eng := New()
+	defer eng.Stop()
+	if _, err := eng.Exec(`create basket s (k int, v int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterQuery("q", `select t.k, t.v from [select * from s] t`); err != nil {
+		t.Fatal(err)
+	}
+	l, err := eng.ListenIngest("s", "127.0.0.1:0", IngestOptions{BatchSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt a payload byte of the first frame: offset just past the
+	// 12-byte header, so the magic/length stay intact and only the CRC
+	// trips.
+	proxyAddr := flipProxy(t, l.Addr(), ingest.WireHeaderSize+2)
+	conn, err := net.Dial("tcp", proxyAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := ingest.NewBatchWriter(conn, []string{"k", "v"}, []vector.Type{vector.Int, vector.Int}, 16)
+	for i := 0; i < 80; i++ {
+		if err := bw.WriteRow(vector.NewInt(int64(i)), vector.NewInt(int64(i))); err != nil {
+			break // server may already have dropped the poisoned conn
+		}
+	}
+	bw.Flush()
+	conn.Close()
+
+	// The corrupted connection must be counted invalid and deliver none of
+	// the poisoned stream's tuples.
+	deadline := time.Now().Add(10 * time.Second)
+	invalid := int64(0)
+	for time.Now().Before(deadline) && invalid == 0 {
+		invalid = 0
+		for _, st := range l.Stats() {
+			invalid += st.Invalid
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if invalid != 1 {
+		t.Fatalf("invalid connections = %d, want 1", invalid)
+	}
+
+	// A fresh, clean connection is unaffected.
+	conn2, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw2 := ingest.NewBatchWriter(conn2, []string{"k", "v"}, []vector.Type{vector.Int, vector.Int}, 16)
+	const clean = 48
+	for i := 0; i < clean; i++ {
+		if err := bw2.WriteRow(vector.NewInt(int64(i)), vector.NewInt(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	conn2.Close()
+	waitIngested(t, eng, "s", clean)
+	if !eng.Drain(30 * time.Second) {
+		t.Fatal("engine did not drain")
+	}
+	out, err := eng.Out("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != clean {
+		t.Fatalf("query emitted %d rows, want %d: corrupted frames must not deliver", out.Len(), clean)
+	}
+}
+
+// TestIngestIdleTimeout pins IngestOptions.IdleTimeout: a connection
+// that goes silent — mid-stream or straight after connecting — is closed
+// by the receptor and counted as timed out, while the tuples it sent
+// before the silence are delivered normally.
+func TestIngestIdleTimeout(t *testing.T) {
+	eng := New()
+	defer eng.Stop()
+	if _, err := eng.Exec(`create basket s (k int, v int)`); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.RegisterQuery("q", `select t.k, t.v from [select * from s] t`); err != nil {
+		t.Fatal(err)
+	}
+	l, err := eng.ListenIngest("s", "127.0.0.1:0", IngestOptions{
+		BatchSize:   4,
+		IdleTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One connection sends a tuple then goes silent; another never sends a
+	// byte (it times out during the protocol sniff).
+	talker, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer talker.Close()
+	if _, err := fmt.Fprintf(talker, "1|10\n"); err != nil {
+		t.Fatal(err)
+	}
+	silent, err := net.Dial("tcp", l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+
+	// The server must close both; the reads observe the remote close.
+	for _, c := range []net.Conn{talker, silent} {
+		c.SetReadDeadline(time.Now().Add(10 * time.Second))
+		if _, err := c.Read(make([]byte, 1)); err == io.EOF {
+			continue
+		} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			t.Fatal("receptor did not close the idle connection")
+		}
+	}
+	timedOut := int64(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) && timedOut < 2 {
+		timedOut = 0
+		for _, st := range l.Stats() {
+			timedOut += st.TimedOut
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if timedOut != 2 {
+		t.Fatalf("timed-out connections = %d, want 2", timedOut)
+	}
+
+	// The tuple sent before the silence was delivered.
+	waitIngested(t, eng, "s", 1)
+	if !eng.Drain(30 * time.Second) {
+		t.Fatal("engine did not drain")
+	}
+	out, err := eng.Out("q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("query emitted %d rows, want 1", out.Len())
+	}
+}

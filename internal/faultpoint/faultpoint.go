@@ -1,0 +1,163 @@
+// Package faultpoint provides named, atomically-toggled failure sites for
+// fault-injection testing. Production code threads Check calls through its
+// failure-prone paths (writes, fsyncs, deliveries); tests arm a site with an
+// Action and the call site simulates the corresponding fault: an injected
+// error, a short (torn) write, or a crash.
+//
+// When no site is armed — the production steady state — Check is a single
+// atomic load and returns immediately, so the hooks cost nothing on the hot
+// path. Injections are one-shot: a site fires once after skipping a
+// configured number of hits and then disarms itself, which keeps tests
+// deterministic.
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Action tells the call site how to fail when its faultpoint fires.
+type Action uint8
+
+const (
+	// None means the site is not armed; proceed normally.
+	None Action = iota
+	// Err makes the call site return an injected error without damaging
+	// any state (the hardened-path case: callers must surface it cleanly).
+	Err
+	// Short makes the call site perform a torn write — persist a prefix of
+	// the record, then crash — leaving a partial record for recovery to
+	// repair.
+	Short
+	// Crash makes the call site simulate abrupt process death at that
+	// point: unflushed state is dropped and no further writes happen.
+	Crash
+)
+
+func (a Action) String() string {
+	switch a {
+	case None:
+		return "none"
+	case Err:
+		return "err"
+	case Short:
+		return "short"
+	case Crash:
+		return "crash"
+	}
+	return fmt.Sprintf("action(%d)", uint8(a))
+}
+
+// ErrInjected is the default error returned by sites armed with Err.
+var ErrInjected = errors.New("faultpoint: injected failure")
+
+type injection struct {
+	act   Action
+	after int64 // hits to skip before firing
+	err   error
+}
+
+var (
+	armed   atomic.Int32 // number of armed sites; 0 = fast path
+	mu      sync.Mutex
+	sites   map[string]*injection
+	hits    map[string]int64
+	crashFn atomic.Value // func()
+)
+
+// Inject arms site so that its (after+1)-th Check fires the action, then
+// disarms it. err overrides ErrInjected for the Err action; pass nil for the
+// default.
+func Inject(site string, act Action, after int, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if sites == nil {
+		sites = make(map[string]*injection)
+	}
+	if _, ok := sites[site]; !ok {
+		armed.Add(1)
+	}
+	sites[site] = &injection{act: act, after: int64(after), err: err}
+}
+
+// Clear disarms every site and resets hit counters. Crash functions set with
+// SetCrashFn are left in place.
+func Clear() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(sites)))
+	sites = nil
+	hits = nil
+}
+
+// Armed reports whether the named site still has a pending injection.
+func Armed(site string) bool {
+	mu.Lock()
+	defer mu.Unlock()
+	_, ok := sites[site]
+	return ok
+}
+
+// Hits returns how many times Check has been called for site while any site
+// was armed. Useful for asserting a code path was actually exercised.
+func Hits(site string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return hits[site]
+}
+
+// Check is called by production code at a failure site. It returns the
+// action to simulate, and for Err the error to return. When nothing is armed
+// it is a single atomic load.
+func Check(site string) (Action, error) {
+	if armed.Load() == 0 {
+		return None, nil
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits == nil {
+		hits = make(map[string]int64)
+	}
+	hits[site]++
+	in := sites[site]
+	if in == nil {
+		return None, nil
+	}
+	if in.after > 0 {
+		in.after--
+		return None, nil
+	}
+	delete(sites, site)
+	armed.Add(-1)
+	if in.act == Err && in.err != nil {
+		return Err, in.err
+	}
+	if in.act == Err {
+		return Err, fmt.Errorf("%w at %s", ErrInjected, site)
+	}
+	return in.act, nil
+}
+
+// SetCrashFn installs the function invoked by CrashNow when a Crash or Short
+// action fires. Subprocess tests set os.Exit here so the crash is a real
+// process death; when nil (the default) the call site simulates the crash
+// in-process. Pass nil to restore the default.
+func SetCrashFn(fn func()) {
+	crashFn.Store(wrappedCrash{fn})
+}
+
+type wrappedCrash struct{ fn func() }
+
+// CrashNow invokes the installed crash function, if any. It returns false
+// when none is installed, in which case the caller must simulate the crash
+// itself (drop buffers, refuse further writes).
+func CrashNow() bool {
+	v, _ := crashFn.Load().(wrappedCrash)
+	if v.fn == nil {
+		return false
+	}
+	v.fn()
+	return true
+}

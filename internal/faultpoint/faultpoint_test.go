@@ -1,0 +1,82 @@
+package faultpoint
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDisarmedFastPath(t *testing.T) {
+	Clear()
+	if act, err := Check("nope"); act != None || err != nil {
+		t.Fatalf("disarmed Check = %v, %v", act, err)
+	}
+	if Hits("nope") != 0 {
+		t.Fatalf("hits counted while disarmed")
+	}
+}
+
+func TestOneShotAfter(t *testing.T) {
+	Clear()
+	defer Clear()
+	Inject("w", Err, 2, nil)
+	for i := 0; i < 2; i++ {
+		if act, _ := Check("w"); act != None {
+			t.Fatalf("hit %d fired early: %v", i, act)
+		}
+	}
+	act, err := Check("w")
+	if act != Err || !errors.Is(err, ErrInjected) {
+		t.Fatalf("third hit = %v, %v; want Err/ErrInjected", act, err)
+	}
+	if Armed("w") {
+		t.Fatalf("site still armed after firing")
+	}
+	if act, _ := Check("w"); act != None {
+		t.Fatalf("fired twice")
+	}
+	// Hits are counted only while some site is armed (the disarmed fast
+	// path skips the bookkeeping entirely).
+	if Hits("w") != 3 {
+		t.Fatalf("hits = %d, want 3", Hits("w"))
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	Clear()
+	defer Clear()
+	boom := errors.New("boom")
+	Inject("e", Err, 0, boom)
+	if _, err := Check("e"); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestCrashFn(t *testing.T) {
+	Clear()
+	defer SetCrashFn(nil)
+	if CrashNow() {
+		t.Fatalf("CrashNow with no fn should report false")
+	}
+	called := false
+	SetCrashFn(func() { called = true })
+	if !CrashNow() || !called {
+		t.Fatalf("installed crash fn not invoked")
+	}
+	SetCrashFn(nil)
+	if CrashNow() {
+		t.Fatalf("crash fn not cleared")
+	}
+}
+
+func TestClearDisarms(t *testing.T) {
+	Clear()
+	Inject("a", Crash, 0, nil)
+	Inject("b", Short, 0, nil)
+	Clear()
+	if act, _ := Check("a"); act != None {
+		t.Fatalf("a still armed after Clear")
+	}
+	if armed.Load() != 0 {
+		t.Fatalf("armed counter = %d after Clear", armed.Load())
+	}
+}

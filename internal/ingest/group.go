@@ -2,6 +2,7 @@ package ingest
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -12,9 +13,24 @@ import (
 
 	"datacell/internal/basket"
 	"datacell/internal/bat"
+	"datacell/internal/faultpoint"
 	"datacell/internal/stream"
 	"datacell/internal/vector"
 )
+
+// FaultDeliver is the faultpoint site between the WAL tee and the basket
+// append: a crash here models dying after a frame is durably logged but
+// before it is routed, the case recovery must replay.
+const FaultDeliver = "ingest.deliver"
+
+// BatchLog is the write-ahead tee of the delivery path. Every accepted
+// batch — binary frames and textual lines alike, re-encoded through the
+// one wire format — is logged before it is routed into baskets, so the
+// WAL is a faithful prefix of what the kernel saw. *wal.Log implements it;
+// the indirection keeps ingest free of a disk dependency.
+type BatchLog interface {
+	LogBatch(rel *bat.Relation) (uint64, error)
+}
 
 // Sink is where a receptor delivers decoded batches: the stream basket
 // (splitter-fed path) or a partitioned basket (route-at-ingest path).
@@ -173,6 +189,14 @@ type Options struct {
 	// LowWater is the occupancy below which a stalled receptor resumes.
 	// 0 means HighWater/2.
 	LowWater int
+	// WAL, when non-nil, logs every accepted batch before it is routed
+	// into baskets. A log failure closes the connection (the sender sees
+	// the break and retries) rather than delivering unlogged tuples.
+	WAL BatchLog
+	// IdleTimeout closes a connection whose client sends nothing for this
+	// long, freeing the shard goroutine it would otherwise pin. 0 (the
+	// default) disables the deadline.
+	IdleTimeout time.Duration
 }
 
 func (o Options) shards() int {
@@ -219,6 +243,8 @@ type Stats struct {
 	Frames    int64         // binary frames decoded
 	Tuples    int64         // tuples delivered into the sink
 	Invalid   int64         // malformed lines / rejected frames
+	TimedOut  int64         // connections closed by the idle read deadline
+	WALErrors int64         // batches rejected because the WAL append failed
 	Stalls    int64         // backpressure stalls
 	StallTime time.Duration // total time spent stalled
 }
@@ -254,6 +280,8 @@ type shard struct {
 	frames atomic.Int64
 	tuples atomic.Int64
 	inval  atomic.Int64
+	tmout  atomic.Int64
+	walErr atomic.Int64
 	stalls atomic.Int64
 	stallT atomic.Int64 // nanoseconds
 }
@@ -318,6 +346,8 @@ func (g *Group) Stats() []Stats {
 			Frames:    s.frames.Load(),
 			Tuples:    s.tuples.Load(),
 			Invalid:   s.inval.Load(),
+			TimedOut:  s.tmout.Load(),
+			WALErrors: s.walErr.Load(),
 			Stalls:    s.stalls.Load(),
 			StallTime: time.Duration(s.stallT.Load()),
 		}
@@ -382,17 +412,46 @@ func (g *Group) acceptLoop(s *shard) {
 	}
 }
 
+// deadlineReader arms a fresh read deadline before every read, so a dead
+// client that stops sending unblocks the decode loop instead of pinning a
+// shard goroutine forever. hit records that the last read error was the
+// idle deadline expiring (read by the same serve goroutine only).
+type deadlineReader struct {
+	conn net.Conn
+	d    time.Duration
+	hit  bool
+}
+
+func (r *deadlineReader) Read(p []byte) (int, error) {
+	if r.d > 0 {
+		r.conn.SetReadDeadline(time.Now().Add(r.d))
+	}
+	n, err := r.conn.Read(p)
+	if err != nil {
+		var ne net.Error
+		if errors.As(err, &ne) && ne.Timeout() {
+			r.hit = true
+		}
+	}
+	return n, err
+}
+
 // serveConn sniffs the protocol of one accepted connection and decodes it
 // to completion.
 func (g *Group) serveConn(s *shard, conn net.Conn) {
-	br := bufio.NewReaderSize(conn, 64*1024)
+	dr := &deadlineReader{conn: conn, d: g.opts.IdleTimeout}
+	br := bufio.NewReaderSize(dr, 64*1024)
 	batch := bat.NewEmptyRelation(g.names, g.types)
 	if SniffBinary(br) {
-		g.serveBinary(s, br, batch)
+		g.serveBinary(s, dr, br, batch)
+		return
+	}
+	if dr.hit {
+		s.tmout.Add(1)
 		return
 	}
 	s.text.Add(1)
-	g.serveText(s, br, batch)
+	g.serveText(s, dr, br, batch)
 }
 
 // Delivery rule, both protocols: a batch ships when it reaches
@@ -403,7 +462,7 @@ func (g *Group) serveConn(s *shard, conn net.Conn) {
 // BatchSize accumulates; BatchSize only coalesces while more input is
 // in flight.
 
-func (g *Group) serveBinary(s *shard, br *bufio.Reader, batch *bat.Relation) {
+func (g *Group) serveBinary(s *shard, dr *deadlineReader, br *bufio.Reader, batch *bat.Relation) {
 	fr := NewFrameReader(br, g.types)
 	for {
 		_, err := fr.DecodeFrameInto(batch)
@@ -413,8 +472,13 @@ func (g *Group) serveBinary(s *shard, br *bufio.Reader, batch *bat.Relation) {
 		}
 		if err != nil {
 			// A protocol error poisons the connection: frame boundaries are
-			// lost, so deliver what decoded cleanly and drop the rest.
-			s.inval.Add(1)
+			// lost, so deliver what decoded cleanly and drop the rest. An
+			// idle-deadline expiry is the client's silence, not corruption.
+			if dr.hit {
+				s.tmout.Add(1)
+			} else {
+				s.inval.Add(1)
+			}
 			_ = g.deliver(s, batch)
 			return
 		}
@@ -427,7 +491,7 @@ func (g *Group) serveBinary(s *shard, br *bufio.Reader, batch *bat.Relation) {
 	}
 }
 
-func (g *Group) serveText(s *shard, br *bufio.Reader, batch *bat.Relation) {
+func (g *Group) serveText(s *shard, dr *deadlineReader, br *bufio.Reader, batch *bat.Relation) {
 	// A hand-rolled line loop instead of bufio.Scanner: the scanner
 	// buffers internally, which would hide whether the sender paused —
 	// the delivery signal above.
@@ -444,6 +508,9 @@ func (g *Group) serveText(s *shard, br *bufio.Reader, batch *bat.Relation) {
 				long = append(long, chunk...)
 			}
 			if err != nil && err != io.EOF {
+				if dr.hit {
+					s.tmout.Add(1)
+				}
 				_ = g.deliver(s, batch)
 				return
 			}
@@ -454,6 +521,9 @@ func (g *Group) serveText(s *shard, br *bufio.Reader, batch *bat.Relation) {
 				return
 			}
 		default:
+			if dr.hit {
+				s.tmout.Add(1)
+			}
 			_ = g.deliver(s, batch)
 			return
 		}
@@ -488,6 +558,27 @@ const stallPoll = 200 * time.Microsecond
 func (g *Group) deliver(s *shard, batch *bat.Relation) error {
 	if batch.Len() == 0 {
 		return nil
+	}
+	// Write-ahead tee: the batch is logged before anything is routed, so
+	// recovery never has to invent tuples the kernel saw but the log
+	// missed. A log failure drops the batch and closes the connection —
+	// the sender's retry path owns redelivery.
+	if g.opts.WAL != nil {
+		if _, err := g.opts.WAL.LogBatch(batch); err != nil {
+			s.walErr.Add(1)
+			batch.Clear()
+			return err
+		}
+	}
+	// Crash-between-log-and-route faultpoint: the frame is durable but the
+	// basket never sees it; recovery must replay it.
+	if act, ferr := faultpoint.Check(FaultDeliver); act != faultpoint.None {
+		if act != faultpoint.Err {
+			faultpoint.CrashNow()
+			ferr = fmt.Errorf("%w: crash at %s", faultpoint.ErrInjected, FaultDeliver)
+		}
+		batch.Clear()
+		return ferr
 	}
 	hw, lw := g.opts.highWater(), g.opts.lowWater()
 	for {

@@ -354,6 +354,50 @@ func decodeColumn(v *vector.Vector, t vector.Type, b []byte, n int) {
 	}
 }
 
+// WireHeaderSize is the byte size of a binary frame header: enough to
+// learn a frame's total extent without touching its payload.
+const WireHeaderSize = headerSize
+
+// FrameSize validates the magic, version and payload-length bounds of the
+// frame whose first WireHeaderSize bytes are head, and returns the frame's
+// total byte size (header + payload). It lets a log or relay carve whole
+// frames out of a byte stream without decoding them.
+func FrameSize(head []byte) (int, error) {
+	if len(head) < headerSize {
+		return 0, fmt.Errorf("%w: %d header bytes", ErrTruncated, len(head))
+	}
+	if head[0] != magic0 || head[1] != magic1 {
+		return 0, fmt.Errorf("%w: 0x%02x%02x", ErrBadMagic, head[0], head[1])
+	}
+	if head[2] != wireVersion {
+		return 0, fmt.Errorf("%w: %d", ErrBadVersion, head[2])
+	}
+	ncols := int(head[3])
+	plen := int(binary.LittleEndian.Uint32(head[4:]))
+	if plen < ncols+4 || plen > maxPayload {
+		return 0, fmt.Errorf("%w: payload length %d", ErrTruncated, plen)
+	}
+	return headerSize + plen, nil
+}
+
+// VerifyFrame checks that frame holds exactly one structurally-valid frame
+// whose payload matches its header CRC, without decoding any values. It is
+// the integrity check WAL recovery runs over every logged record.
+func VerifyFrame(frame []byte) error {
+	size, err := FrameSize(frame)
+	if err != nil {
+		return err
+	}
+	if len(frame) != size {
+		return fmt.Errorf("%w: %d bytes for a %d-byte frame", ErrTruncated, len(frame), size)
+	}
+	payload := frame[headerSize:]
+	if got, want := crc32.ChecksumIEEE(payload), binary.LittleEndian.Uint32(frame[8:]); got != want {
+		return fmt.Errorf("%w: got 0x%08x, want 0x%08x", ErrBadCRC, got, want)
+	}
+	return nil
+}
+
 // SniffBinary reports whether the connection speaks the binary frame
 // protocol, by peeking at its first two bytes without consuming them. The
 // magic bytes are outside the textual format's alphabet (tuples are

@@ -1,0 +1,155 @@
+package stream
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Dialer dials a receptor with capped exponential backoff and jitter —
+// the sensor-side answer to a kernel that is restarting, recovering its
+// WAL, or momentarily out of accept slots. A zero Dialer with just Addr
+// set uses the defaults below.
+type Dialer struct {
+	// Addr is the receptor address ("host:port").
+	Addr string
+	// Attempts caps how many dials one DialRetry (or one mid-stream
+	// reconnect) makes before surfacing the final error. Default 5.
+	Attempts int
+	// BaseDelay is the pause after the first failure; each further
+	// failure doubles it up to MaxDelay. Defaults 50ms and 2s.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Jitter scales a uniform random addition to each delay: a delay d
+	// becomes d + rand(0, d*Jitter). Default 0.5; negative disables.
+	Jitter float64
+	// Dial and Sleep are swappable for tests. Defaults: net.Dial("tcp",
+	// addr) and time.Sleep.
+	Dial  func(addr string) (net.Conn, error)
+	Sleep func(d time.Duration)
+}
+
+func (d *Dialer) attempts() int {
+	if d.Attempts > 0 {
+		return d.Attempts
+	}
+	return 5
+}
+
+func (d *Dialer) delay(failures int) time.Duration {
+	base := d.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := d.MaxDelay
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	delay := base << uint(failures-1)
+	if delay > max || delay <= 0 { // <=0 catches shift overflow
+		delay = max
+	}
+	jitter := d.Jitter
+	if jitter == 0 {
+		jitter = 0.5
+	}
+	if jitter > 0 {
+		delay += time.Duration(rand.Int63n(int64(float64(delay)*jitter) + 1))
+	}
+	return delay
+}
+
+func (d *Dialer) dial() (net.Conn, error) {
+	if d.Dial != nil {
+		return d.Dial(d.Addr)
+	}
+	return net.Dial("tcp", d.Addr)
+}
+
+func (d *Dialer) sleep(dur time.Duration) {
+	if d.Sleep != nil {
+		d.Sleep(dur)
+		return
+	}
+	time.Sleep(dur)
+}
+
+// DialRetry dials Addr, retrying with exponential backoff and jitter up
+// to Attempts times, and returns the connection or the final error.
+func (d *Dialer) DialRetry() (net.Conn, error) {
+	var err error
+	for i := 1; i <= d.attempts(); i++ {
+		var conn net.Conn
+		conn, err = d.dial()
+		if err == nil {
+			return conn, nil
+		}
+		if i < d.attempts() {
+			d.sleep(d.delay(i))
+		}
+	}
+	return nil, fmt.Errorf("stream: dial %s failed after %d attempts: %w", d.Addr, d.attempts(), err)
+}
+
+// ReconnWriter is a record-aligned retrying writer over a Dialer: each
+// Write must carry one complete wire record (a binary frame or a textual
+// line), so that a reconnect never splits a record across connections.
+// On a write error it closes the dead connection, redials with backoff,
+// and resends the same record on the fresh connection; only when the
+// dialer's attempts are exhausted does the error surface to the caller.
+//
+// Redelivery is at-least-once: records buffered in a dead kernel's
+// socket are lost with it, and a record whose write half-succeeded
+// before the failure may arrive twice. The WAL tee on the receiving side
+// makes accepted records durable; exactly-once is out of scope.
+type ReconnWriter struct {
+	d    *Dialer
+	conn net.Conn
+	// Reconnects counts mid-stream redials (not the initial dial).
+	Reconnects int
+}
+
+var _ io.WriteCloser = (*ReconnWriter)(nil)
+
+// NewReconnWriter dials the target (with retry) and returns the writer.
+func NewReconnWriter(d *Dialer) (*ReconnWriter, error) {
+	conn, err := d.DialRetry()
+	if err != nil {
+		return nil, err
+	}
+	return &ReconnWriter{d: d, conn: conn}, nil
+}
+
+// Write sends one complete record, reconnecting and resending on failure.
+func (w *ReconnWriter) Write(p []byte) (int, error) {
+	if w.conn == nil {
+		return 0, fmt.Errorf("stream: write on closed ReconnWriter")
+	}
+	if _, err := w.conn.Write(p); err == nil {
+		return len(p), nil
+	}
+	w.conn.Close()
+	conn, err := w.d.DialRetry()
+	if err != nil {
+		w.conn = nil
+		return 0, err
+	}
+	w.conn = conn
+	w.Reconnects++
+	if _, err := w.conn.Write(p); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// Close closes the current connection.
+func (w *ReconnWriter) Close() error {
+	if w.conn == nil {
+		return nil
+	}
+	err := w.conn.Close()
+	w.conn = nil
+	return err
+}

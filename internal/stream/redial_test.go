@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scriptConn is a net.Conn whose Write fails after failAfter successful
+// writes, recording everything written before the failure.
+type scriptConn struct {
+	net.Conn // panics on unimplemented methods, none are used
+	buf      bytes.Buffer
+	writes   int
+	failAt   int // fail on the Nth write (1-based); 0 = never
+	closed   bool
+}
+
+func (c *scriptConn) Write(p []byte) (int, error) {
+	c.writes++
+	if c.failAt > 0 && c.writes >= c.failAt {
+		return 0, errors.New("broken pipe")
+	}
+	return c.buf.Write(p)
+}
+
+func (c *scriptConn) Close() error { c.closed = true; return nil }
+
+func TestDialRetryBackoff(t *testing.T) {
+	var delays []time.Duration
+	fails := 3
+	dials := 0
+	d := &Dialer{
+		Addr:      "test:1",
+		Attempts:  5,
+		BaseDelay: 10 * time.Millisecond,
+		MaxDelay:  40 * time.Millisecond,
+		Jitter:    -1, // deterministic
+		Dial: func(string) (net.Conn, error) {
+			dials++
+			if dials <= fails {
+				return nil, errors.New("refused")
+			}
+			return &scriptConn{}, nil
+		},
+		Sleep: func(dur time.Duration) { delays = append(delays, dur) },
+	}
+	conn, err := d.DialRetry()
+	if err != nil {
+		t.Fatalf("DialRetry: %v", err)
+	}
+	conn.Close()
+	if dials != 4 {
+		t.Fatalf("dials = %d, want 4", dials)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	if len(delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", delays, want)
+	}
+	for i := range want {
+		if delays[i] != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v (capped doubling)", i, delays[i], want[i])
+		}
+	}
+}
+
+func TestDialRetryExhaustsAttempts(t *testing.T) {
+	dials := 0
+	d := &Dialer{
+		Addr:     "test:1",
+		Attempts: 3,
+		Jitter:   -1,
+		Dial:     func(string) (net.Conn, error) { dials++; return nil, errors.New("refused") },
+		Sleep:    func(time.Duration) {},
+	}
+	_, err := d.DialRetry()
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want final error after 3 attempts", err)
+	}
+	if dials != 3 {
+		t.Fatalf("dials = %d, want 3", dials)
+	}
+}
+
+func TestDialRetryJitterBounded(t *testing.T) {
+	d := &Dialer{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second, Jitter: 0.5}
+	for i := 0; i < 50; i++ {
+		dur := d.delay(1)
+		if dur < 100*time.Millisecond || dur > 150*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [100ms, 150ms]", dur)
+		}
+	}
+}
+
+func TestReconnWriterResendsRecord(t *testing.T) {
+	var conns []*scriptConn
+	d := &Dialer{
+		Addr:   "test:1",
+		Jitter: -1,
+		Dial: func(string) (net.Conn, error) {
+			c := &scriptConn{}
+			if len(conns) == 0 {
+				c.failAt = 3 // first conn dies on its third record
+			}
+			conns = append(conns, c)
+			return c, nil
+		},
+		Sleep: func(time.Duration) {},
+	}
+	w, err := NewReconnWriter(d)
+	if err != nil {
+		t.Fatalf("NewReconnWriter: %v", err)
+	}
+	for _, rec := range []string{"a|1\n", "b|2\n", "c|3\n", "d|4\n"} {
+		if _, err := w.Write([]byte(rec)); err != nil {
+			t.Fatalf("Write(%q): %v", rec, err)
+		}
+	}
+	w.Close()
+	if len(conns) != 2 {
+		t.Fatalf("connections = %d, want 2", len(conns))
+	}
+	if !conns[0].closed {
+		t.Fatalf("dead connection not closed")
+	}
+	if got := conns[0].buf.String(); got != "a|1\nb|2\n" {
+		t.Fatalf("conn0 got %q", got)
+	}
+	// The record that hit the failure was resent whole on the new conn.
+	if got := conns[1].buf.String(); got != "c|3\nd|4\n" {
+		t.Fatalf("conn1 got %q, want the failed record resent first", got)
+	}
+	if w.Reconnects != 1 {
+		t.Fatalf("Reconnects = %d, want 1", w.Reconnects)
+	}
+}
+
+func TestReconnWriterSurfacesFinalError(t *testing.T) {
+	first := true
+	d := &Dialer{
+		Addr:     "test:1",
+		Attempts: 2,
+		Jitter:   -1,
+		Dial: func(string) (net.Conn, error) {
+			if first {
+				first = false
+				return &scriptConn{failAt: 1}, nil
+			}
+			return nil, errors.New("refused")
+		},
+		Sleep: func(time.Duration) {},
+	}
+	w, err := NewReconnWriter(d)
+	if err != nil {
+		t.Fatalf("NewReconnWriter: %v", err)
+	}
+	if _, err := w.Write([]byte("x|1\n")); err == nil {
+		t.Fatalf("Write should surface the exhausted-redial error")
+	}
+	if _, err := w.Write([]byte("y|2\n")); err == nil {
+		t.Fatalf("writes after a failed reconnect should keep failing")
+	}
+}

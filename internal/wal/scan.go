@@ -1,0 +1,270 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment file layout:
+//
+//	offset 0   magic  "DCWL"
+//	offset 4   version (currently 1)
+//	offset 5   3 reserved bytes (zero)
+//	offset 8   first frame sequence number in this segment (uint64 LE)
+//	offset 16  records:
+//	           'F' + one binary ingest frame, verbatim (self-delimiting:
+//	               its 12-byte header carries the payload length, its CRC
+//	               covers the payload) — consumes one sequence number
+//	           'C' + checkpoint seq (uint64 LE) + CRC-32 IEEE over those
+//	               8 bytes — consumes no sequence number
+//
+// Frame sequence numbers are implicit: the i-th frame record of a segment
+// has seq firstSeq+i, and consecutive segments must be seq-contiguous.
+// Everything after the last intact record of the *last* segment is a torn
+// tail (the write that died mid-crash) and is truncated on open; a tear or
+// gap anywhere else is hard corruption and refuses to open.
+const (
+	segHeaderSize = 16
+	segVersion    = 1
+	segSuffix     = ".seg"
+
+	kindFrame      = 'F'
+	kindCheckpoint = 'C'
+)
+
+var segMagic = [4]byte{'D', 'C', 'W', 'L'}
+
+type segInfo struct {
+	path     string
+	firstSeq uint64
+	frames   int
+	ckpt     uint64 // highest intact checkpoint record, 0 if none
+	validEnd int64  // offset just past the last intact record
+	size     int64  // file size on disk
+	torn     bool   // scan stopped before EOF (torn or corrupt tail)
+	headless bool   // missing/short/corrupt segment header
+}
+
+func (s *segInfo) nextSeq() uint64 { return s.firstSeq + uint64(s.frames) }
+
+// segName returns the canonical file name of the segment whose first frame
+// has the given sequence number.
+func segName(firstSeq uint64) string {
+	return fmt.Sprintf("%016x%s", firstSeq, segSuffix)
+}
+
+// listSegments returns the segment files of dir in sequence order.
+func listSegments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, segSuffix) {
+			continue
+		}
+		if _, err := strconv.ParseUint(strings.TrimSuffix(name, segSuffix), 16, 64); err != nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// scanSegment reads one segment file, validating every record, and calls
+// emit (when non-nil) with each intact frame and its sequence number. It
+// never modifies the file: tears are reported via the returned segInfo.
+func scanSegment(path string, from uint64, emit func(seq uint64, frame []byte) error) (segInfo, error) {
+	info := segInfo{path: path}
+	f, err := os.Open(path)
+	if err != nil {
+		return info, err
+	}
+	defer f.Close()
+	if st, err := f.Stat(); err == nil {
+		info.size = st.Size()
+	}
+
+	br := bufio.NewReaderSize(f, 256<<10)
+	var head [segHeaderSize]byte
+	if _, err := io.ReadFull(br, head[:]); err != nil {
+		info.headless = true
+		return info, nil
+	}
+	if [4]byte(head[:4]) != segMagic || head[4] != segVersion {
+		info.headless = true
+		return info, nil
+	}
+	info.firstSeq = binary.LittleEndian.Uint64(head[8:])
+	info.validEnd = segHeaderSize
+
+	var frame []byte
+	offset := int64(segHeaderSize)
+	seq := info.firstSeq
+	for {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return info, nil // clean end of segment
+		}
+		switch kind {
+		case kindFrame:
+			if cap(frame) < ingestHeaderSize {
+				frame = make([]byte, 0, 4096)
+			}
+			frame = frame[:ingestHeaderSize]
+			if _, err := io.ReadFull(br, frame); err != nil {
+				info.torn = true
+				return info, nil
+			}
+			size, err := frameSize(frame)
+			if err != nil {
+				info.torn = true
+				return info, nil
+			}
+			if cap(frame) < size {
+				grown := make([]byte, size)
+				copy(grown, frame)
+				frame = grown
+			}
+			frame = frame[:size]
+			if _, err := io.ReadFull(br, frame[ingestHeaderSize:]); err != nil {
+				info.torn = true
+				return info, nil
+			}
+			if err := verifyFrame(frame); err != nil {
+				info.torn = true
+				return info, nil
+			}
+			if emit != nil && seq > from {
+				if err := emit(seq, frame); err != nil {
+					return info, err
+				}
+			}
+			seq++
+			info.frames++
+			offset += int64(1 + size)
+			info.validEnd = offset
+		case kindCheckpoint:
+			var rec [12]byte
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				info.torn = true
+				return info, nil
+			}
+			if crc32.ChecksumIEEE(rec[:8]) != binary.LittleEndian.Uint32(rec[8:]) {
+				info.torn = true
+				return info, nil
+			}
+			cp := binary.LittleEndian.Uint64(rec[:8])
+			if cp > info.ckpt {
+				info.ckpt = cp
+			}
+			offset += 13
+			info.validEnd = offset
+		default:
+			info.torn = true
+			return info, nil
+		}
+	}
+}
+
+// dirInfo summarizes a scan of every segment in a log directory.
+type dirInfo struct {
+	segs    []segInfo
+	nextSeq uint64 // 1 + last frame seq (1 when the log is empty)
+	ckpt    uint64 // highest checkpoint across segments, clamped to lastSeq
+	frames  int
+}
+
+func (d *dirInfo) lastSeq() uint64 { return d.nextSeq - 1 }
+
+// scanDir scans every segment of dir in order, emitting intact frames with
+// seq > from. A torn or headless tail segment is tolerated (recovery
+// truncates it); a tear, gap or bad header anywhere earlier is hard
+// corruption and returns an error.
+func scanDir(dir string, from uint64, emit func(seq uint64, frame []byte) error) (dirInfo, error) {
+	d := dirInfo{nextSeq: 1}
+	names, err := listSegments(dir)
+	if err != nil {
+		return d, err
+	}
+	for i, name := range names {
+		last := i == len(names)-1
+		info, err := scanSegment(filepath.Join(dir, name), from, emit)
+		if err != nil {
+			return d, err
+		}
+		if info.headless {
+			if !last {
+				return d, fmt.Errorf("wal: segment %s mid-log has a corrupt header", name)
+			}
+			d.segs = append(d.segs, info)
+			return d, nil
+		}
+		if (info.torn || info.size > info.validEnd) && !last {
+			return d, fmt.Errorf("wal: segment %s is corrupt mid-log", name)
+		}
+		if len(d.segs) > 0 {
+			prev := &d.segs[len(d.segs)-1]
+			if !prev.headless && info.firstSeq != prev.nextSeq() {
+				return d, fmt.Errorf("wal: segment %s starts at seq %d, want %d (gap)",
+					name, info.firstSeq, prev.nextSeq())
+			}
+		}
+		d.segs = append(d.segs, info)
+		d.nextSeq = info.nextSeq()
+		d.frames += info.frames
+		if info.ckpt > d.ckpt {
+			d.ckpt = info.ckpt
+		}
+	}
+	if d.ckpt > d.lastSeq() {
+		// A checkpoint past the last surviving frame (e.g. the checkpointed
+		// frames themselves were torn away) must not suppress future frames.
+		d.ckpt = d.lastSeq()
+	}
+	return d, nil
+}
+
+// ScanInfo summarizes a read-only Scan of a log directory.
+type ScanInfo struct {
+	Segments   int
+	Frames     int    // intact frames in the log (not just those emitted)
+	LastSeq    uint64 // sequence number of the last intact frame, 0 if none
+	Checkpoint uint64 // highest intact checkpoint, clamped to LastSeq
+	Torn       bool   // the final segment ends in a torn record
+}
+
+// Scan reads the WAL directory without modifying it, calling emit with
+// every intact frame whose sequence number is greater than from, in order.
+// A torn tail on the final segment stops the scan cleanly (Torn is set); a
+// tear anywhere else is an error. It is safe on a directory that a live
+// Log is still appending to — the scan simply stops at the last intact
+// record it can see.
+func Scan(dir string, from uint64, emit func(seq uint64, frame []byte) error) (ScanInfo, error) {
+	d, err := scanDir(dir, from, emit)
+	if err != nil {
+		return ScanInfo{}, err
+	}
+	info := ScanInfo{
+		Segments:   len(d.segs),
+		Frames:     d.frames,
+		LastSeq:    d.lastSeq(),
+		Checkpoint: d.ckpt,
+	}
+	if n := len(d.segs); n > 0 {
+		s := &d.segs[n-1]
+		info.Torn = s.torn || s.headless || s.size > s.validEnd
+	}
+	return info, nil
+}

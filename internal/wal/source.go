@@ -1,0 +1,54 @@
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"datacell/internal/bat"
+	"datacell/internal/ingest"
+	"datacell/internal/stream"
+	"datacell/internal/vector"
+)
+
+// LineSource streams the frames of a WAL directory as textual
+// pipe-separated tuple lines — the input format stream.Replayer consumes —
+// so a late-registered query can read a stream's history from disk instead
+// of memory. Frames with sequence number ≤ from are skipped; pass 0 for
+// the full history. The returned reader is a live pipe: reading drives the
+// scan, and Close stops it.
+func LineSource(dir string, from uint64, types []vector.Type) io.ReadCloser {
+	names := make([]string, len(types))
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		rel := bat.NewEmptyRelation(names, types)
+		br := bufio.NewReader(nil)
+		fr := ingest.NewFrameReader(br, types)
+		out := bufio.NewWriterSize(pw, 64<<10)
+		_, err := Scan(dir, from, func(seq uint64, frame []byte) error {
+			br.Reset(bytes.NewReader(frame))
+			rel.Clear()
+			if _, derr := fr.DecodeFrameInto(rel); derr != nil {
+				return fmt.Errorf("wal: frame %d: %w", seq, derr)
+			}
+			for _, line := range stream.EncodeRelation(rel, rel.NumCols()) {
+				if _, werr := out.WriteString(line); werr != nil {
+					return werr
+				}
+				if werr := out.WriteByte('\n'); werr != nil {
+					return werr
+				}
+			}
+			return nil
+		})
+		if err == nil {
+			err = out.Flush()
+		}
+		pw.CloseWithError(err)
+	}()
+	return pr
+}
