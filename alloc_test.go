@@ -115,10 +115,12 @@ func TestSamplingAddsNoFiringAllocs(t *testing.T) {
 				eng.adaptTick(now)
 			}
 		}
-		// Best of three: a stray runtime allocation (GC bookkeeping, race
-		// runtime) inside one measured window must not fail the comparison.
+		// Best of five: a stray runtime allocation (GC bookkeeping, race
+		// runtime, sync.Pool's random Put drops under -race) inside one
+		// measured window must not fail the comparison, so take the minimum
+		// over enough windows that both sides reach their true floor.
 		best := testing.AllocsPerRun(100, cycle)
-		for i := 0; i < 2; i++ {
+		for i := 0; i < 4; i++ {
 			if m := testing.AllocsPerRun(100, cycle); m < best {
 				best = m
 			}

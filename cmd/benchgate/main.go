@@ -343,6 +343,71 @@ func gateWALVsIngest(rows []walRow, ingest map[string]float64, div float64) (che
 	return checked, bad
 }
 
+// latencyDoc mirrors the BENCH_latency.json layout datacellbench writes.
+type latencyDoc struct {
+	Rows []latencyRow `json:"rows"`
+}
+
+// latencyRow is one scenario phase of the open-loop latency harness,
+// keyed by phase name.
+type latencyRow struct {
+	Phase       string  `json:"phase"`
+	AchievedEPS float64 `json:"achieved_eps"`
+	P99us       float64 `json:"p99_us"`
+}
+
+func loadLatency(path string) ([]latencyRow, error) {
+	var doc latencyDoc
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc.Rows, nil
+}
+
+// gateLatency enforces the latency SLO trajectory: per phase, the current
+// p99 ingest-to-emit latency must stay within committed×mult plus an
+// absolute headroom (microseconds — sub-millisecond baselines would
+// otherwise gate on scheduler noise), and the achieved events/s must hold
+// the committed/div floor so a run cannot pass by shedding its offered
+// load. Phases missing on either side are skipped.
+func gateLatency(committed, current []latencyRow, mult, absUs, div float64) (checked, bad []measurement) {
+	cur := map[string]latencyRow{}
+	for _, r := range current {
+		cur[r.Phase] = r
+	}
+	for _, c := range committed {
+		r, ok := cur[c.Phase]
+		if !ok {
+			continue
+		}
+		p99 := measurement{
+			name:      fmt.Sprintf("latency %s p99 µs", c.Phase),
+			committed: c.P99us,
+			current:   r.P99us,
+		}
+		checked = append(checked, p99)
+		if p99.regressed(mult-1, absUs) {
+			bad = append(bad, p99)
+		}
+		if c.AchievedEPS > 0 {
+			eps := measurement{
+				name:      fmt.Sprintf("latency %s achieved events/s", c.Phase),
+				committed: c.AchievedEPS,
+				current:   r.AchievedEPS,
+			}
+			checked = append(checked, eps)
+			if eps.belowFloor(div) {
+				bad = append(bad, eps)
+			}
+		}
+	}
+	return checked, bad
+}
+
 // benchLine matches `go test -bench -benchmem` output rows, e.g.
 // "BenchmarkSQLQueryFiring-8  100  723510 ns/op  18720 B/op  45 allocs/op".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+[\d.]+ ns/op(?:\s+[\d.]+ [A-Za-z]+/s)?\s+[\d.]+ B/op\s+([\d.]+) allocs/op`)
@@ -408,6 +473,11 @@ func main() {
 	walBase := flag.String("wal-baseline", "", "committed BENCH_wal.json (events/s floors; optional)")
 	walCur := flag.String("wal-current", "BENCH_wal.json", "regenerated BENCH_wal.json")
 	walDiv := flag.Float64("wal-div", 2.0, "wal floor divisor: per-row floors plus the WAL-on ≥ 0.7×WAL-off and 0.7×committed-ingest gates (fsync-bound runs jitter more than plain ingest)")
+	latBase := flag.String("latency-baseline", "", "committed BENCH_latency.json (p99 SLOs per phase; optional)")
+	latCur := flag.String("latency-current", "BENCH_latency.json", "regenerated BENCH_latency.json")
+	latMult := flag.Float64("latency-mult", 1.5, "latency ceiling multiplier: per-phase p99 must stay under committed*mult (+abs headroom)")
+	latAbsUs := flag.Float64("latency-abs-us", 2000, "absolute p99 headroom in µs on top of the multiplier (sub-ms baselines jitter by a scheduler hiccup per run; regressions of interest are tens of ms)")
+	latDiv := flag.Float64("latency-div", 2.0, "achieved-rate floor divisor for latency phases: a run cannot pass its SLO by shedding offered load")
 	flag.Parse()
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
@@ -596,6 +666,44 @@ func main() {
 		}
 	}
 
+	var latBad []measurement
+	if *latBase != "" {
+		base, err := loadLatency(*latBase)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := loadLatency(*latCur)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(2)
+		}
+		latChecked, latAllBad := gateLatency(base, cur, *latMult, *latAbsUs, *latDiv)
+		latBad = latAllBad
+		isBad := map[string]bool{}
+		for _, m := range latBad {
+			isBad[m.name] = true
+		}
+		for _, m := range latChecked {
+			status := "ok"
+			if isBad[m.name] {
+				status = "REGRESSED"
+			}
+			if strings.Contains(m.name, "p99") {
+				fmt.Printf("benchgate: %-40s committed %.0f, current %.0f, ceiling %.0f  [%s]\n",
+					m.name, m.committed, m.current, m.committed**latMult+*latAbsUs, status)
+			} else {
+				fmt.Printf("benchgate: %-40s committed %.0f, current %.0f, floor %.0f  [%s]\n",
+					m.name, m.committed, m.current, m.committed / *latDiv, status)
+			}
+		}
+		if len(latChecked) == 0 {
+			fmt.Println("benchgate: no committed latency phase was measured; latency not gated")
+		} else {
+			fmt.Printf("benchgate: %d latency SLO(s) checked\n", len(latChecked))
+		}
+	}
+
 	if len(bad) > 0 {
 		fmt.Fprintf(os.Stderr, "benchgate: %d allocation budget(s) regressed past committed*(1+%.2f)+%.0f\n",
 			len(bad), *slack, *abs)
@@ -616,7 +724,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: %d wal floor(s) fell below committed/%.2f\n",
 			len(walBad), *walDiv)
 	}
-	if len(bad) > 0 || len(ingestBad) > 0 || len(aggBad) > 0 || len(adaptBad) > 0 || len(walBad) > 0 {
+	if len(latBad) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d latency SLO(s) broken (p99 past committed*%.2f+%.0fµs, or achieved rate below committed/%.2f)\n",
+			len(latBad), *latMult, *latAbsUs, *latDiv)
+	}
+	if len(bad) > 0 || len(ingestBad) > 0 || len(aggBad) > 0 || len(adaptBad) > 0 || len(walBad) > 0 || len(latBad) > 0 {
 		os.Exit(1)
 	}
 }

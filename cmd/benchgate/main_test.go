@@ -247,3 +247,50 @@ func TestAdaptFloorLoad(t *testing.T) {
 		t.Fatalf("loadAdapt parsed %v / %v", rows, keyed)
 	}
 }
+
+func TestLatencyGatePolicy(t *testing.T) {
+	committed := []latencyRow{
+		{Phase: "warm", AchievedEPS: 20000, P99us: 800},
+		{Phase: "churn", AchievedEPS: 20000, P99us: 700},
+		{Phase: "gone", AchievedEPS: 20000, P99us: 700}, // absent in current: skipped
+	}
+	current := []latencyRow{
+		{Phase: "warm", AchievedEPS: 21000, P99us: 1600},  // ceiling 800*1.5+500=1700: ok
+		{Phase: "churn", AchievedEPS: 8000, P99us: 1600},  // p99 past 1550; rate below 20000/2
+		{Phase: "extra", AchievedEPS: 20000, P99us: 9000}, // no committed row: skipped
+	}
+	checked, bad := gateLatency(committed, current, 1.5, 500, 2.0)
+	if len(checked) != 4 {
+		t.Fatalf("checked %d measurements, want 4: %v", len(checked), checked)
+	}
+	if len(bad) != 2 {
+		t.Fatalf("regressions = %v, want churn p99 and churn rate", bad)
+	}
+	for _, m := range bad {
+		if m.name != "latency churn p99 µs" && m.name != "latency churn achieved events/s" {
+			t.Errorf("unexpected regression %q", m.name)
+		}
+	}
+}
+
+func TestLatencyLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "latency.json")
+	doc := `{
+	  "fig": "latency",
+	  "scenario": "smoke",
+	  "rows": [
+	    {"phase": "warm", "achieved_eps": 20211.4, "p50_us": 290.8, "p99_us": 811.0}
+	  ]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := loadLatency(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Phase != "warm" || rows[0].P99us != 811.0 || rows[0].AchievedEPS != 20211.4 {
+		t.Fatalf("loadLatency parsed %+v", rows)
+	}
+}

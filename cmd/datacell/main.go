@@ -64,7 +64,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	eng := datacell.New()
+	var opts []datacell.Option
+	if *walDir != "" {
+		opts = append(opts, datacell.WithWAL(*walDir))
+	}
+	eng := datacell.New(opts...)
+	if err := eng.Err(); err != nil {
+		fatal(err)
+	}
 	infos, err := eng.Exec(string(src))
 	if err != nil {
 		fatal(err)
@@ -75,9 +82,6 @@ func main() {
 		}
 	}
 	if *walDir != "" {
-		if err := eng.OpenWAL(datacell.WALOptions{Dir: *walDir}); err != nil {
-			fatal(err)
-		}
 		rec, err := eng.Recover()
 		if err != nil {
 			fatal(err)
@@ -111,15 +115,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "query %s served on %s\n", name, bound)
 	}
 	if *print != "" {
-		err := eng.Subscribe(*print, func(t datacell.Table) {
-			for _, row := range t.Rows {
+		_, err := eng.SubscribeQuery(*print, datacell.SubscribeOptions{OnEmit: func(em datacell.Emit) {
+			for _, row := range em.Table.Rows {
 				parts := make([]string, len(row))
 				for i, v := range row {
 					parts[i] = fmt.Sprint(v)
 				}
 				fmt.Println(strings.Join(parts, "|"))
 			}
-		})
+		}})
 		if err != nil {
 			fatal(err)
 		}
@@ -140,12 +144,34 @@ func main() {
 			fatal(err)
 		}
 		eng.Drain(drainTimeout)
+		printSnapshot(eng)
 		return
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	printSnapshot(eng)
+}
+
+// printSnapshot reports the engine's closing state — one consistent
+// Engine.Snapshot instead of stitched Stats/Groups calls — to stderr.
+func printSnapshot(eng *datacell.Engine) {
+	snap := eng.Snapshot()
+	fmt.Fprintf(os.Stderr, "engine: strategy=%s parallelism=%d auto=%v queries=%d subscriptions=%d\n",
+		snap.Strategy, snap.Parallelism, snap.AutoParallelism, len(snap.Queries), snap.Subscriptions)
+	for _, q := range snap.Queries {
+		fmt.Fprintf(os.Stderr, "query %s: fires=%d out=%d pending=%d errors=%d\n",
+			q.Name, q.Fires, q.OutRows, q.Pending, q.Errors)
+	}
+	for _, g := range snap.Groups {
+		fmt.Fprintf(os.Stderr, "stream %s: ingested=%d stalls=%d rewires=%d\n",
+			g.Stream, g.IngestTuples, g.IngestStalls, g.Rewires)
+	}
+	if snap.Recovery != nil {
+		fmt.Fprintf(os.Stderr, "wal %s: recovered %d frames (%d tuples)\n",
+			snap.WALDir, snap.Recovery.Frames, snap.Recovery.Tuples)
+	}
 }
 
 func fatal(err error) {

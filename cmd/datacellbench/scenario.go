@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Phase is one step of the scripted open-loop mix: a duration, an offered
+// ingest rate (optionally ramping linearly to RateEnd), a connection
+// count, and optional background churn — query register/deregister and
+// strategy/parallelism pragma flips — running while the load is applied.
+type Phase struct {
+	Name     string
+	Duration time.Duration
+	// Rate and RateEnd are offered events/second at the start and end of
+	// the phase. RateEnd == Rate means a flat phase; otherwise the rate
+	// ramps in rampSteps linear steps. The rate is open-loop: the
+	// schedule holds whether or not the engine keeps up.
+	Rate    float64
+	RateEnd float64
+	// Conns is how many concurrent paced connections carry the load,
+	// spread round-robin across the listener's shards.
+	Conns int
+	// ChurnEvery registers a fresh continuous query (with a subscription)
+	// and removes the previous one at this period. Zero disables churn.
+	ChurnEvery time.Duration
+	// FlipEvery cycles through strategy/parallelism pragmas at this
+	// period — live rewires under load. Zero disables flips.
+	FlipEvery time.Duration
+}
+
+// rampSteps is how many rate plateaus a ramp phase is divided into.
+const rampSteps = 8
+
+// presets are the built-in scenarios. "smoke" is sized for CI — short,
+// modest rates a shared runner sustains — and is also what the committed
+// BENCH_latency.json baseline is generated with, so the latency gate
+// compares phases measured under identical offered load. "mix" is the
+// full mixed workload for measuring on a fixed box.
+var presets = map[string]string{
+	"smoke": "warm:2s:rate=20000,conns=2;" +
+		"churn:2s:rate=20000,conns=2,churn=300ms;" +
+		"flips:2s:rate=20000,conns=2,flips=500ms",
+	"mix": "warm:3s:rate=30000,conns=4;" +
+		"ramp:5s:rate=30000..120000,conns=8;" +
+		"churn:4s:rate=60000,conns=8,churn=250ms;" +
+		"flips:4s:rate=60000,conns=8,flips=500ms;" +
+		"storm:5s:rate=80000,conns=16,churn=300ms,flips=700ms",
+}
+
+// ParseScenario parses a scenario spec: semicolon-separated phases of the
+// form
+//
+//	name:duration:key=value[,key=value…]
+//
+// with keys rate (events/s, "lo..hi" for a linear ramp), conns, churn
+// (period) and flips (period), e.g.
+//
+//	warm:3s:rate=30000,conns=4;ramp:5s:rate=30000..120000,conns=8,churn=250ms
+func ParseScenario(spec string) ([]Phase, error) {
+	var phases []Phase
+	for _, raw := range strings.Split(spec, ";") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		parts := strings.SplitN(raw, ":", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("phase %q: want name:duration:options", raw)
+		}
+		ph := Phase{Name: strings.TrimSpace(parts[0]), Conns: 1}
+		if ph.Name == "" {
+			return nil, fmt.Errorf("phase %q: empty name", raw)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(parts[1]))
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("phase %q: bad duration %q", ph.Name, parts[1])
+		}
+		ph.Duration = d
+		for _, kv := range strings.Split(parts[2], ",") {
+			kv = strings.TrimSpace(kv)
+			if kv == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(kv, "=")
+			if !ok {
+				return nil, fmt.Errorf("phase %q: bad option %q", ph.Name, kv)
+			}
+			k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+			switch k {
+			case "rate":
+				lo, hi, ramp := strings.Cut(v, "..")
+				ph.Rate, err = strconv.ParseFloat(lo, 64)
+				if err == nil && ramp {
+					ph.RateEnd, err = strconv.ParseFloat(hi, 64)
+				}
+				if err != nil || ph.Rate <= 0 || (ramp && ph.RateEnd <= 0) {
+					return nil, fmt.Errorf("phase %q: bad rate %q", ph.Name, v)
+				}
+				if !ramp {
+					ph.RateEnd = ph.Rate
+				}
+			case "conns":
+				ph.Conns, err = strconv.Atoi(v)
+				if err != nil || ph.Conns < 1 {
+					return nil, fmt.Errorf("phase %q: bad conns %q", ph.Name, v)
+				}
+			case "churn":
+				ph.ChurnEvery, err = time.ParseDuration(v)
+				if err != nil || ph.ChurnEvery <= 0 {
+					return nil, fmt.Errorf("phase %q: bad churn %q", ph.Name, v)
+				}
+			case "flips":
+				ph.FlipEvery, err = time.ParseDuration(v)
+				if err != nil || ph.FlipEvery <= 0 {
+					return nil, fmt.Errorf("phase %q: bad flips %q", ph.Name, v)
+				}
+			default:
+				return nil, fmt.Errorf("phase %q: unknown option %q", ph.Name, k)
+			}
+		}
+		if ph.Rate <= 0 {
+			return nil, fmt.Errorf("phase %q: rate is required", ph.Name)
+		}
+		phases = append(phases, ph)
+	}
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("scenario has no phases")
+	}
+	seen := map[string]bool{}
+	for _, ph := range phases {
+		if seen[ph.Name] {
+			return nil, fmt.Errorf("duplicate phase name %q", ph.Name)
+		}
+		seen[ph.Name] = true
+	}
+	return phases, nil
+}
+
+// resolveScenario returns the preset named by preset, unless spec
+// overrides it with an inline scenario.
+func resolveScenario(preset, spec string) ([]Phase, error) {
+	if spec == "" {
+		p, ok := presets[preset]
+		if !ok {
+			return nil, fmt.Errorf("unknown preset %q (have: smoke, mix)", preset)
+		}
+		spec = p
+	}
+	return ParseScenario(spec)
+}
+
+// rateAt interpolates a ramp phase's offered rate at step (0-based) of
+// rampSteps plateaus.
+func (ph Phase) rateAt(step int) float64 {
+	if ph.RateEnd == ph.Rate || rampSteps == 1 {
+		return ph.Rate
+	}
+	f := float64(step) / float64(rampSteps-1)
+	return ph.Rate + (ph.RateEnd-ph.Rate)*f
+}
+
+// offeredMean is the average offered rate over the phase (what the
+// schedule asks for in total, divided by duration).
+func (ph Phase) offeredMean() float64 { return (ph.Rate + ph.RateEnd) / 2 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseScenario(t *testing.T) {
+	phases, err := ParseScenario(
+		"warm:3s:rate=30000,conns=4;" +
+			"ramp:5s:rate=30000..120000,conns=8,churn=250ms,flips=500ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("phases = %d", len(phases))
+	}
+	w := phases[0]
+	if w.Name != "warm" || w.Duration != 3*time.Second || w.Rate != 30000 || w.RateEnd != 30000 || w.Conns != 4 {
+		t.Fatalf("warm = %+v", w)
+	}
+	if w.ChurnEvery != 0 || w.FlipEvery != 0 {
+		t.Fatalf("warm churn/flips should be off: %+v", w)
+	}
+	r := phases[1]
+	if r.Rate != 30000 || r.RateEnd != 120000 || r.Conns != 8 {
+		t.Fatalf("ramp = %+v", r)
+	}
+	if r.ChurnEvery != 250*time.Millisecond || r.FlipEvery != 500*time.Millisecond {
+		t.Fatalf("ramp churn/flips = %+v", r)
+	}
+}
+
+func TestParseScenarioErrors(t *testing.T) {
+	bad := []string{
+		"",                            // no phases
+		"x:3s",                        // missing options
+		"x:3s:conns=2",                // rate required
+		"x:0s:rate=100",               // zero duration
+		"x:1s:rate=nope",              // bad rate
+		"x:1s:rate=100..0",            // bad ramp end
+		"x:1s:rate=100,conns=0",       // bad conns
+		"x:1s:rate=100,bogus=1",       // unknown key
+		"x:1s:rate=100;x:1s:rate=100", // duplicate names
+		"x:1s:rate=100,churn=-1s",     // bad churn
+	}
+	for _, spec := range bad {
+		if _, err := ParseScenario(spec); err == nil {
+			t.Errorf("ParseScenario(%q) accepted", spec)
+		}
+	}
+}
+
+func TestPresetsParse(t *testing.T) {
+	for name, spec := range presets {
+		phases, err := ParseScenario(spec)
+		if err != nil {
+			t.Fatalf("preset %s: %v", name, err)
+		}
+		if len(phases) < 3 {
+			t.Fatalf("preset %s: only %d phases", name, len(phases))
+		}
+	}
+	if _, err := resolveScenario("nope", ""); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+	if _, err := resolveScenario("smoke", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRateAt(t *testing.T) {
+	ph := Phase{Rate: 1000, RateEnd: 8000}
+	if got := ph.rateAt(0); got != 1000 {
+		t.Fatalf("rateAt(0) = %g", got)
+	}
+	if got := ph.rateAt(rampSteps - 1); got != 8000 {
+		t.Fatalf("rateAt(last) = %g", got)
+	}
+	flat := Phase{Rate: 500, RateEnd: 500}
+	if got := flat.rateAt(3); got != 500 {
+		t.Fatalf("flat rateAt = %g", got)
+	}
+	if got := ph.offeredMean(); got != 4500 {
+		t.Fatalf("offeredMean = %g", got)
+	}
+}

@@ -12,12 +12,15 @@
 //
 // Typical use:
 //
-//	eng := datacell.New()
+//	eng := datacell.New(datacell.WithStrategy(datacell.StrategyShared))
 //	eng.Exec(`create basket trades (sym string, px float)`)
 //	eng.RegisterQuery("big", `select * from [select * from trades] t where t.px > 100`)
-//	eng.Subscribe("big", func(t datacell.Table) { fmt.Println(t.Rows) })
+//	sub, _ := eng.SubscribeQuery("big", datacell.SubscribeOptions{
+//		OnEmit: func(em datacell.Emit) { fmt.Println(em.Table.Rows) },
+//	})
 //	eng.Start()
 //	eng.Append("trades", datacell.Row{"ACME", 250.0})
+//	// … later: sub.Cancel()
 package datacell
 
 import (
@@ -77,11 +80,20 @@ type Engine struct {
 	strategy    Strategy
 	parallelism int // stream partitions for partitionable queries
 	queries     map[string]*queryRec
-	groups      map[string]*queryGroup // stream name -> sharing group
-	emitters    []*stream.Emitter
+	groups      map[string]*queryGroup   // stream name -> sharing group
+	subs        map[string]*queryEmitter // query name -> result fan-out
 	tcpOut      []*stream.TCPEmitter
 	started     bool
 	qctr        int
+
+	// initErr records the first construction Option that failed; Err and
+	// Start surface it (New keeps its single-value signature so zero-arg
+	// call sites stay source compatible).
+	initErr error
+
+	// lastRecovery keeps the report of the most recent WAL Recover pass
+	// for Snapshot (nil until a recovery has run).
+	lastRecovery *RecoveryInfo
 
 	// wal is the engine's write-ahead logging state (nil until OpenWAL):
 	// per-stream logs that receptor deliveries tee into and Recover
@@ -125,16 +137,36 @@ func (r *queryRec) factories() []*core.Factory {
 }
 
 // New returns an empty engine using the separate-baskets strategy at
-// parallelism 1.
-func New() *Engine {
-	return &Engine{
+// parallelism 1, then applies the given Options in order. Options route
+// through the same internal setters as the Set* methods and SQL pragmas,
+// so New(WithStrategy(s)) and New() + SetStrategy(s) are interchangeable.
+// A failing option is recorded rather than returned (keeping the
+// historical single-value signature); Err reports it and Start refuses to
+// run a misconstructed engine.
+func New(opts ...Option) *Engine {
+	e := &Engine{
 		cat:         plan.NewCatalog(),
 		sch:         core.NewScheduler(),
 		strategy:    StrategySeparate,
 		parallelism: 1,
 		queries:     map[string]*queryRec{},
 		groups:      map[string]*queryGroup{},
+		subs:        map[string]*queryEmitter{},
 	}
+	for _, opt := range opts {
+		if err := opt(e); err != nil && e.initErr == nil {
+			e.initErr = err
+		}
+	}
+	return e
+}
+
+// Err reports the first construction Option that failed, or nil for a
+// cleanly constructed engine.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.initErr
 }
 
 // SetClock replaces the engine clock (now(), arrival timestamps). Intended
@@ -301,6 +333,9 @@ func (e *Engine) addScanLocked(name string, a *plan.Analysis) (*queryGroup, erro
 	}
 	m := &groupMember{name: name, scan: a.Scan}
 	g.scans = append(g.scans, m)
+	// The out basket may be a revived leftover of a removed query with the
+	// same name, closed when that query's subscription emitter stopped.
+	a.Out.Reopen()
 	e.queries[name] = &queryRec{name: name, out: a.Out, member: m}
 	return g, nil
 }
@@ -391,6 +426,7 @@ func (e *Engine) registerStandalone(name string, s sql.Statement) (QueryInfo, er
 		e.mu.Unlock()
 		return QueryInfo{}, fmt.Errorf("datacell: query %q already registered", name)
 	}
+	c.Out.Reopen() // may be a closed leftover of a removed same-name query
 	e.queries[name] = &queryRec{name: name, out: c.Out, compiled: c, taps: privates}
 	for streamName, priv := range privates {
 		g, gerr := e.groupLocked(streamName)
@@ -596,25 +632,20 @@ type QueryStats struct {
 // parallelism switch, membership change) starts fresh factories, so those
 // counters restart while OutRows keeps accumulating.
 func (e *Engine) Stats() []QueryStats {
-	type snap struct {
-		name      string
-		out       *basket.Basket
-		factories []*core.Factory
-	}
-	// Factory pointers must be read under e.mu: group rewires replace a
-	// member's factories concurrently.
 	e.mu.Lock()
-	snaps := make([]snap, 0, len(e.queries))
+	defer e.mu.Unlock()
+	return e.statsLocked()
+}
+
+// statsLocked computes per-query activity counters. Caller holds e.mu
+// (factory pointers must be read under it: group rewires replace a
+// member's factories concurrently; basket locks nest under e.mu).
+func (e *Engine) statsLocked() []QueryStats {
+	out := make([]QueryStats, 0, len(e.queries))
 	for n, r := range e.queries {
-		snaps = append(snaps, snap{name: n, out: r.out, factories: r.factories()})
-	}
-	e.mu.Unlock()
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i].name < snaps[j].name })
-	out := make([]QueryStats, 0, len(snaps))
-	for _, s := range snaps {
-		st := s.out.Stats()
-		q := QueryStats{Name: s.name, OutRows: st.Appended, Pending: s.out.Len()}
-		for _, f := range s.factories {
+		st := r.out.Stats()
+		q := QueryStats{Name: n, OutRows: st.Appended, Pending: r.out.Len()}
+		for _, f := range r.factories() {
 			if f == nil {
 				continue
 			}
@@ -626,12 +657,14 @@ func (e *Engine) Stats() []QueryStats {
 		}
 		out = append(out, q)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
 // RemoveQuery unregisters a continuous query: its factory stops firing,
-// its stream's query group rewires without it, and its output basket is
-// left in place (drain it or let subscribers finish).
+// its stream's query group rewires without it, and its subscriptions end
+// (their Emit callbacks are never invoked again once the call returns and
+// the in-flight delivery, if any, completes).
 func (e *Engine) RemoveQuery(name string) error {
 	e.mu.Lock()
 	rec, ok := e.queries[name]
@@ -640,6 +673,7 @@ func (e *Engine) RemoveQuery(name string) error {
 		return fmt.Errorf("datacell: unknown query %q", name)
 	}
 	delete(e.queries, name)
+	qe := e.dropQueryEmitterLocked(name)
 	var err error
 	if rec.member != nil {
 		for _, g := range e.groups {
@@ -671,6 +705,10 @@ func (e *Engine) RemoveQuery(name string) error {
 		}
 	}
 	e.mu.Unlock()
+	if qe != nil {
+		qe.cancelAll()
+		qe.em.Stop()
+	}
 	if rec.compiled != nil && rec.compiled.Factory != nil {
 		e.sch.Unregister(rec.compiled.Factory)
 		rec.compiled.Factory.WaitIdle()
@@ -707,25 +745,6 @@ func (e *Engine) Out(query string) (*basket.Basket, error) {
 		return nil, fmt.Errorf("datacell: unknown query %q", query)
 	}
 	return c.out, nil
-}
-
-// Subscribe delivers every result batch of the named continuous query to
-// fn on the emitter thread. Call before Start.
-func (e *Engine) Subscribe(query string, fn func(t Table)) error {
-	out, err := e.Out(query)
-	if err != nil {
-		return err
-	}
-	em := stream.NewEmitter(out)
-	em.Subscribe(func(rel *bat.Relation) { fn(tableOf(rel)) })
-	e.mu.Lock()
-	e.emitters = append(e.emitters, em)
-	started := e.started
-	e.mu.Unlock()
-	if started {
-		em.Start()
-	}
-	return nil
 }
 
 // ingestPool recycles the staging relations Append converts rows into;
@@ -965,11 +984,16 @@ func (e *Engine) ServeTCP(query, addr string) (string, error) {
 
 // Start launches the scheduler and all subscribed emitters. An engine
 // with an open WAL recovers first: any un-replayed log tail is driven
-// through the router before the first factory fires.
+// through the router before the first factory fires. An engine whose
+// construction Options failed (Err != nil) refuses to start.
 func (e *Engine) Start() error {
 	e.mu.Lock()
 	walOpen := e.wal != nil
+	initErr := e.initErr
 	e.mu.Unlock()
+	if initErr != nil {
+		return fmt.Errorf("datacell: engine misconstructed: %w", initErr)
+	}
 	if walOpen {
 		if _, err := e.Recover(); err != nil {
 			return err
@@ -981,7 +1005,7 @@ func (e *Engine) Start() error {
 		return fmt.Errorf("datacell: engine already started")
 	}
 	e.started = true
-	ems := append([]*stream.Emitter(nil), e.emitters...)
+	qes := e.subEmittersLocked()
 	touts := append([]*stream.TCPEmitter(nil), e.tcpOut...)
 	stop, done := make(chan struct{}), make(chan struct{})
 	e.adaptStop, e.adaptDone = stop, done
@@ -993,8 +1017,8 @@ func (e *Engine) Start() error {
 	// only on groups under `set parallelism = auto`, but the windowed
 	// rate fields of GroupInfo update for all.
 	go e.adaptLoop(stop, done)
-	for _, em := range ems {
-		em.Start()
+	for _, qe := range qes {
+		qe.em.Start()
 	}
 	for _, t := range touts {
 		t.Emitter.Start()
@@ -1035,7 +1059,7 @@ func (e *Engine) Stop() {
 		ins = append(ins, g.listeners...)
 	}
 	touts := append([]*stream.TCPEmitter(nil), e.tcpOut...)
-	ems := append([]*stream.Emitter(nil), e.emitters...)
+	qes := e.subEmittersLocked()
 	stop, done := e.adaptStop, e.adaptDone
 	e.adaptStop, e.adaptDone = nil, nil
 	e.mu.Unlock()
@@ -1059,8 +1083,8 @@ func (e *Engine) Stop() {
 	for _, t := range touts {
 		t.Close()
 	}
-	for _, em := range ems {
-		em.Stop()
+	for _, qe := range qes {
+		qe.em.Stop()
 	}
 }
 

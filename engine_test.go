@@ -17,11 +17,11 @@ func TestEngineQuickPath(t *testing.T) {
 	}
 	var mu sync.Mutex
 	var got []Row
-	if err := eng.Subscribe("big", func(tb Table) {
+	if _, err := eng.SubscribeQuery("big", SubscribeOptions{OnEmit: func(em Emit) {
 		mu.Lock()
-		got = append(got, tb.Rows...)
+		got = append(got, em.Table.Rows...)
 		mu.Unlock()
-	}); err != nil {
+	}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.Start(); err != nil {
@@ -145,11 +145,11 @@ func TestEngineTCPRoundTrip(t *testing.T) {
 	}
 	var mu sync.Mutex
 	count := 0
-	if err := eng.Subscribe("all", func(tb Table) {
+	if _, err := eng.SubscribeQuery("all", SubscribeOptions{OnEmit: func(em Emit) {
 		mu.Lock()
-		count += tb.Len()
+		count += em.Table.Len()
 		mu.Unlock()
-	}); err != nil {
+	}}); err != nil {
 		t.Fatal(err)
 	}
 	if err := eng.Start(); err != nil {

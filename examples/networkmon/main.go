@@ -65,11 +65,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.Subscribe("portload", func(t datacell.Table) {
-		for _, row := range t.Rows {
+	if _, err := eng.SubscribeQuery("portload", datacell.SubscribeOptions{OnEmit: func(em datacell.Emit) {
+		for _, row := range em.Table.Rows {
 			fmt.Printf("hot port %v: %v bytes over %v flows\n", row[0], row[1], row[2])
 		}
-	}); err != nil {
+	}}); err != nil {
 		log.Fatal(err)
 	}
 

@@ -34,8 +34,8 @@ func main() {
 	}
 
 	done := make(chan struct{})
-	err = eng.Subscribe("big", func(t datacell.Table) {
-		for _, row := range t.Rows {
+	_, err = eng.SubscribeQuery("big", datacell.SubscribeOptions{OnEmit: func(em datacell.Emit) {
+		for _, row := range em.Table.Rows {
 			fmt.Printf("large trade: %s %v x %v\n", row[0], row[1], row[2])
 		}
 		select {
@@ -43,7 +43,7 @@ func main() {
 		default:
 			close(done)
 		}
-	})
+	}})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -53,12 +53,12 @@ func main() {
 	}
 
 	results := make(chan int, 64)
-	if err := eng.Subscribe("outliers", func(t datacell.Table) {
-		for _, row := range t.Rows {
+	if _, err := eng.SubscribeQuery("outliers", datacell.SubscribeOptions{OnEmit: func(em datacell.Emit) {
+		for _, row := range em.Table.Rows {
 			fmt.Printf("outlier: tag %v %s at %.2f\n", row[0], row[1], row[2])
 		}
-		results <- t.Len()
-	}); err != nil {
+		results <- em.Table.Len()
+	}}); err != nil {
 		log.Fatal(err)
 	}
 

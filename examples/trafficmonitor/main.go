@@ -51,25 +51,25 @@ func main() {
 	}
 
 	congested := make(chan struct{})
-	if err := eng.Subscribe("congestion", func(t datacell.Table) {
-		for _, row := range t.Rows {
+	if _, err := eng.SubscribeQuery("congestion", datacell.SubscribeOptions{OnEmit: func(em datacell.Emit) {
+		for _, row := range em.Table.Rows {
 			fmt.Printf("congested segment %v: lav %.1f mph over %v cars\n", row[0], row[1], row[2])
 		}
-		if t.Len() > 0 {
+		if em.Table.Len() > 0 {
 			select {
 			case <-congested:
 			default:
 				close(congested)
 			}
 		}
-	}); err != nil {
+	}}); err != nil {
 		log.Fatal(err)
 	}
-	if err := eng.Subscribe("crawlers", func(t datacell.Table) {
-		for _, row := range t.Rows {
+	if _, err := eng.SubscribeQuery("crawlers", datacell.SubscribeOptions{OnEmit: func(em datacell.Emit) {
+		for _, row := range em.Table.Rows {
 			fmt.Printf("crawler: car %v at segment %v doing %v mph\n", row[0], row[1], row[2])
 		}
-	}); err != nil {
+	}}); err != nil {
 		log.Fatal(err)
 	}
 

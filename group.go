@@ -769,6 +769,11 @@ type GroupInfo struct {
 func (e *Engine) Groups() []GroupInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	return e.groupsLocked()
+}
+
+// groupsLocked computes per-stream group wiring reports. Caller holds e.mu.
+func (e *Engine) groupsLocked() []GroupInfo {
 	names := make([]string, 0, len(e.groups))
 	for n := range e.groups {
 		names = append(names, n)

@@ -230,6 +230,16 @@ func (b *Basket) Close() {
 	b.mu.Unlock()
 }
 
+// Reopen clears a Close, letting producers and emitters use the basket
+// again. A removed query's output basket stays in the catalog but is
+// closed when its emitter stops; re-registering the query name revives
+// it through here.
+func (b *Basket) Reopen() {
+	b.mu.Lock()
+	b.closed = false
+	b.mu.Unlock()
+}
+
 // Append adds the tuples of rel (schema: the user attributes, in declared
 // order) to the basket, stamping arrival timestamps and applying integrity
 // constraints. It blocks while the basket is disabled. It returns the

@@ -1,0 +1,148 @@
+// Package histo provides a fixed-footprint, lock-free latency histogram
+// in the HDR style: values are bucketed logarithmically with 32 linear
+// sub-buckets per power of two, which bounds the relative quantile error
+// at ~3% across the full int64 range while keeping recording to a couple
+// of atomic adds. Emit callbacks on the hot path record concurrently with
+// readers taking quantiles; no locks, no allocation after construction.
+package histo
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+const (
+	// subBits linear sub-buckets per binary order of magnitude: values up
+	// to 2^subBits are exact, larger ones land in a bucket no wider than
+	// value/2^subBits (≈3% relative error).
+	subBits = 5
+	subSize = 1 << subBits
+	// nBuckets covers the full non-negative int64 range: subSize exact
+	// buckets plus subSize per remaining exponent.
+	nBuckets = subSize + (63-subBits)*subSize
+)
+
+// H is a concurrent log-bucketed histogram of non-negative int64 samples
+// (by convention nanoseconds; Record takes a time.Duration). The zero
+// value is ready to use.
+type H struct {
+	counts [nBuckets]atomic.Int64
+	total  atomic.Int64
+	max    atomic.Int64
+}
+
+// index maps a sample to its bucket.
+func index(v int64) int {
+	if v < subSize {
+		return int(v)
+	}
+	// v ∈ [2^(e+subBits), 2^(e+subBits+1)): drop e low bits, keeping
+	// subBits+1 significant ones; the top bit is implied.
+	e := bits.Len64(uint64(v)) - subBits - 1
+	m := int(v>>uint(e)) - subSize
+	return subSize + e*subSize + m
+}
+
+// bucketLow returns the smallest sample value mapping to bucket i, the
+// inverse of index for bucket lower bounds.
+func bucketLow(i int) int64 {
+	if i < subSize {
+		return int64(i)
+	}
+	e := (i - subSize) / subSize
+	m := (i - subSize) % subSize
+	return int64(subSize+m) << uint(e)
+}
+
+// Record adds one sample. Negative samples clamp to zero (a clock step
+// backwards must not corrupt the buckets).
+func (h *H) Record(d time.Duration) { h.RecordValue(int64(d)) }
+
+// RecordValue adds one raw sample.
+func (h *H) RecordValue(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[index(v)].Add(1)
+	h.total.Add(1)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *H) Count() int64 { return h.total.Load() }
+
+// Max returns the largest recorded sample (exact, not bucketed).
+func (h *H) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the q-quantile (q in [0,1]) as a duration. The result
+// is the midpoint of the bucket holding the q-th sample, so it carries the
+// bucket's ≈3% relative error; Quantile(1) is bounded by the exact Max.
+// Concurrent Records make the result approximate in the usual way — each
+// bucket is read once, atomically.
+func (h *H) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q*float64(total) + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < nBuckets; i++ {
+		c := h.counts[i].Load()
+		if c == 0 {
+			continue
+		}
+		seen += c
+		if seen >= target {
+			lo := bucketLow(i)
+			hi := bucketLow(i + 1)
+			mid := lo + (hi-lo)/2
+			if m := h.max.Load(); mid > m {
+				mid = m
+			}
+			return time.Duration(mid)
+		}
+	}
+	return h.Max()
+}
+
+// Merge folds o's samples into h. Concurrent-safe on both sides, with the
+// same read-once-per-bucket consistency as Quantile.
+func (h *H) Merge(o *H) {
+	for i := 0; i < nBuckets; i++ {
+		if c := o.counts[i].Load(); c != 0 {
+			h.counts[i].Add(c)
+			h.total.Add(c)
+		}
+	}
+	om := o.max.Load()
+	for {
+		cur := h.max.Load()
+		if om <= cur || h.max.CompareAndSwap(cur, om) {
+			return
+		}
+	}
+}
+
+// Reset zeroes the histogram. Not safe against concurrent Records.
+func (h *H) Reset() {
+	for i := 0; i < nBuckets; i++ {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.max.Store(0)
+}

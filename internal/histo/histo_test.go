@@ -1,0 +1,132 @@
+package histo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestIndexBucketLowRoundTrip(t *testing.T) {
+	// Every bucket's lower bound must map back to that bucket, and bucket
+	// lows must be strictly increasing.
+	prev := int64(-1)
+	for i := 0; i < nBuckets; i++ {
+		lo := bucketLow(i)
+		if lo <= prev {
+			t.Fatalf("bucketLow not increasing at %d: %d <= %d", i, lo, prev)
+		}
+		prev = lo
+		if got := index(lo); got != i {
+			t.Fatalf("index(bucketLow(%d)) = %d", i, got)
+		}
+	}
+	if got := index(math.MaxInt64); got >= nBuckets {
+		t.Fatalf("index(MaxInt64) = %d out of range %d", got, nBuckets)
+	}
+}
+
+func TestExactSmallValues(t *testing.T) {
+	var h H
+	for v := int64(0); v < subSize; v++ {
+		h.RecordValue(v)
+	}
+	if h.Count() != subSize {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Values below 2^subBits are recorded exactly, so the median of 0..31
+	// must come back as 16 (ceil-rank convention: rank 16 holds value 15,
+	// bucket midpoints of width-1 buckets are exact).
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("median = %v, want 15", got)
+	}
+	if h.Max() != subSize-1 {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestQuantileRelativeError(t *testing.T) {
+	var h H
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]float64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, the shape of a latency distribution
+		// with a long tail.
+		v := int64(math.Exp(rng.Float64()*14) * 100)
+		samples = append(samples, float64(v))
+		h.RecordValue(v)
+	}
+	sort.Float64s(samples)
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		exact := samples[int(q*float64(len(samples)))]
+		got := float64(h.Quantile(q))
+		if err := math.Abs(got-exact) / exact; err > 0.05 {
+			t.Fatalf("q%.3f: got %.0f exact %.0f rel err %.3f", q, got, exact, err)
+		}
+	}
+	if got, want := float64(h.Quantile(1)), samples[len(samples)-1]; got != want {
+		t.Fatalf("q1 = %.0f, want exact max %.0f", got, want)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	var a, b, both H
+	for i := int64(0); i < 1000; i++ {
+		a.RecordValue(i * 17)
+		b.RecordValue(i * 1003)
+		both.RecordValue(i * 17)
+		both.RecordValue(i * 1003)
+	}
+	a.Merge(&b)
+	if a.Count() != both.Count() {
+		t.Fatalf("merged count %d, want %d", a.Count(), both.Count())
+	}
+	if a.Max() != both.Max() {
+		t.Fatalf("merged max %v, want %v", a.Max(), both.Max())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("q%.2f: merged %v, direct %v", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	var h H
+	const G, N = 8, 5000
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				h.Record(time.Duration(g*N+i) * time.Microsecond)
+				if i%64 == 0 {
+					h.Quantile(0.99) // readers race recorders by design
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != G*N {
+		t.Fatalf("count = %d, want %d", h.Count(), G*N)
+	}
+	if h.Max() != time.Duration(G*N-1)*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+}
+
+func TestResetAndEmpty(t *testing.T) {
+	var h H
+	if h.Quantile(0.99) != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram not zero")
+	}
+	h.RecordValue(12345)
+	h.Record(-5 * time.Second) // clamps, must not panic
+	h.Reset()
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset histogram not zero")
+	}
+}

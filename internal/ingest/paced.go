@@ -1,0 +1,225 @@
+package ingest
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+
+	"datacell/internal/bat"
+	"datacell/internal/stream"
+	"datacell/internal/vector"
+)
+
+// Pacer schedules evenly spaced batch deadlines at a target tuple rate —
+// the open-loop half of a workload driver. Deadlines advance with the
+// clock whether or not the consumer keeps up: when a send blocks past its
+// deadline the schedule does not stretch, the sender falls measurably
+// behind, and the accumulated lag is the measurement (queue depth and
+// stall time are observations in an open-loop harness, never throttles).
+type Pacer struct {
+	rate  float64 // tuples per second
+	batch float64 // tuples per scheduled send
+	now   func() time.Time
+
+	base    time.Time // schedule origin (construction or last SetRate)
+	n       int64     // batches scheduled since base
+	offered float64   // tuples offered by completed schedule segments
+	maxLag  time.Duration
+}
+
+// NewPacer returns a pacer offering rate tuples/second in batches of
+// batch, using now as its clock (nil means time.Now).
+func NewPacer(rate float64, batch int, now func() time.Time) *Pacer {
+	if now == nil {
+		now = time.Now
+	}
+	if batch < 1 {
+		batch = 1
+	}
+	if rate <= 0 {
+		rate = 1
+	}
+	return &Pacer{rate: rate, batch: float64(batch), now: now, base: now()}
+}
+
+// Next schedules the next batch: wait is how long the sender should sleep
+// to hit the deadline (0 when it is already due), lag is how far past the
+// deadline the clock already is (0 when on time). Exactly one of the two
+// is non-zero for a sender that is keeping up or falling behind.
+func (p *Pacer) Next() (wait, lag time.Duration) {
+	deadline := p.base.Add(time.Duration(float64(p.n) * p.batch / p.rate * float64(time.Second)))
+	p.n++
+	t := p.now()
+	if t.Before(deadline) {
+		return deadline.Sub(t), 0
+	}
+	lag = t.Sub(deadline)
+	if lag > p.maxLag {
+		p.maxLag = lag
+	}
+	return 0, lag
+}
+
+// SetRate switches the offered rate, rebasing the schedule at the current
+// instant (rate ramps re-anchor rather than replaying the past at the new
+// rate). The tuples offered by the finished segment are folded into the
+// offered total.
+func (p *Pacer) SetRate(rate float64) {
+	if rate <= 0 {
+		rate = 1
+	}
+	t := p.now()
+	p.offered += t.Sub(p.base).Seconds() * p.rate
+	p.base, p.n, p.rate = t, 0, rate
+}
+
+// Rate returns the current offered rate in tuples/second.
+func (p *Pacer) Rate() float64 { return p.rate }
+
+// MaxLag returns the worst schedule slip observed.
+func (p *Pacer) MaxLag() time.Duration { return p.maxLag }
+
+// Offered returns how many tuples the schedule has called for so far —
+// rate × elapsed across all segments, independent of what was actually
+// sent. Offered minus sent is the open-loop backlog.
+func (p *Pacer) Offered() int64 {
+	return int64(p.offered + p.now().Sub(p.base).Seconds()*p.rate)
+}
+
+// PacedStats reports one PacedSender run.
+type PacedStats struct {
+	Tuples  int64 // tuples actually sent
+	Batches int64 // frames written
+	// Offered is what the schedule called for over the run; Offered-Tuples
+	// is the backlog an overloaded engine forced the sender to accumulate.
+	Offered int64
+	// StallTime totals the time spent inside socket writes — on a healthy
+	// connection microseconds per frame, so in practice it measures
+	// receptor backpressure (watermark waits, accept stalls).
+	StallTime time.Duration
+	// MaxLag is the worst schedule slip: how far past its deadline the
+	// most delayed batch started.
+	MaxLag time.Duration
+	// Reconnects counts mid-stream redials the record-aligned writer made.
+	Reconnects int
+	Elapsed    time.Duration
+}
+
+// PacedSender drives one binary-protocol connection at a target open-loop
+// rate: batches are scheduled by a Pacer, framed by the wire encoder, and
+// written through a record-aligned reconnecting writer (stream.Dialer
+// backoff on dial and mid-stream failure). The rate can be changed while
+// running (SetRate) for ramp phases.
+type PacedSender struct {
+	// Dialer locates the receptor shard and owns retry/backoff policy.
+	Dialer *stream.Dialer
+	// Names/Types give the stream's user schema (what BatchWriter expects).
+	Names []string
+	Types []vector.Type
+	// Batch is tuples per frame (minimum 1).
+	Batch int
+	// Now and Sleep are swappable for simulated-time tests. Defaults:
+	// time.Now, and a stop-aware timer sleep.
+	Now   func() time.Time
+	Sleep func(d time.Duration)
+
+	rateBits atomic.Uint64 // float64 bits; shared with SetRate
+}
+
+// NewPacedSender returns a sender offering rate tuples/second to the
+// dialer's address in frames of batch tuples.
+func NewPacedSender(d *stream.Dialer, names []string, types []vector.Type, rate float64, batch int) *PacedSender {
+	s := &PacedSender{Dialer: d, Names: names, Types: types, Batch: batch}
+	s.SetRate(rate)
+	return s
+}
+
+// SetRate changes the offered rate; a running Run picks it up before its
+// next scheduled batch.
+func (s *PacedSender) SetRate(rate float64) {
+	s.rateBits.Store(floatBits(rate))
+}
+
+// Rate returns the currently offered rate.
+func (s *PacedSender) Rate() float64 { return bitsFloat(s.rateBits.Load()) }
+
+// Run sends until stop closes or a write fails terminally. fill must
+// append n tuples to rel (whose columns match Names/Types); base is the
+// index of the first tuple of the batch in this sender's sequence, so
+// fills can generate deterministic, timestamped payloads. Returns the
+// run's stats; on error the stats cover what was sent before it.
+func (s *PacedSender) Run(stop <-chan struct{}, fill func(rel *bat.Relation, base int64, n int)) (PacedStats, error) {
+	now := s.Now
+	if now == nil {
+		now = time.Now
+	}
+	batch := s.Batch
+	if batch < 1 {
+		batch = 1
+	}
+	var st PacedStats
+	start := now()
+	rw, err := stream.NewReconnWriter(s.Dialer)
+	if err != nil {
+		return st, err
+	}
+	defer rw.Close()
+	fw := NewFrameWriter(rw)
+	rel := bat.NewEmptyRelation(s.Names, s.Types)
+	p := NewPacer(s.Rate(), batch, now)
+	finish := func() PacedStats {
+		st.Offered = p.Offered()
+		st.MaxLag = p.MaxLag()
+		st.Reconnects = rw.Reconnects
+		st.Elapsed = now().Sub(start)
+		return st
+	}
+	for {
+		select {
+		case <-stop:
+			return finish(), nil
+		default:
+		}
+		if r := s.Rate(); r != p.Rate() {
+			p.SetRate(r)
+		}
+		wait, _ := p.Next()
+		if wait > 0 && !s.sleep(wait, stop) {
+			return finish(), nil
+		}
+		rel.Clear()
+		fill(rel, st.Tuples, batch)
+		t0 := now()
+		werr := fw.WriteRelation(rel)
+		st.StallTime += now().Sub(t0)
+		if werr != nil {
+			return finish(), werr
+		}
+		st.Tuples += int64(rel.Len())
+		st.Batches++
+	}
+}
+
+// sleep pauses for d, returning false when stop closed instead.
+func (s *PacedSender) sleep(d time.Duration, stop <-chan struct{}) bool {
+	if s.Sleep != nil {
+		s.Sleep(d)
+		select {
+		case <-stop:
+			return false
+		default:
+			return true
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+func bitsFloat(b uint64) float64 { return math.Float64frombits(b) }

@@ -1,0 +1,191 @@
+package ingest
+
+import (
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"datacell/internal/bat"
+	"datacell/internal/stream"
+	"datacell/internal/vector"
+)
+
+// fakeClock is a manually advanced clock for deterministic pacing tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) sleep(d time.Duration)   { c.t = c.t.Add(d) }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+// fakeConn swallows writes, optionally charging simulated time per write.
+type fakeConn struct{ onWrite func(n int) }
+
+func (c *fakeConn) Write(p []byte) (int, error) {
+	if c.onWrite != nil {
+		c.onWrite(len(p))
+	}
+	return len(p), nil
+}
+func (c *fakeConn) Read([]byte) (int, error)           { return 0, io.EOF }
+func (c *fakeConn) Close() error                       { return nil }
+func (c *fakeConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (c *fakeConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (c *fakeConn) SetDeadline(time.Time) error        { return nil }
+func (c *fakeConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *fakeConn) SetWriteDeadline(t time.Time) error { return nil }
+
+var pacedSchema = struct {
+	names []string
+	types []vector.Type
+}{[]string{"k", "v"}, []vector.Type{vector.Int, vector.Int}}
+
+func fillSeq(rel *bat.Relation, base int64, n int) {
+	for i := 0; i < n; i++ {
+		rel.AppendRow(vector.NewInt(base+int64(i)), vector.NewInt(1))
+	}
+}
+
+func newTestSender(clk *fakeClock, conn net.Conn, rate float64, batch int) (*PacedSender, chan struct{}) {
+	d := &stream.Dialer{
+		Addr:  "fake",
+		Dial:  func(string) (net.Conn, error) { return conn, nil },
+		Sleep: clk.sleep,
+	}
+	s := NewPacedSender(d, pacedSchema.names, pacedSchema.types, rate, batch)
+	s.Now = clk.now
+	s.Sleep = clk.sleep
+	return s, make(chan struct{})
+}
+
+func TestPacerKeepsSchedule(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	p := NewPacer(1000, 10, clk.now)
+	// First batch is due immediately; each further one 10ms later.
+	if wait, lag := p.Next(); wait != 0 || lag != 0 {
+		t.Fatalf("first batch: wait=%v lag=%v", wait, lag)
+	}
+	if wait, _ := p.Next(); wait != 10*time.Millisecond {
+		t.Fatalf("second batch wait = %v, want 10ms", wait)
+	}
+	// A sender that slept to the deadline is on time, not lagging.
+	clk.advance(10 * time.Millisecond)
+	if wait, lag := p.Next(); wait != 10*time.Millisecond || lag != 0 {
+		t.Fatalf("third batch: wait=%v lag=%v", wait, lag)
+	}
+	// Falling 35ms behind shows up as lag, and the schedule does not
+	// stretch: the next deadline is still on the original grid.
+	clk.advance(45 * time.Millisecond)
+	if _, lag := p.Next(); lag != 25*time.Millisecond {
+		t.Fatalf("lag = %v, want 25ms", lag)
+	}
+	if p.MaxLag() != 25*time.Millisecond {
+		t.Fatalf("maxLag = %v", p.MaxLag())
+	}
+}
+
+func TestPacerSetRateRebases(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	p := NewPacer(1000, 10, clk.now)
+	clk.advance(1 * time.Second)
+	if got := p.Offered(); got != 1000 {
+		t.Fatalf("offered after 1s@1000 = %d", got)
+	}
+	p.SetRate(4000)
+	clk.advance(500 * time.Millisecond)
+	if got := p.Offered(); got != 3000 {
+		t.Fatalf("offered after +0.5s@4000 = %d, want 3000", got)
+	}
+	// Rebasing means the first post-ramp batch is due now, not backfilled
+	// at the new rate over the old segment.
+	if wait, lag := p.Next(); wait != 0 || lag != 500*time.Millisecond {
+		t.Fatalf("post-ramp first batch: wait=%v lag=%v", wait, lag)
+	}
+}
+
+func TestPacedSenderOpenLoop(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	s, stop := newTestSender(clk, &fakeConn{}, 1000, 10)
+	closed := false
+	st, err := s.Run(stop, func(rel *bat.Relation, base int64, n int) {
+		if base >= 1000 && !closed {
+			closed = true
+			close(stop)
+		}
+		fillSeq(rel, base, n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Tuples < 1000 || st.Tuples > 1020 {
+		t.Fatalf("tuples = %d", st.Tuples)
+	}
+	if st.Batches != st.Tuples/10 {
+		t.Fatalf("batches = %d for %d tuples", st.Batches, st.Tuples)
+	}
+	// A healthy sender keeps the schedule: no lag, instant (fake) writes.
+	if st.MaxLag != 0 || st.StallTime != 0 {
+		t.Fatalf("maxLag=%v stall=%v, want 0", st.MaxLag, st.StallTime)
+	}
+	// Offered tracks the schedule, so it matches what was sent ±1 batch.
+	if d := st.Offered - st.Tuples; d < -10 || d > 10 {
+		t.Fatalf("offered %d vs sent %d", st.Offered, st.Tuples)
+	}
+}
+
+func TestPacedSenderMeasuresStall(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	// Every write blocks 25ms of simulated time against a 10ms batch
+	// interval: the sender cannot keep up, and open-loop semantics demand
+	// that show up as lag + stall, with Offered pulling ahead of Tuples.
+	conn := &fakeConn{onWrite: func(int) { clk.advance(25 * time.Millisecond) }}
+	s, stop := newTestSender(clk, conn, 1000, 10)
+	closed := false
+	st, err := s.Run(stop, func(rel *bat.Relation, base int64, n int) {
+		if base >= 500 && !closed {
+			closed = true
+			close(stop)
+		}
+		fillSeq(rel, base, n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MaxLag == 0 {
+		t.Fatal("expected schedule lag under a stalling connection")
+	}
+	if st.StallTime < 500*time.Millisecond {
+		t.Fatalf("stallTime = %v, want ≥ 500ms for %d writes", st.StallTime, st.Batches)
+	}
+	if st.Offered <= st.Tuples {
+		t.Fatalf("offered %d should exceed sent %d when stalled", st.Offered, st.Tuples)
+	}
+}
+
+func TestPacedSenderLiveRateChange(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	s, stop := newTestSender(clk, &fakeConn{}, 100, 10)
+	swapped, closed := false, false
+	st, err := s.Run(stop, func(rel *bat.Relation, base int64, n int) {
+		if base >= 100 && !swapped {
+			swapped = true
+			s.SetRate(10000)
+		}
+		if base >= 2100 && !closed {
+			closed = true
+			close(stop)
+		}
+		fillSeq(rel, base, n)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 tuples at 100/s is 1s; 2000 more at 10000/s is 0.2s. A sender
+	// still pacing at the old rate would need 21s.
+	if st.Elapsed > 2*time.Second {
+		t.Fatalf("elapsed = %v, rate change not applied", st.Elapsed)
+	}
+	if st.Tuples < 2100 {
+		t.Fatalf("tuples = %d", st.Tuples)
+	}
+}

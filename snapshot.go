@@ -1,0 +1,78 @@
+package datacell
+
+import "time"
+
+// Snapshot is one consistent point-in-time view of a running engine,
+// replacing the Stats() + Groups() + per-listener Stats() + RecoveryInfo
+// bookkeeping a caller previously had to stitch together (and which could
+// tear: each call re-acquired the engine lock, so a rewire could land
+// between them). Engine.Snapshot gathers every section under a single
+// acquisition of the engine mutex.
+//
+// Field stability: fields are append-only — new sections may be added in
+// later versions, existing ones keep their names, types and meaning, so
+// callers (cmd/datacell, cmd/datacellbench, external monitors) can encode
+// a Snapshot and diff it across versions.
+type Snapshot struct {
+	// At is the engine-clock capture time (WithClock-aware).
+	At time.Time
+	// Started reports whether the scheduler is running.
+	Started bool
+
+	// Engine-wide configuration at capture time.
+	Strategy        Strategy
+	Parallelism     int
+	AutoParallelism bool
+	// WALDir is the open write-ahead-log root ("" when durability is off).
+	WALDir string
+
+	// Queries holds per-query activity counters, sorted by name — the same
+	// rows Stats() returns.
+	Queries []QueryStats
+	// Groups holds per-stream wiring reports, sorted by stream — the same
+	// rows Groups() returns. Each embeds its listeners' IngestStats
+	// (GroupInfo.Receptors).
+	Groups []GroupInfo
+	// Ingest flattens every receptor shard's counters across all groups,
+	// for callers that want listener totals without walking Groups.
+	Ingest []IngestStats
+	// Recovery reports the most recent WAL Recover pass, nil when no
+	// recovery has run in this process.
+	Recovery *RecoveryInfo
+	// Subscriptions counts live query subscriptions (SubscribeQuery minus
+	// Cancel/RemoveQuery).
+	Subscriptions int
+}
+
+// Snapshot captures the engine's full observable state at one instant:
+// configuration, per-query counters, per-stream group wiring with ingest
+// shard stats, the last recovery report and the live subscription count.
+// All sections are gathered under one acquisition of the engine mutex
+// (nested locks follow the engine's fixed order: engine → group → basket),
+// so the sections are mutually consistent — a concurrent rewire or
+// register is either fully visible in every section or in none.
+func (e *Engine) Snapshot() Snapshot {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := Snapshot{
+		At:              e.cat.Now(),
+		Started:         e.started,
+		Strategy:        e.strategy,
+		Parallelism:     e.parallelism,
+		AutoParallelism: e.autoParallel,
+		Queries:         e.statsLocked(),
+		Groups:          e.groupsLocked(),
+		Subscriptions:   e.subscriptionsLocked(),
+	}
+	if e.wal != nil {
+		s.WALDir = e.wal.opts.Dir
+	}
+	if e.lastRecovery != nil {
+		cp := *e.lastRecovery
+		s.Recovery = &cp
+	}
+	for i := range s.Groups {
+		s.Ingest = append(s.Ingest, s.Groups[i].Receptors...)
+	}
+	return s
+}

@@ -133,6 +133,10 @@ func (e *Engine) Recover() (RecoveryInfo, error) {
 		info.Tuples += tuples
 		info.TruncatedBytes += truncated
 	}
+	e.mu.Lock()
+	cp := info
+	e.lastRecovery = &cp
+	e.mu.Unlock()
 	return info, nil
 }
 
@@ -286,7 +290,7 @@ func (e *Engine) Kill() {
 		e.wal.logs = map[string]*wal.Log{}
 	}
 	touts := append([]*stream.TCPEmitter(nil), e.tcpOut...)
-	ems := append([]*stream.Emitter(nil), e.emitters...)
+	qes := e.subEmittersLocked()
 	stop, done := e.adaptStop, e.adaptDone
 	e.adaptStop, e.adaptDone = nil, nil
 	e.mu.Unlock()
@@ -308,7 +312,7 @@ func (e *Engine) Kill() {
 	for _, t := range touts {
 		t.Close()
 	}
-	for _, em := range ems {
-		em.Stop()
+	for _, qe := range qes {
+		qe.em.Stop()
 	}
 }
