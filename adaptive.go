@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"datacell/internal/adapt"
+	"datacell/internal/obs"
 )
 
 // AdaptOptions tunes the adaptive-parallelism controller (`set
@@ -271,7 +272,13 @@ func (e *Engine) adaptTick(now time.Time) {
 			continue
 		}
 		ctl := e.ensureControllerLocked(g)
+		e.ev.decisions.Inc()
 		if d, act := ctl.Decide(now, s); act {
+			e.ev.applies.Inc()
+			e.trace.Add(obs.Event{Subsystem: "adapt", Kind: "decide", Name: n,
+				Reason: d.Reason, Time: e.cat.Now(),
+				Fields: fmt.Sprintf("p=%d occupancy=%d stalls=%d stall_time=%s busy=%s fires=%d window=%s",
+					d.P, s.Occupancy, s.Stalls, s.StallTime, s.Busy, s.Fires, s.Window)})
 			if err := e.applyAutoPLocked(g, d.P, d.Reason); err != nil {
 				// A failed rewire leaves the old wiring torn down only if
 				// the rebuild itself failed, which registration already

@@ -1,0 +1,95 @@
+package datacell
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// AdminServer is the engine's opt-in observability endpoint: a plain HTTP
+// server exposing the metric surface, the consistent snapshot, the event
+// trace and the Go runtime profiles of the process the engine runs in.
+// Nothing listens until ServeAdmin is called; production data paths are
+// untouched by its existence.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition (WriteMetrics)
+//	/snapshot      Engine.Snapshot as indented JSON
+//	/events        Engine.Events (the trace ring) as indented JSON
+//	/debug/pprof/  net/http/pprof index, profile, heap, trace, …
+type AdminServer struct {
+	eng *Engine
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ServeAdmin starts the admin HTTP server on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns it. The engine tracks at most one admin
+// server; Engine.Stop closes it, or call Close directly. The bound
+// address is available via Addr (useful with a wildcard port).
+func (e *Engine) ServeAdmin(addr string) (*AdminServer, error) {
+	e.mu.Lock()
+	if e.admin != nil {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("datacell: admin server already running at %s", e.admin.Addr())
+	}
+	e.mu.Unlock()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		e.WriteMetrics(w)
+	})
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, e.Snapshot())
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, e.Events())
+	})
+	// Explicit pprof routes: the engine must not depend on handlers the
+	// process may have hung on http.DefaultServeMux.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a := &AdminServer{eng: e, ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
+	e.mu.Lock()
+	if e.admin != nil {
+		prev := e.admin
+		e.mu.Unlock()
+		ln.Close()
+		return nil, fmt.Errorf("datacell: admin server already running at %s", prev.Addr())
+	}
+	e.admin = a
+	e.mu.Unlock()
+	go a.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return a, nil
+}
+
+// Addr returns the server's bound address.
+func (a *AdminServer) Addr() string { return a.ln.Addr().String() }
+
+// Close stops the server and releases its port. Idempotent.
+func (a *AdminServer) Close() error {
+	a.eng.mu.Lock()
+	if a.eng.admin == a {
+		a.eng.admin = nil
+	}
+	a.eng.mu.Unlock()
+	return a.srv.Close()
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client went away
+}

@@ -34,7 +34,30 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+
+	"datacell/internal/provenance"
 )
+
+// warnProvenance compares a baseline file's capture environment against
+// this host and prints a non-fatal warning when they differ: throughput
+// floors and latency SLOs measured on another box are advisory at best.
+// Missing or unstamped files warn too — the gate still runs either way.
+func warnProvenance(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return // the loader will report this fatally
+	}
+	var doc struct {
+		Provenance provenance.Info `json:"provenance"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return
+	}
+	if diffs := provenance.Diff(doc.Provenance, provenance.Capture()); len(diffs) > 0 {
+		fmt.Printf("benchgate: WARNING: baseline %s was captured in a different environment (%s); throughput/latency comparisons are advisory\n",
+			path, strings.Join(diffs, ", "))
+	}
+}
 
 // kernelDoc mirrors the BENCH_kernel.json layout.
 type kernelDoc struct {
@@ -482,6 +505,11 @@ func main() {
 	if *baseline == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -baseline is required")
 		os.Exit(2)
+	}
+	for _, p := range []string{*baseline, *ingestBase, *aggBase, *adaptBase, *walBase, *latBase} {
+		if p != "" {
+			warnProvenance(p)
+		}
 	}
 	base, err := loadKernel(*baseline)
 	if err != nil {

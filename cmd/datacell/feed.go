@@ -28,6 +28,9 @@ func feedStdin(eng *datacell.Engine, stream string) error {
 		if line == "" {
 			continue
 		}
+		if metaCommand(eng, line) {
+			continue
+		}
 		parts := strings.Split(line, "|")
 		row := make(datacell.Row, len(parts))
 		for i, p := range parts {

@@ -7,6 +7,7 @@
 //	datacell -script app.sql -listen trades=:9000 -shards 4
 //	echo 'ACME|250.0' | datacell -script app.sql -feed trades -print big
 //	lrgen ... | datacell -script lr.sql -feed input -binary
+//	datacell -script app.sql -listen trades=:9000 -admin :9090
 //
 // The script is standard DataCell SQL: create basket/table, declare/set,
 // continuous queries with [basket expressions], and with…begin…end splits.
@@ -19,6 +20,11 @@
 // (parallel sockets on a wildcard port, parallel accept loops on a fixed
 // one); -binary reads binary frames instead of text lines from stdin in
 // -feed mode.
+//
+// -admin starts the observability HTTP server (Prometheus /metrics,
+// /snapshot, /events, net/http/pprof). In textual -feed mode, lines
+// starting with a backslash are meta-commands instead of tuples:
+// \stats prints the live engine snapshot, \events the event trace.
 package main
 
 import (
@@ -44,6 +50,7 @@ func main() {
 	shards := flag.Int("shards", 1, "receptor shards per -listen address")
 	print := flag.String("print", "", "query whose results are printed to stdout")
 	walDir := flag.String("wal", "", "directory for the durable ingest WAL (recovers on start)")
+	admin := flag.String("admin", "", "serve /metrics, /snapshot, /events and /debug/pprof on this address")
 	relay := flag.String("relay", "", "forward stdin to a remote receptor at this address (no engine; retries with backoff)")
 	var listens, serves listFlag
 	flag.Var(&listens, "listen", "stream=addr: attach a TCP receptor group (repeatable)")
@@ -133,6 +140,14 @@ func main() {
 		fatal(err)
 	}
 	defer eng.Stop()
+
+	if *admin != "" {
+		srv, err := eng.ServeAdmin(*admin)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "admin server on http://%s (/metrics /snapshot /events /debug/pprof)\n", srv.Addr())
+	}
 
 	if *feed != "" {
 		// Feed stdin through an in-process receptor and exit when it ends.

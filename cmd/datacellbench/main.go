@@ -36,6 +36,7 @@ import (
 	"datacell/internal/bat"
 	"datacell/internal/histo"
 	"datacell/internal/ingest"
+	"datacell/internal/provenance"
 	"datacell/internal/stream"
 	"datacell/internal/vector"
 )
@@ -66,9 +67,10 @@ type latencyRow struct {
 }
 
 type latencyDoc struct {
-	Fig      string       `json:"fig"`
-	Scenario string       `json:"scenario"`
-	Rows     []latencyRow `json:"rows"`
+	Fig        string          `json:"fig"`
+	Scenario   string          `json:"scenario"`
+	Rows       []latencyRow    `json:"rows"`
+	Provenance provenance.Info `json:"provenance"`
 }
 
 // recorder accumulates ingest-to-emit latency into the current phase's
@@ -168,7 +170,7 @@ func main() {
 		if spec == "" {
 			spec = *preset
 		}
-		doc := latencyDoc{Fig: "latency", Scenario: spec, Rows: rows}
+		doc := latencyDoc{Fig: "latency", Scenario: spec, Rows: rows, Provenance: provenance.Capture()}
 		data, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fatal(err)

@@ -30,14 +30,17 @@ import (
 
 	datacell "datacell"
 	"datacell/internal/microbench"
+	"datacell/internal/provenance"
 )
 
-// writeJSON dumps one figure's data points to BENCH_<fig>.json.
+// writeJSON dumps one figure's data points to BENCH_<fig>.json, stamped
+// with the capturing environment so benchgate can flag cross-host
+// comparisons.
 func writeJSON(enabled bool, fig string, rows any) error {
 	if !enabled {
 		return nil
 	}
-	payload := map[string]any{"fig": fig, "rows": rows}
+	payload := map[string]any{"fig": fig, "rows": rows, "provenance": provenance.Capture()}
 	data, err := json.MarshalIndent(payload, "", "  ")
 	if err != nil {
 		return err

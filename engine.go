@@ -34,7 +34,9 @@ import (
 	"datacell/internal/bat"
 	"datacell/internal/core"
 	"datacell/internal/expr"
+	"datacell/internal/histo"
 	"datacell/internal/ingest"
+	"datacell/internal/obs"
 	"datacell/internal/plan"
 	"datacell/internal/sql"
 	"datacell/internal/stream"
@@ -54,10 +56,13 @@ type Table struct {
 // Len returns the number of rows.
 func (t Table) Len() int { return len(t.Rows) }
 
-// QueryInfo describes one registered continuous query.
+// QueryInfo describes one registered continuous query. Text carries the
+// rendered output of informational statements (explain, explain analyze)
+// and is empty for everything else.
 type QueryInfo struct {
 	Name       string
 	Continuous bool
+	Text       string
 }
 
 // Engine is a DataCell instance: a catalog of baskets and tables, a
@@ -108,6 +113,29 @@ type Engine struct {
 	adaptOpts    AdaptOptions
 	adaptStop    chan struct{}
 	adaptDone    chan struct{}
+
+	// Observability: reg holds the engine-owned event counters (rewires,
+	// recoveries, registrations, controller decisions); trace is the
+	// bounded ring of engine events /events and \events render; qlat maps
+	// query name to its ingest-to-emit latency histogram, attached to the
+	// query's factories at every (re)wire; ev caches the counter handles;
+	// admin is the opt-in HTTP server (nil until ServeAdmin).
+	reg   *obs.Registry
+	trace *obs.Trace
+	qlat  map[string]*histo.H
+	ev    engineCounters
+	admin *AdminServer
+}
+
+// engineCounters are the registry-owned control-plane counters: every one
+// counts an event that also lands in the trace ring.
+type engineCounters struct {
+	rewires    *obs.Counter
+	recoveries *obs.Counter
+	registers  *obs.Counter
+	removes    *obs.Counter
+	decisions  *obs.Counter // controller Decide calls that produced a verdict
+	applies    *obs.Counter // verdicts that triggered a rewire
 }
 
 // queryRec tracks one registered continuous query: shareable queries are
@@ -152,7 +180,9 @@ func New(opts ...Option) *Engine {
 		queries:     map[string]*queryRec{},
 		groups:      map[string]*queryGroup{},
 		subs:        map[string]*queryEmitter{},
+		qlat:        map[string]*histo.H{},
 	}
+	e.initObs()
 	for _, opt := range opts {
 		if err := opt(e); err != nil && e.initErr == nil {
 			e.initErr = err
@@ -216,6 +246,18 @@ func (e *Engine) RegisterQuery(name, src string) error {
 }
 
 func (e *Engine) register(name string, s sql.Statement) (QueryInfo, error) {
+	// `explain <stmt>` and `explain analyze <query>` are informational:
+	// their rendered text comes back in QueryInfo.Text, nothing registers.
+	if ex, ok := s.(*sql.ExplainStmt); ok {
+		var text string
+		var err error
+		if ex.Analyze {
+			text, err = e.ExplainAnalyze(ex.Query)
+		} else {
+			text, err = e.explainStatement(ex.Stmt)
+		}
+		return QueryInfo{Name: name, Text: text}, err
+	}
 	// `set strategy = '…'` and `set parallelism = N` are engine pragmas,
 	// not session variables.
 	if set, ok := s.(*sql.SetStmt); ok {
@@ -337,6 +379,7 @@ func (e *Engine) addScanLocked(name string, a *plan.Analysis) (*queryGroup, erro
 	// same name, closed when that query's subscription emitter stopped.
 	a.Out.Reopen()
 	e.queries[name] = &queryRec{name: name, out: a.Out, member: m}
+	e.queryRegisteredLocked(name, "group member on stream "+a.Scan.Stream)
 	return g, nil
 }
 
@@ -428,6 +471,13 @@ func (e *Engine) registerStandalone(name string, s sql.Statement) (QueryInfo, er
 	}
 	c.Out.Reopen() // may be a closed leftover of a removed same-name query
 	e.queries[name] = &queryRec{name: name, out: c.Out, compiled: c, taps: privates}
+	e.queryRegisteredLocked(name, "standalone factory")
+	// The compiled factory's first input is the private replica its
+	// basket expression scans; its sys_ts column carries the receptor
+	// arrival stamp the latency histogram measures against.
+	if ins := c.Factory.Inputs(); len(ins) > 0 {
+		c.Factory.SetLatency(e.qlat[name], ins[0], e.cat.Now)
+	}
 	for streamName, priv := range privates {
 		g, gerr := e.groupLocked(streamName)
 		if gerr != nil {
@@ -521,6 +571,12 @@ func (e *Engine) Explain(src string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	return e.explainStatement(s)
+}
+
+// explainStatement renders the compile/wiring description of one parsed
+// statement — the body of Explain, shared with the SQL-level `explain`.
+func (e *Engine) explainStatement(s sql.Statement) (string, error) {
 	base, err := plan.Explain(e.cat, s, "query")
 	if err != nil {
 		return "", err
@@ -616,7 +672,11 @@ func (e *Engine) Explain(src string) (string, error) {
 }
 
 // QueryStats reports the activity counters of one registered continuous
-// query.
+// query, including the stage-timing breakdown explain analyze renders:
+// Busy is the fire stage (factory body time), MergeWait/MergeWaits the
+// two-phase merge barrier, EmitBusy the emitter's delivery time, and the
+// Lat* fields summarise the live ingest-to-emit latency histogram (zero
+// until a firing has consumed a receptor-stamped tuple).
 type QueryStats struct {
 	Name    string
 	Fires   int64 // factory activations
@@ -624,6 +684,17 @@ type QueryStats struct {
 	LastErr error
 	OutRows int64 // tuples appended to the output basket over time
 	Pending int   // tuples currently waiting in the output basket
+
+	Busy       time.Duration // cumulative factory body time across current factories
+	MergeWaits int64         // completed merge-barrier waits (two-phase wirings)
+	MergeWait  time.Duration // cumulative time the merge barrier held results back
+	EmitBusy   time.Duration // cumulative emitter delivery time (0 without subscriptions)
+
+	LatCount int64 // ingest-to-emit latency samples recorded
+	LatP50   time.Duration
+	LatP99   time.Duration
+	LatP999  time.Duration
+	LatMax   time.Duration
 }
 
 // Stats returns activity counters for every registered continuous query,
@@ -651,8 +722,27 @@ func (e *Engine) statsLocked() []QueryStats {
 			}
 			q.Fires += f.Fires()
 			q.Errors += f.Errors()
+			q.Busy += f.Busy()
 			if err := f.LastError(); err != nil {
 				q.LastErr = err
+			}
+		}
+		if r.member != nil && r.member.merge != nil {
+			if b := r.member.merge.Barrier(); b != nil {
+				q.MergeWaits = b.Waits()
+				q.MergeWait = b.WaitTime()
+			}
+		}
+		if qe := e.subs[n]; qe != nil {
+			q.EmitBusy = qe.em.Busy()
+		}
+		if h := e.qlat[n]; h != nil {
+			q.LatCount = h.Count()
+			if q.LatCount > 0 {
+				q.LatP50 = h.Quantile(0.5)
+				q.LatP99 = h.Quantile(0.99)
+				q.LatP999 = h.Quantile(0.999)
+				q.LatMax = h.Max()
 			}
 		}
 		out = append(out, q)
@@ -673,6 +763,10 @@ func (e *Engine) RemoveQuery(name string) error {
 		return fmt.Errorf("datacell: unknown query %q", name)
 	}
 	delete(e.queries, name)
+	delete(e.qlat, name)
+	e.ev.removes.Inc()
+	e.trace.Add(obs.Event{Subsystem: "engine", Kind: "remove", Name: name,
+		Reason: "RemoveQuery", Time: e.cat.Now()})
 	qe := e.dropQueryEmitterLocked(name)
 	var err error
 	if rec.member != nil {
@@ -829,6 +923,7 @@ type IngestStats struct {
 	WALErrors int64         // batches rejected because the WAL append failed
 	Stalls    int64         // backpressure stalls
 	StallTime time.Duration // total time spent stalled
+	RouteTime time.Duration // total time spent routing batches into the kernel
 }
 
 // IngestListener is a running sharded ingest group attached to one
@@ -873,6 +968,7 @@ func (l *IngestListener) Stats() []IngestStats {
 			WALErrors: s.WALErrors,
 			Stalls:    s.Stalls,
 			StallTime: s.StallTime,
+			RouteTime: s.RouteTime,
 		}
 	}
 	return out
@@ -1062,7 +1158,12 @@ func (e *Engine) Stop() {
 	qes := e.subEmittersLocked()
 	stop, done := e.adaptStop, e.adaptDone
 	e.adaptStop, e.adaptDone = nil, nil
+	admin := e.admin
+	e.admin = nil
 	e.mu.Unlock()
+	if admin != nil {
+		admin.Close()
+	}
 	// The sampler goes first: a controller-driven rewire quiesces the
 	// ingest periphery, and closing listeners concurrently is fine, but
 	// no new rewires should start once shutdown is underway.

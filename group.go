@@ -12,6 +12,7 @@ import (
 	"datacell/internal/bat"
 	"datacell/internal/core"
 	"datacell/internal/ingest"
+	"datacell/internal/obs"
 	"datacell/internal/plan"
 	"datacell/internal/vector"
 )
@@ -203,6 +204,10 @@ type groupMember struct {
 	priv      *basket.Basket
 	pb        *basket.PartitionedBasket
 	factories []*core.Factory
+	// merge is the member's merge emitter under partitioned wiring (nil
+	// otherwise); its BarrierStats feed the merge stage of the query's
+	// timing breakdown.
+	merge *core.Factory
 }
 
 // flush runs the member's query once over its private replica, consuming
@@ -271,12 +276,29 @@ func (e *Engine) groupLocked(streamName string) (*queryGroup, error) {
 }
 
 // rewireLocked tears down a group's current factory wiring and rebuilds
-// it under the engine strategy. Old factories are unregistered and waited
-// idle first, so they can never fire again; a mid-cycle teardown of the
-// shared wiring may have left the stream blocked, which the rebuild
-// reopens. Caller holds e.mu; factory bodies never take e.mu, so waiting
-// under it cannot deadlock.
+// it under the engine strategy, then records the rebuild in the event
+// trace with its reason and duration. Caller holds e.mu.
 func (e *Engine) rewireLocked(g *queryGroup) error {
+	start := time.Now()
+	err := e.rewireInnerLocked(g)
+	e.ev.rewires.Inc()
+	ev := obs.Event{Subsystem: "engine", Kind: "rewire", Name: g.name,
+		Reason: g.lastRewireReason, Duration: time.Since(start), Time: e.cat.Now(),
+		Fields: fmt.Sprintf("strategy=%s parallel=%d members=%d taps=%d",
+			g.effective, g.parallel, len(g.scans), len(g.taps))}
+	if err != nil {
+		ev.Fields += " err=" + err.Error()
+	}
+	e.trace.Add(ev)
+	return err
+}
+
+// rewireInnerLocked is the rebuild itself. Old factories are unregistered
+// and waited idle first, so they can never fire again; a mid-cycle
+// teardown of the shared wiring may have left the stream blocked, which
+// the rebuild reopens. Caller holds e.mu; factory bodies never take e.mu,
+// so waiting under it cannot deadlock.
+func (e *Engine) rewireInnerLocked(g *queryGroup) error {
 	for _, f := range g.wired {
 		e.sch.Unregister(f)
 		f.WaitIdle()
@@ -321,6 +343,7 @@ func (e *Engine) rewireLocked(g *queryGroup) error {
 	for _, m := range g.scans {
 		m.factories = nil
 		m.pb = nil
+		m.merge = nil
 	}
 	g.rewires++
 	if g.pendingReason != "" {
@@ -367,6 +390,10 @@ func (e *Engine) rewireLocked(g *queryGroup) error {
 	if err != nil {
 		return err
 	}
+	// Latency attachment must precede scheduler registration: Register
+	// spawns the firing goroutines, and TryFire reads the latency fields
+	// unsynchronized.
+	e.attachLatencyLocked(g)
 	for _, f := range fs {
 		if err := e.sch.Register(f); err != nil {
 			return err
@@ -374,6 +401,26 @@ func (e *Engine) rewireLocked(g *queryGroup) error {
 	}
 	g.wired = fs
 	return nil
+}
+
+// attachLatencyLocked hands every member factory of the fresh wiring its
+// query's latency histogram. The source basket is the factory's first
+// input: the private replica (separate), the shared stream or chain
+// basket (shared/partial), or the clone's partition basket — in every
+// wiring that basket's sys_ts column carries the receptor arrival stamp,
+// copied along full-width by replicators and routers. Caller holds e.mu.
+func (e *Engine) attachLatencyLocked(g *queryGroup) {
+	for _, m := range g.scans {
+		h := e.qlat[m.name]
+		if h == nil {
+			continue
+		}
+		for _, f := range m.factories {
+			if ins := f.Inputs(); len(ins) > 0 {
+				f.SetLatency(h, ins[0], e.cat.Now)
+			}
+		}
+	}
 }
 
 // wireSeparateLocked builds the separate-baskets wiring: a replicator
@@ -435,6 +482,7 @@ func (e *Engine) wireMemberLocked(g *queryGroup, prefix string, m *groupMember) 
 		return nil, err
 	}
 	m.factories = pw.QueryFs[0]
+	m.merge = pw.Merges[0]
 	m.pb = pb
 	if g.memberParts == nil {
 		g.memberParts = map[*groupMember][]*basket.Basket{}
@@ -489,6 +537,7 @@ func (e *Engine) wireSharedChainLocked(g *queryGroup, prefix string) ([]*core.Fa
 		}
 		for i, m := range g.scans {
 			m.factories = pw.QueryFs[i]
+			m.merge = pw.Merges[i]
 			g.staging = append(g.staging, stagedOut{staging: pw.Staging[i], out: m.scan.Out, combine: m.scan.Combine})
 		}
 		g.parts = pb.Destinations()

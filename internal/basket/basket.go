@@ -39,11 +39,15 @@ type Constraint struct {
 	Check func(rel *bat.Relation) []int32
 }
 
-// Stats carries monotonically increasing basket counters.
+// Stats carries monotonically increasing basket counters. HighWater is
+// the occupancy high-water mark: the largest resident tuple count ever
+// observed after an append — the basket-pressure signal the
+// observability layer exports per stream.
 type Stats struct {
-	Appended int64 // tuples accepted into the basket
-	Dropped  int64 // tuples silently dropped by integrity constraints
-	Consumed int64 // tuples removed by factories
+	Appended  int64 // tuples accepted into the basket
+	Dropped   int64 // tuples silently dropped by integrity constraints
+	Consumed  int64 // tuples removed by factories
+	HighWater int64 // peak resident occupancy
 }
 
 // Basket is a stream table: one column per declared attribute plus the
@@ -79,9 +83,10 @@ type Basket struct {
 	// appends, lazily created and guarded by mu like rel.
 	gather *bat.Relation
 
-	appended int64
-	dropped  int64
-	consumed int64
+	appended  int64
+	dropped   int64
+	consumed  int64
+	highWater int64
 
 	// now provides arrival timestamps; replaceable for simulated time.
 	now func() time.Time
@@ -180,7 +185,7 @@ func (b *Basket) LenLocked() int { return b.rel.Len() }
 func (b *Basket) Stats() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return Stats{Appended: b.appended, Dropped: b.dropped, Consumed: b.consumed}
+	return Stats{Appended: b.appended, Dropped: b.dropped, Consumed: b.consumed, HighWater: b.highWater}
 }
 
 // Enabled reports whether the stream through this basket is flowing.
@@ -317,6 +322,9 @@ func (b *Basket) appendLocked(rel *bat.Relation) (int, error) {
 			b.rel.Col(in.NumCols()).AppendN(vector.NewTimestampMicros(b.now().UnixMicro()), accepted)
 		}
 		b.appended += int64(accepted)
+		if n := int64(b.rel.Len()); n > b.highWater {
+			b.highWater = n
+		}
 		if b.covers != nil {
 			b.covers = append(b.covers, make([]int32, accepted)...)
 		}

@@ -2,11 +2,46 @@ package core
 
 import (
 	"sync/atomic"
+	"time"
 
 	"datacell/internal/basket"
 	"datacell/internal/bat"
 	"datacell/internal/vector"
 )
+
+// BarrierStats accumulates the round-barrier wait episodes of a combining
+// merge emitter: an episode starts when staged partial state exists but
+// some clone has not caught up with its feed (the guard refuses), and
+// ends when the guard finally passes. Waits counts completed episodes,
+// WaitTime their cumulative duration — the two-phase merge's contribution
+// to end-to-end latency, exported per query by the observability layer.
+// All fields are atomics; the guard path never allocates.
+type BarrierStats struct {
+	since atomic.Int64 // episode start in unix nanos; 0 when not blocked
+	ns    atomic.Int64
+	n     atomic.Int64
+}
+
+// blocked marks the start of a wait episode (idempotent within one).
+func (b *BarrierStats) blocked() {
+	if b.since.Load() == 0 {
+		b.since.Store(time.Now().UnixNano())
+	}
+}
+
+// released closes the current episode, if any.
+func (b *BarrierStats) released() {
+	if s := b.since.Swap(0); s != 0 {
+		b.ns.Add(time.Now().UnixNano() - s)
+		b.n.Add(1)
+	}
+}
+
+// Waits returns the number of completed wait episodes.
+func (b *BarrierStats) Waits() int64 { return b.n.Load() }
+
+// WaitTime returns the cumulative completed-episode wait duration.
+func (b *BarrierStats) WaitTime() time.Duration { return time.Duration(b.ns.Load()) }
 
 // Combine is the two-phase decomposition of an aggregating stream query:
 // the classic partial-aggregate/final-merge split of parallel relational
@@ -114,6 +149,8 @@ func NewCombiningMergeEmitter(name string, staging, feeds []*basket.Basket, seen
 		return nil, err
 	}
 	f.SetFireAnyInput()
+	bar := &BarrierStats{}
+	f.SetBarrierStats(bar)
 	f.SetGuard(func(ctx *Context) bool {
 		staged := false
 		for i := range staging {
@@ -127,9 +164,13 @@ func NewCombiningMergeEmitter(name string, staging, feeds []*basket.Basket, seen
 		}
 		for j, fb := range feeds {
 			if seen[j].Load() != fb.AppendedLocked() {
+				// Partial state is staged but this clone's round is still in
+				// flight: the barrier is holding the merge back. Time it.
+				bar.blocked()
 				return false
 			}
 		}
+		bar.released()
 		return true
 	})
 	return f, nil

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"datacell/internal/basket"
+	"datacell/internal/histo"
 )
 
 // Body is the code of a factory: the (part of a) query plan it executes per
@@ -75,6 +76,20 @@ type Factory struct {
 	errs    atomic.Int64
 	busy    atomic.Int64 // nanoseconds spent executing the body
 	lastErr atomic.Value // error
+
+	// Latency instrumentation (SetLatency): each successful firing records
+	// one ingest-to-emit sample into latH — the age of the oldest tuple
+	// resident in latSrc when the body completes, measured against the
+	// sys_ts arrival stamps the receptor side wrote. All pieces are read
+	// with latSrc locked (it is an input), recorded with two atomic adds:
+	// zero allocation, O(1) per firing regardless of batch size.
+	latH   *histo.H
+	latSrc *basket.Basket
+	latNow func() time.Time
+
+	// bar, when set, accumulates round-barrier wait episodes (combining
+	// merge emitters; see BarrierStats).
+	bar *BarrierStats
 
 	wake   chan struct{} // scheduler wake-up, buffered 1
 	kill   chan struct{} // closed by Scheduler.Unregister
@@ -149,6 +164,26 @@ func (f *Factory) SetGuard(g func(ctx *Context) bool) { f.guard = g }
 // SetFireAnyInput relaxes the firing rule to "at least one input meets its
 // threshold" instead of all of them. Call before registering.
 func (f *Factory) SetFireAnyInput() { f.anyInput = true }
+
+// SetLatency arms per-firing ingest-to-emit latency sampling: src must be
+// one of the factory's input baskets (its implicit sys_ts column carries
+// the arrival stamps), h receives one sample per successful firing, and
+// now supplies the emit-side clock (nil for time.Now; pass the engine
+// clock so simulated-time runs stay consistent). Call before registering.
+func (f *Factory) SetLatency(h *histo.H, src *basket.Basket, now func() time.Time) {
+	if now == nil {
+		now = time.Now
+	}
+	f.latH, f.latSrc, f.latNow = h, src, now
+}
+
+// SetBarrierStats attaches a barrier-wait accumulator (combining merge
+// emitters record their round-barrier episodes through it).
+func (f *Factory) SetBarrierStats(b *BarrierStats) { f.bar = b }
+
+// Barrier returns the factory's barrier-wait accumulator, nil for
+// factories without one.
+func (f *Factory) Barrier() *BarrierStats { return f.bar }
 
 // Fires returns how many times the factory has fired.
 func (f *Factory) Fires() int64 { return f.fires.Load() }
@@ -263,9 +298,22 @@ func (f *Factory) TryFire() (bool, error) {
 		outBefore[i] = o.LenLocked()
 	}
 
+	// Read the arrival stamp of the oldest tuple about to be processed
+	// before the body consumes it. Baskets append in arrival order and
+	// keep sys_ts as their last column, so this is one slice index.
+	arrivalUs := int64(-1)
+	if f.latH != nil {
+		if r := f.latSrc.RelLocked(); r.Len() > 0 {
+			arrivalUs = r.Col(r.NumCols() - 1).Ints()[0]
+		}
+	}
+
 	bodyStart := time.Now()
 	err := f.body(&Context{f: f})
 	f.busy.Add(int64(time.Since(bodyStart)))
+	if err == nil && arrivalUs >= 0 {
+		f.latH.RecordValue((f.latNow().UnixMicro() - arrivalUs) * 1000)
+	}
 
 	grew := make([]bool, len(f.outputs))
 	for i, o := range f.outputs {

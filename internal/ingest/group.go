@@ -247,6 +247,7 @@ type Stats struct {
 	WALErrors int64         // batches rejected because the WAL append failed
 	Stalls    int64         // backpressure stalls
 	StallTime time.Duration // total time spent stalled
+	RouteTime time.Duration // total time spent routing batches into the sink
 }
 
 // Group is the sharded ingest periphery of one stream: Shards listener
@@ -284,6 +285,7 @@ type shard struct {
 	walErr atomic.Int64
 	stalls atomic.Int64
 	stallT atomic.Int64 // nanoseconds
+	routeT atomic.Int64 // nanoseconds spent in sink.Append (route-at-ingest)
 }
 
 // Listen starts an ingest group for a stream with the given user schema
@@ -350,6 +352,7 @@ func (g *Group) Stats() []Stats {
 			WALErrors: s.walErr.Load(),
 			Stalls:    s.stalls.Load(),
 			StallTime: time.Duration(s.stallT.Load()),
+			RouteTime: time.Duration(s.routeT.Load()),
 		}
 	}
 	return out
@@ -590,14 +593,20 @@ func (g *Group) deliver(s *shard, batch *bat.Relation) error {
 				// lost; the kernel keeps draining after the periphery stops.
 				sink, release = g.target.Acquire()
 				defer release()
+				start := time.Now()
 				n, err := sink.Append(batch)
+				s.routeT.Add(int64(time.Since(start)))
 				s.tuples.Add(int64(n))
 				batch.Clear()
 				return err
 			}
 			continue
 		}
+		// Route timing: one clock pair per frame (never per tuple) around
+		// the sink append — the route stage of the latency breakdown.
+		start := time.Now()
 		n, err := sink.Append(batch)
+		s.routeT.Add(int64(time.Since(start)))
 		release()
 		s.tuples.Add(int64(n))
 		batch.Clear()

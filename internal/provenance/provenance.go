@@ -1,0 +1,58 @@
+// Package provenance stamps benchmark artifacts with the environment
+// that produced them. Committed BENCH_*.json baselines are measured on a
+// fixed machine; a gate comparing a fresh run against a baseline captured
+// on different hardware or a different Go toolchain compares apples to
+// oranges, so benchgate reads the stamp back and warns (never fails) when
+// the environments diverge.
+package provenance
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Info describes the environment of one benchmark capture.
+type Info struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	CapturedAt string `json:"captured_at"` // RFC3339
+}
+
+// Capture records the current environment.
+func Capture() Info {
+	return Info{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		CapturedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+}
+
+// Diff lists the environment fields on which a and b disagree, as
+// human-readable "field: a vs b" strings. CapturedAt never counts: two
+// captures of the same box at different times are the same environment.
+// An entirely zero Info (an unstamped legacy baseline) diffs as a single
+// "unstamped baseline" entry.
+func Diff(a, b Info) []string {
+	if (a == Info{}) {
+		return []string{"unstamped baseline (no provenance recorded)"}
+	}
+	var out []string
+	cmp := func(field, av, bv string) {
+		if av != bv {
+			out = append(out, fmt.Sprintf("%s: %s vs %s", field, av, bv))
+		}
+	}
+	cmp("go_version", a.GoVersion, b.GoVersion)
+	cmp("goos", a.GOOS, b.GOOS)
+	cmp("goarch", a.GOARCH, b.GOARCH)
+	cmp("gomaxprocs", fmt.Sprint(a.GOMAXPROCS), fmt.Sprint(b.GOMAXPROCS))
+	cmp("num_cpu", fmt.Sprint(a.NumCPU), fmt.Sprint(b.NumCPU))
+	return out
+}

@@ -1,0 +1,71 @@
+package provenance
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestCaptureFieldsPopulated(t *testing.T) {
+	p := Capture()
+	if p.GoVersion == "" || p.GOOS == "" || p.GOARCH == "" {
+		t.Fatalf("capture left identity fields empty: %+v", p)
+	}
+	if p.GOMAXPROCS <= 0 || p.NumCPU <= 0 {
+		t.Fatalf("capture left cpu fields unset: %+v", p)
+	}
+	if p.CapturedAt == "" {
+		t.Fatalf("capture left timestamp empty")
+	}
+}
+
+func TestDiffIgnoresCapturedAt(t *testing.T) {
+	a := Capture()
+	b := a
+	b.CapturedAt = "1999-01-01T00:00:00Z"
+	if d := Diff(a, b); len(d) != 0 {
+		t.Fatalf("timestamp-only difference reported: %v", d)
+	}
+}
+
+func TestDiffReportsEnvironmentChanges(t *testing.T) {
+	a := Capture()
+	b := a
+	b.GoVersion = "go0.0"
+	b.NumCPU = a.NumCPU + 1
+	d := Diff(a, b)
+	if len(d) != 2 {
+		t.Fatalf("want 2 diffs, got %v", d)
+	}
+	joined := strings.Join(d, "; ")
+	if !strings.Contains(joined, "go_version") || !strings.Contains(joined, "num_cpu") {
+		t.Fatalf("diff missing changed fields: %v", d)
+	}
+}
+
+func TestDiffUnstampedBaseline(t *testing.T) {
+	d := Diff(Info{}, Capture())
+	if len(d) != 1 || !strings.Contains(d[0], "unstamped") {
+		t.Fatalf("zero baseline should report unstamped, got %v", d)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := Capture()
+	buf, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"go_version", "goos", "goarch", "gomaxprocs", "num_cpu", "captured_at"} {
+		if !strings.Contains(string(buf), `"`+key+`"`) {
+			t.Fatalf("marshalled provenance missing %q: %s", key, buf)
+		}
+	}
+	var back Info
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, p)
+	}
+}

@@ -143,6 +143,17 @@ type WithBlock struct {
 
 func (*WithBlock) stmt() {}
 
+// ExplainStmt is the explain surface. `explain <statement>` carries the
+// inner statement in Stmt; `explain analyze <query-name>` sets Analyze
+// and names the registered query whose live stage timings are wanted.
+type ExplainStmt struct {
+	Analyze bool
+	Query   string    // registered query name (analyze form)
+	Stmt    Statement // inner statement (plain form)
+}
+
+func (*ExplainStmt) stmt() {}
+
 // SubqueryExpr is a scalar sub-query placeholder inside an expression,
 // e.g. set cnt = cnt + (select count(*) from Z). It satisfies expr.Expr so
 // it can sit in expression trees; the planner rewrites it before
@@ -192,6 +203,8 @@ func statementName(s Statement) string {
 		return "set"
 	case *WithBlock:
 		return "with"
+	case *ExplainStmt:
+		return "explain"
 	}
 	return "statement"
 }

@@ -55,6 +55,7 @@ var keywords = map[string]bool{
 	"varchar": true, "string": true, "text": true, "timestamp": true,
 	"interval": true, "second": true, "seconds": true, "minute": true,
 	"minutes": true, "hour": true, "hours": true, "day": true, "days": true,
+	"explain": true, "analyze": true,
 }
 
 // Lex tokenises src. It returns an error for unterminated strings or

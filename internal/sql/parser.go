@@ -95,6 +95,7 @@ var softKeywords = map[string]bool{
 	"second": true, "seconds": true, "minute": true, "minutes": true,
 	"hour": true, "hours": true, "day": true, "days": true,
 	"timestamp": true, "text": true, "stream": true,
+	"explain": true, "analyze": true,
 }
 
 func (p *parser) ident() (string, error) {
@@ -124,6 +125,8 @@ func (p *parser) statement() (Statement, error) {
 		return p.setStmt()
 	case p.at(TokKeyword, "with"):
 		return p.withBlock()
+	case p.at(TokKeyword, "explain"):
+		return p.explainStmt()
 	case p.at(TokOp, "["):
 		// A bare basket expression used as a statement: select everything
 		// from it (the paper's heartbeat example).
@@ -138,6 +141,28 @@ func (p *parser) statement() (Statement, error) {
 		}, nil
 	}
 	return nil, p.errf("expected statement, got %s", p.peek())
+}
+
+// explainStmt parses the two explain forms: `explain <statement>`
+// describes how a statement would compile and wire; `explain analyze
+// <query-name>` reports the stage timings of a registered running query.
+func (p *parser) explainStmt() (Statement, error) {
+	p.next() // explain
+	if p.acceptKw("analyze") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &ExplainStmt{Analyze: true, Query: name}, nil
+	}
+	inner, err := p.statement()
+	if err != nil {
+		return nil, err
+	}
+	if _, nested := inner.(*ExplainStmt); nested {
+		return nil, p.errf("explain cannot nest")
+	}
+	return &ExplainStmt{Stmt: inner}, nil
 }
 
 func (p *parser) selectStmt() (*SelectStmt, error) {

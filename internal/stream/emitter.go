@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"datacell/internal/basket"
 	"datacell/internal/bat"
@@ -21,6 +22,7 @@ type Emitter struct {
 	funcs   []func(rel *bat.Relation)
 
 	delivered atomic.Int64
+	busy      atomic.Int64 // nanoseconds spent delivering batches
 	done      chan struct{}
 	started   bool
 }
@@ -35,6 +37,10 @@ func (e *Emitter) Basket() *basket.Basket { return e.b }
 
 // Delivered returns the number of tuples delivered so far.
 func (e *Emitter) Delivered() int64 { return e.delivered.Load() }
+
+// Busy returns the cumulative time the emitter thread spent delivering
+// batches to its clients — the emit stage of the latency breakdown.
+func (e *Emitter) Busy() time.Duration { return time.Duration(e.busy.Load()) }
 
 // SubscribeWriter adds a textual-protocol client: every result tuple is
 // written as one line.
@@ -81,6 +87,8 @@ func (e *Emitter) Start() {
 func firstOf[A, B any](a A, _ B) A { return a }
 
 func (e *Emitter) deliver(rel *bat.Relation, nUser int) {
+	start := time.Now()
+	defer func() { e.busy.Add(int64(time.Since(start))) }()
 	e.mu.Lock()
 	writers := append([]io.Writer(nil), e.writers...)
 	funcs := append([]func(rel *bat.Relation){}, e.funcs...)

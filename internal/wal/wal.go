@@ -104,6 +104,13 @@ type Stats struct {
 	Bytes     uint64 // record bytes appended (including record kind bytes)
 	Syncs     uint64 // fsync batches issued
 	Rotations uint64 // segment rotations
+	// Group-commit batch accounting: a batch is the run of frames one
+	// successful sync makes durable together. Empty syncs (ticker flushes
+	// with nothing pending) are not counted, so BatchFrames/Batches is the
+	// true mean commit batch size and MaxBatch its peak.
+	Batches     uint64
+	BatchFrames uint64
+	MaxBatch    uint64
 }
 
 // Log is a single stream's write-ahead log: an append-only sequence of
@@ -114,18 +121,19 @@ type Log struct {
 	dir  string
 	opts Options
 
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufWriter
-	enc     []byte // reused frame-encode buffer
-	seq     uint64 // sequence number of the next frame
-	ckpt    uint64
-	segSize int64
-	pending int // record bytes since the last sync
-	stats   Stats
-	crashed bool
-	closed  bool
-	failed  error // first sync failure; poisons the log
+	mu          sync.Mutex
+	f           *os.File
+	w           *bufWriter
+	enc         []byte // reused frame-encode buffer
+	seq         uint64 // sequence number of the next frame
+	ckpt        uint64
+	segSize     int64
+	pending     int    // record bytes since the last sync
+	batchFrames uint64 // frames since the last sync (group-commit batch)
+	stats       Stats
+	crashed     bool
+	closed      bool
+	failed      error // first sync failure; poisons the log
 
 	stop chan struct{}
 	done chan struct{}
@@ -301,6 +309,7 @@ func (l *Log) LogBatch(rel *bat.Relation) (uint64, error) {
 	l.pending += recLen
 	l.stats.Frames++
 	l.stats.Bytes += uint64(recLen)
+	l.batchFrames++
 	if l.pending >= l.opts.SyncBytes {
 		if err := l.syncLocked(); err != nil {
 			return 0, err
@@ -345,6 +354,14 @@ func (l *Log) syncLocked() error {
 	}
 	l.pending = 0
 	l.stats.Syncs++
+	if l.batchFrames > 0 {
+		l.stats.Batches++
+		l.stats.BatchFrames += l.batchFrames
+		if l.batchFrames > l.stats.MaxBatch {
+			l.stats.MaxBatch = l.batchFrames
+		}
+		l.batchFrames = 0
+	}
 	if act, _ := faultpoint.Check(FaultSynced); act == faultpoint.Crash || act == faultpoint.Short {
 		l.crashLocked()
 		return ErrCrashed

@@ -1,6 +1,9 @@
 package datacell
 
-import "time"
+import (
+	"sort"
+	"time"
+)
 
 // Snapshot is one consistent point-in-time view of a running engine,
 // replacing the Stats() + Groups() + per-listener Stats() + RecoveryInfo
@@ -42,6 +45,40 @@ type Snapshot struct {
 	// Subscriptions counts live query subscriptions (SubscribeQuery minus
 	// Cancel/RemoveQuery).
 	Subscriptions int
+
+	// WAL holds per-stream log counters (appends, fsyncs, rotations and
+	// group-commit batch sizes) for every log opened in this process;
+	// empty when durability is off.
+	WAL []WALStreamStats
+	// Baskets holds per-stream basket occupancy: resident tuples, the
+	// high-water mark and the lifetime append/drop/consume counters of
+	// every stream basket with a query group.
+	Baskets []BasketStats
+	// EventsTotal counts engine trace events ever recorded (retained or
+	// shed from the ring); Engine.Events returns the retained tail.
+	EventsTotal uint64
+}
+
+// WALStreamStats is one stream's write-ahead-log counters.
+type WALStreamStats struct {
+	Stream      string
+	Frames      uint64 // frame records appended
+	Bytes       uint64 // record bytes appended
+	Syncs       uint64 // fsync batches issued
+	Rotations   uint64 // segment rotations
+	Batches     uint64 // non-empty group-commit batches
+	BatchFrames uint64 // frames across those batches (mean = BatchFrames/Batches)
+	MaxBatch    uint64 // largest single commit batch
+}
+
+// BasketStats is one stream basket's occupancy and lifetime counters.
+type BasketStats struct {
+	Stream    string
+	Resident  int   // tuples currently held
+	HighWater int64 // peak resident occupancy
+	Appended  int64
+	Dropped   int64
+	Consumed  int64
 }
 
 // Snapshot captures the engine's full observable state at one instant:
@@ -66,6 +103,24 @@ func (e *Engine) Snapshot() Snapshot {
 	}
 	if e.wal != nil {
 		s.WALDir = e.wal.opts.Dir
+		names := make([]string, 0, len(e.wal.logs))
+		for n := range e.wal.logs {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			ws := e.wal.logs[n].Stats()
+			s.WAL = append(s.WAL, WALStreamStats{
+				Stream:      n,
+				Frames:      ws.Frames,
+				Bytes:       ws.Bytes,
+				Syncs:       ws.Syncs,
+				Rotations:   ws.Rotations,
+				Batches:     ws.Batches,
+				BatchFrames: ws.BatchFrames,
+				MaxBatch:    ws.MaxBatch,
+			})
+		}
 	}
 	if e.lastRecovery != nil {
 		cp := *e.lastRecovery
@@ -74,5 +129,23 @@ func (e *Engine) Snapshot() Snapshot {
 	for i := range s.Groups {
 		s.Ingest = append(s.Ingest, s.Groups[i].Receptors...)
 	}
+	gnames := make([]string, 0, len(e.groups))
+	for n := range e.groups {
+		gnames = append(gnames, n)
+	}
+	sort.Strings(gnames)
+	for _, n := range gnames {
+		g := e.groups[n]
+		bs := g.stream.Stats()
+		s.Baskets = append(s.Baskets, BasketStats{
+			Stream:    n,
+			Resident:  g.stream.Len(),
+			HighWater: bs.HighWater,
+			Appended:  bs.Appended,
+			Dropped:   bs.Dropped,
+			Consumed:  bs.Consumed,
+		})
+	}
+	s.EventsTotal = e.trace.Total()
 	return s
 }

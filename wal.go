@@ -12,6 +12,7 @@ import (
 
 	"datacell/internal/bat"
 	"datacell/internal/ingest"
+	"datacell/internal/obs"
 	"datacell/internal/stream"
 	"datacell/internal/wal"
 )
@@ -106,6 +107,7 @@ func (e *Engine) walLogForLocked(streamName string) (*wal.Log, *wal.OpenInfo, er
 // in the catalog; run the DDL script first.
 func (e *Engine) Recover() (RecoveryInfo, error) {
 	var info RecoveryInfo
+	start := time.Now()
 	e.mu.Lock()
 	w := e.wal
 	e.mu.Unlock()
@@ -136,6 +138,11 @@ func (e *Engine) Recover() (RecoveryInfo, error) {
 	e.mu.Lock()
 	cp := info
 	e.lastRecovery = &cp
+	e.ev.recoveries.Inc()
+	e.trace.Add(obs.Event{Subsystem: "wal", Kind: "recover",
+		Duration: time.Since(start), Time: e.cat.Now(),
+		Fields: fmt.Sprintf("streams=%d frames=%d tuples=%d truncated_bytes=%d",
+			info.Streams, info.Frames, info.Tuples, info.TruncatedBytes)})
 	e.mu.Unlock()
 	return info, nil
 }
